@@ -1,0 +1,123 @@
+//! Shared vocabulary for baseline replication strategies.
+
+use std::error::Error;
+use std::fmt;
+
+use repdir_core::Key;
+
+/// A uniform directory interface implemented by every baseline strategy
+/// (and, via an adapter in `repdir-workload`, by the paper's algorithm), so
+/// one workload driver can compare them all.
+pub trait DirectoryOps {
+    /// Returns the value for `key`, or `None` if absent.
+    ///
+    /// # Errors
+    ///
+    /// Strategy-specific availability or ambiguity failures.
+    fn lookup(&mut self, key: &Key) -> Result<Option<repdir_core::Value>, BaselineError>;
+
+    /// Creates an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::AlreadyExists`] plus strategy-specific failures.
+    fn insert(&mut self, key: &Key, value: &repdir_core::Value) -> Result<(), BaselineError>;
+
+    /// Replaces an entry's value.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`] plus strategy-specific failures.
+    fn update(&mut self, key: &Key, value: &repdir_core::Value) -> Result<(), BaselineError>;
+
+    /// Removes an entry.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::NotFound`] plus strategy-specific failures.
+    fn delete(&mut self, key: &Key) -> Result<(), BaselineError>;
+}
+
+/// Failure modes across baseline strategies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// Not enough replicas reachable for the operation.
+    Unavailable {
+        /// Replicas (or votes) required.
+        needed: u32,
+        /// Replicas (or votes) reachable.
+        gathered: u32,
+    },
+    /// The naive per-entry-version scheme could not decide whether an entry
+    /// exists (the paper's §2 delete ambiguity, Figures 1–3).
+    Ambiguous {
+        /// The key whose membership is undecidable.
+        key: Key,
+    },
+    /// Optimistic concurrency lost a race (whole-file voting): the object
+    /// version moved between read and write.
+    Conflict,
+    /// Insert of an existing key.
+    AlreadyExists {
+        /// The offending key.
+        key: Key,
+    },
+    /// Update/delete of a missing key.
+    NotFound {
+        /// The offending key.
+        key: Key,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Unavailable { needed, gathered } => {
+                write!(f, "unavailable: need {needed}, reached {gathered}")
+            }
+            BaselineError::Ambiguous { key } => {
+                write!(f, "membership of {key:?} is ambiguous")
+            }
+            BaselineError::Conflict => f.write_str("write conflict; retry"),
+            BaselineError::AlreadyExists { key } => write!(f, "{key:?} already exists"),
+            BaselineError::NotFound { key } => write!(f, "{key:?} not found"),
+        }
+    }
+}
+
+impl Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let cases: Vec<BaselineError> = vec![
+            BaselineError::Unavailable {
+                needed: 3,
+                gathered: 1,
+            },
+            BaselineError::Ambiguous {
+                key: Key::from("b"),
+            },
+            BaselineError::Conflict,
+            BaselineError::AlreadyExists {
+                key: Key::from("a"),
+            },
+            BaselineError::NotFound {
+                key: Key::from("c"),
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

@@ -1,0 +1,382 @@
+//! Gifford's weighted voting for **files** (§2), and a directory stored as
+//! one replicated file.
+//!
+//! This is the baseline the paper improves on: a file suite keeps one
+//! version number per representative, so storing a whole directory in a
+//! file suite serializes *all* modifications behind that single version —
+//! "only a single transaction could modify the directory at any time" (§2).
+//! [`GiffordFileDirectory`] makes the cost measurable: every directory
+//! mutation is a read-modify-write of the whole file under optimistic
+//! version checking, so concurrent writers conflict even on unrelated keys.
+
+use repdir_core::rng::SplitMix64;
+use repdir_core::suite::SuiteConfig;
+use repdir_core::{Key, UserKey, Value, Version};
+use std::collections::BTreeMap;
+
+use crate::common::{BaselineError, DirectoryOps};
+
+/// One file representative: a version number and the file contents.
+#[derive(Clone, Debug, Default)]
+struct FileRep {
+    version: Version,
+    data: Vec<u8>,
+    available: bool,
+}
+
+/// A replicated file suite with weighted voting (Gifford 79).
+///
+/// Reads gather a read quorum and return the highest-versioned copy; writes
+/// stamp a write quorum with `version + 1`. Writes take an expected base
+/// version and fail with [`BaselineError::Conflict`] if the file moved —
+/// the representative-side locking Gifford assumes, reduced to its
+/// observable effect (serialized writers) without importing a lock manager
+/// into the baseline.
+#[derive(Debug)]
+pub struct FileSuite {
+    reps: Vec<FileRep>,
+    config: SuiteConfig,
+    rng: SplitMix64,
+}
+
+impl FileSuite {
+    /// Creates an empty file suite.
+    pub fn new(config: SuiteConfig, seed: u64) -> Self {
+        let reps = (0..config.member_count())
+            .map(|_| FileRep {
+                version: Version::ZERO,
+                data: Vec::new(),
+                available: true,
+            })
+            .collect();
+        FileSuite {
+            reps,
+            config,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Injects or heals a failure at representative `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_available(&mut self, i: usize, available: bool) {
+        self.reps[i].available = available;
+    }
+
+    /// Reads via a read quorum: `(version, contents)` of the newest copy.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Unavailable`] if `R` votes cannot be gathered.
+    pub fn read(&mut self) -> Result<(Version, Vec<u8>), BaselineError> {
+        let quorum = self.collect(self.config.read_quorum())?;
+        let best = quorum
+            .into_iter()
+            .max_by_key(|&i| self.reps[i].version)
+            .expect("quorum non-empty");
+        Ok((self.reps[best].version, self.reps[best].data.clone()))
+    }
+
+    /// Writes via a write quorum, stamping `base.next()`.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Conflict`] if any quorum member has moved past
+    /// `base` (a concurrent writer won); [`BaselineError::Unavailable`] if
+    /// `W` votes cannot be gathered.
+    pub fn write(&mut self, base: Version, data: Vec<u8>) -> Result<Version, BaselineError> {
+        let quorum = self.collect(self.config.write_quorum())?;
+        // Optimistic check: any member newer than `base` means a concurrent
+        // write intervened (write quorums always intersect).
+        if quorum.iter().any(|&i| self.reps[i].version > base) {
+            return Err(BaselineError::Conflict);
+        }
+        let next = base.next();
+        for i in quorum {
+            self.reps[i].version = next;
+            self.reps[i].data = data.clone();
+        }
+        Ok(next)
+    }
+
+    fn collect(&mut self, needed: u32) -> Result<Vec<usize>, BaselineError> {
+        let mut order: Vec<usize> = (0..self.reps.len()).collect();
+        self.rng.shuffle(&mut order);
+        let mut chosen = Vec::new();
+        let mut votes = 0;
+        for i in order {
+            if votes >= needed {
+                break;
+            }
+            if self.config.votes_of(i) == 0 || !self.reps[i].available {
+                continue;
+            }
+            votes += self.config.votes_of(i);
+            chosen.push(i);
+        }
+        if votes < needed {
+            Err(BaselineError::Unavailable {
+                needed,
+                gathered: votes,
+            })
+        } else {
+            Ok(chosen)
+        }
+    }
+}
+
+/// A directory stored as a single Gifford-replicated file.
+///
+/// Every mutation deserializes the whole directory, edits it, and writes it
+/// back with one version bump — correct, but with whole-object write
+/// conflicts and O(directory) write amplification.
+#[derive(Debug)]
+pub struct GiffordFileDirectory {
+    suite: FileSuite,
+    /// Conflicts observed (a concurrency metric for the benchmarks).
+    pub conflicts: u64,
+    max_retries: u32,
+}
+
+impl GiffordFileDirectory {
+    /// Creates an empty directory over a fresh file suite.
+    pub fn new(config: SuiteConfig, seed: u64) -> Self {
+        GiffordFileDirectory {
+            suite: FileSuite::new(config, seed),
+            conflicts: 0,
+            max_retries: 64,
+        }
+    }
+
+    /// The underlying file suite (failure injection).
+    pub fn suite_mut(&mut self) -> &mut FileSuite {
+        &mut self.suite
+    }
+
+    fn mutate(
+        &mut self,
+        f: impl Fn(&mut BTreeMap<UserKey, Value>) -> Result<(), BaselineError>,
+    ) -> Result<(), BaselineError> {
+        for _ in 0..self.max_retries {
+            let (version, bytes) = self.suite.read()?;
+            let mut map = decode_map(&bytes);
+            f(&mut map)?;
+            match self.suite.write(version, encode_map(&map)) {
+                Ok(_) => return Ok(()),
+                Err(BaselineError::Conflict) => {
+                    self.conflicts += 1;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(BaselineError::Conflict)
+    }
+
+    fn user(key: &Key) -> Result<UserKey, BaselineError> {
+        key.as_user().cloned().ok_or(BaselineError::NotFound {
+            key: key.clone(),
+        })
+    }
+}
+
+impl DirectoryOps for GiffordFileDirectory {
+    fn lookup(&mut self, key: &Key) -> Result<Option<Value>, BaselineError> {
+        let user = Self::user(key)?;
+        let (_, bytes) = self.suite.read()?;
+        Ok(decode_map(&bytes).get(&user).cloned())
+    }
+
+    fn insert(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        let value = value.clone();
+        self.mutate(move |map| {
+            if map.contains_key(&user) {
+                return Err(BaselineError::AlreadyExists {
+                    key: Key::User(user.clone()),
+                });
+            }
+            map.insert(user.clone(), value.clone());
+            Ok(())
+        })
+    }
+
+    fn update(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        let value = value.clone();
+        self.mutate(move |map| match map.get_mut(&user) {
+            Some(slot) => {
+                *slot = value.clone();
+                Ok(())
+            }
+            None => Err(BaselineError::NotFound {
+                key: Key::User(user.clone()),
+            }),
+        })
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        self.mutate(move |map| {
+            if map.remove(&user).is_none() {
+                return Err(BaselineError::NotFound {
+                    key: Key::User(user.clone()),
+                });
+            }
+            Ok(())
+        })
+    }
+}
+
+fn encode_map(map: &BTreeMap<UserKey, Value>) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend((map.len() as u32).to_le_bytes());
+    for (k, v) in map {
+        out.extend((k.len() as u32).to_le_bytes());
+        out.extend(k.as_bytes());
+        out.extend((v.len() as u32).to_le_bytes());
+        out.extend(v.as_bytes());
+    }
+    out
+}
+
+fn decode_map(bytes: &[u8]) -> BTreeMap<UserKey, Value> {
+    let mut map = BTreeMap::new();
+    if bytes.len() < 4 {
+        return map;
+    }
+    let mut at = 4;
+    let n = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    for _ in 0..n {
+        let Some(klen) = read_len(bytes, at) else { break };
+        at += 4;
+        let Some(kbytes) = bytes.get(at..at + klen) else { break };
+        at += klen;
+        let Some(vlen) = read_len(bytes, at) else { break };
+        at += 4;
+        let Some(vbytes) = bytes.get(at..at + vlen) else { break };
+        at += vlen;
+        map.insert(UserKey::from(kbytes), Value::from(vbytes));
+    }
+    map
+}
+
+fn read_len(bytes: &[u8], at: usize) -> Option<usize> {
+    bytes
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+    fn cfg_322() -> SuiteConfig {
+        SuiteConfig::symmetric(3, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn file_suite_read_write_round_trip() {
+        let mut fs = FileSuite::new(cfg_322(), 1);
+        let (v0, data) = fs.read().unwrap();
+        assert_eq!(v0, Version::ZERO);
+        assert!(data.is_empty());
+        let v1 = fs.write(v0, b"hello".to_vec()).unwrap();
+        assert_eq!(v1, Version::new(1));
+        // Any read quorum intersects the write quorum.
+        for _ in 0..10 {
+            let (v, data) = fs.read().unwrap();
+            assert_eq!(v, v1);
+            assert_eq!(data, b"hello");
+        }
+    }
+
+    #[test]
+    fn stale_write_conflicts() {
+        let mut fs = FileSuite::new(cfg_322(), 2);
+        let (v0, _) = fs.read().unwrap();
+        fs.write(v0, b"first".to_vec()).unwrap();
+        // Writing against the stale base must fail.
+        assert_eq!(
+            fs.write(v0, b"second".to_vec()),
+            Err(BaselineError::Conflict)
+        );
+    }
+
+    #[test]
+    fn availability_thresholds() {
+        let mut fs = FileSuite::new(cfg_322(), 3);
+        fs.set_available(0, false);
+        // One down: 2 votes still reachable for R=W=2.
+        let (v, _) = fs.read().unwrap();
+        fs.write(v, b"x".to_vec()).unwrap();
+        fs.set_available(1, false);
+        assert_eq!(
+            fs.read(),
+            Err(BaselineError::Unavailable {
+                needed: 2,
+                gathered: 1
+            })
+        );
+    }
+
+    #[test]
+    fn directory_crud_over_file_suite() {
+        let mut dir = GiffordFileDirectory::new(cfg_322(), 4);
+        assert_eq!(dir.lookup(&k("a")).unwrap(), None);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        dir.insert(&k("b"), &val("B")).unwrap();
+        assert_eq!(dir.lookup(&k("a")).unwrap(), Some(val("A")));
+        assert_eq!(
+            dir.insert(&k("a"), &val("A2")),
+            Err(BaselineError::AlreadyExists { key: k("a") })
+        );
+        dir.update(&k("a"), &val("A2")).unwrap();
+        assert_eq!(dir.lookup(&k("a")).unwrap(), Some(val("A2")));
+        dir.delete(&k("a")).unwrap();
+        assert_eq!(dir.lookup(&k("a")).unwrap(), None);
+        assert_eq!(
+            dir.delete(&k("a")),
+            Err(BaselineError::NotFound { key: k("a") })
+        );
+        assert_eq!(dir.lookup(&k("b")).unwrap(), Some(val("B")));
+    }
+
+    #[test]
+    fn delete_then_lookup_is_unambiguous_here() {
+        // The file baseline does not suffer the §2 ambiguity — it pays with
+        // whole-object writes instead.
+        let mut dir = GiffordFileDirectory::new(cfg_322(), 5);
+        dir.insert(&k("b"), &val("B")).unwrap();
+        dir.delete(&k("b")).unwrap();
+        for _ in 0..10 {
+            assert_eq!(dir.lookup(&k("b")).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn sentinel_keys_rejected() {
+        let mut dir = GiffordFileDirectory::new(cfg_322(), 6);
+        assert!(dir.lookup(&Key::Low).is_err());
+        assert!(dir.insert(&Key::High, &val("x")).is_err());
+    }
+
+    #[test]
+    fn map_codec_round_trips() {
+        let mut map = BTreeMap::new();
+        map.insert(UserKey::from("k1"), Value::from("v1"));
+        map.insert(UserKey::from(""), Value::empty());
+        map.insert(UserKey::from("k3"), Value::from("vvv3"));
+        assert_eq!(decode_map(&encode_map(&map)), map);
+        assert!(decode_map(&[]).is_empty());
+        assert!(decode_map(&[1, 0]).is_empty());
+    }
+}

@@ -1,0 +1,293 @@
+//! The primary/secondary-copy strategy (§2): all updates go to the primary,
+//! which relays them to secondaries; inquiries may read stale secondaries.
+//!
+//! "Because responses to inquiries might not reflect recent updates, it is
+//! difficult for a primary/secondary copy replication strategy to duplicate
+//! the semantics of a non-replicated object" — the tests demonstrate that
+//! staleness, and the lost-update hazard on failover.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use repdir_core::rng::SplitMix64;
+use repdir_core::{Key, UserKey, Value};
+
+use crate::common::{BaselineError, DirectoryOps};
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Op {
+    Put(UserKey, Value),
+    Del(UserKey),
+}
+
+#[derive(Clone, Debug, Default)]
+struct Copy {
+    map: BTreeMap<UserKey, Value>,
+    available: bool,
+}
+
+/// A directory with one primary and `n - 1` secondaries, with asynchronous
+/// update propagation.
+///
+/// Updates apply at the primary and enqueue for each secondary;
+/// [`propagate`](PrimaryCopyDirectory::propagate) drains a bounded number
+/// of queued updates (modelling relay lag). Reads go to a random live copy
+/// and may be stale. [`fail_primary`](PrimaryCopyDirectory::fail_primary)
+/// promotes the next live secondary; updates still queued for it are lost —
+/// the classic primary-copy hazard that systems like LOCUS mitigate with a
+/// synchronization site (§2).
+#[derive(Debug)]
+pub struct PrimaryCopyDirectory {
+    copies: Vec<Copy>,
+    /// Per-secondary queue of not-yet-relayed operations.
+    lag: Vec<VecDeque<Op>>,
+    primary: usize,
+    rng: SplitMix64,
+}
+
+impl PrimaryCopyDirectory {
+    /// Creates a directory with copy 0 as primary.
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        PrimaryCopyDirectory {
+            copies: vec![
+                Copy {
+                    map: BTreeMap::new(),
+                    available: true,
+                };
+                n
+            ],
+            lag: vec![VecDeque::new(); n],
+            primary: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The current primary's index.
+    pub fn primary(&self) -> usize {
+        self.primary
+    }
+
+    /// Relays up to `budget` queued operations to each live secondary.
+    pub fn propagate(&mut self, budget: usize) {
+        for i in 0..self.copies.len() {
+            if i == self.primary || !self.copies[i].available {
+                continue;
+            }
+            for _ in 0..budget {
+                match self.lag[i].pop_front() {
+                    Some(Op::Put(k, v)) => {
+                        self.copies[i].map.insert(k, v);
+                    }
+                    Some(Op::Del(k)) => {
+                        self.copies[i].map.remove(&k);
+                    }
+                    None => break,
+                }
+            }
+        }
+    }
+
+    /// Relays everything (a quiescent point).
+    pub fn propagate_all(&mut self) {
+        self.propagate(usize::MAX);
+    }
+
+    /// Kills the primary and promotes the next live copy. Operations queued
+    /// for the new primary but never relayed are **lost** (returned for
+    /// inspection).
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Unavailable`] if no live copy remains.
+    pub fn fail_primary(&mut self) -> Result<Vec<usize>, BaselineError> {
+        self.copies[self.primary].available = false;
+        let n = self.copies.len();
+        let new_primary = (0..n)
+            .map(|d| (self.primary + 1 + d) % n)
+            .find(|&i| self.copies[i].available)
+            .ok_or(BaselineError::Unavailable {
+                needed: 1,
+                gathered: 0,
+            })?;
+        let lost = self.lag[new_primary].len();
+        self.lag[new_primary].clear();
+        self.primary = new_primary;
+        // Secondaries now follow the new primary; their queues of old
+        // primary ops are stale history but harmless to keep draining.
+        Ok(vec![lost])
+    }
+
+    /// Number of operations queued toward secondary `i` (staleness metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn lag_of(&self, i: usize) -> usize {
+        self.lag[i].len()
+    }
+
+    fn apply_at_primary(&mut self, op: Op) -> Result<(), BaselineError> {
+        if !self.copies[self.primary].available {
+            return Err(BaselineError::Unavailable {
+                needed: 1,
+                gathered: 0,
+            });
+        }
+        let primary = self.primary;
+        match &op {
+            Op::Put(k, v) => {
+                self.copies[primary].map.insert(k.clone(), v.clone());
+            }
+            Op::Del(k) => {
+                self.copies[primary].map.remove(k);
+            }
+        }
+        for (i, q) in self.lag.iter_mut().enumerate() {
+            if i != primary {
+                q.push_back(op.clone());
+            }
+        }
+        Ok(())
+    }
+
+    fn user(key: &Key) -> Result<UserKey, BaselineError> {
+        key.as_user().cloned().ok_or(BaselineError::NotFound {
+            key: key.clone(),
+        })
+    }
+}
+
+impl DirectoryOps for PrimaryCopyDirectory {
+    /// Reads from a random live copy — possibly a stale secondary.
+    fn lookup(&mut self, key: &Key) -> Result<Option<Value>, BaselineError> {
+        let user = Self::user(key)?;
+        let n = self.copies.len();
+        let start = self.rng.next_below(n as u64) as usize;
+        let i = (0..n)
+            .map(|d| (start + d) % n)
+            .find(|&i| self.copies[i].available)
+            .ok_or(BaselineError::Unavailable {
+                needed: 1,
+                gathered: 0,
+            })?;
+        Ok(self.copies[i].map.get(&user).cloned())
+    }
+
+    fn insert(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        if self.copies[self.primary].map.contains_key(&user) {
+            return Err(BaselineError::AlreadyExists { key: key.clone() });
+        }
+        self.apply_at_primary(Op::Put(user, value.clone()))
+    }
+
+    fn update(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        if !self.copies[self.primary].map.contains_key(&user) {
+            return Err(BaselineError::NotFound { key: key.clone() });
+        }
+        self.apply_at_primary(Op::Put(user, value.clone()))
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        if !self.copies[self.primary].map.contains_key(&user) {
+            return Err(BaselineError::NotFound { key: key.clone() });
+        }
+        self.apply_at_primary(Op::Del(user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn crud_with_full_propagation() {
+        let mut dir = PrimaryCopyDirectory::new(3, 1);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        dir.propagate_all();
+        for _ in 0..10 {
+            assert_eq!(dir.lookup(&k("a")).unwrap(), Some(val("A")));
+        }
+        dir.update(&k("a"), &val("A2")).unwrap();
+        dir.delete(&k("a")).unwrap();
+        dir.propagate_all();
+        assert_eq!(dir.lookup(&k("a")).unwrap(), None);
+    }
+
+    #[test]
+    fn secondary_reads_can_be_stale() {
+        let mut dir = PrimaryCopyDirectory::new(3, 2);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        // No propagation yet: some reads hit secondaries and miss "a".
+        let mut stale = 0;
+        let mut fresh = 0;
+        for _ in 0..100 {
+            match dir.lookup(&k("a")).unwrap() {
+                Some(_) => fresh += 1,
+                None => stale += 1,
+            }
+        }
+        assert!(stale > 0, "secondaries should serve stale reads");
+        assert!(fresh > 0, "the primary should serve fresh reads");
+        assert_eq!(dir.lag_of(1), 1);
+        assert_eq!(dir.lag_of(2), 1);
+        dir.propagate_all();
+        assert_eq!(dir.lag_of(1), 0);
+        for _ in 0..20 {
+            assert_eq!(dir.lookup(&k("a")).unwrap(), Some(val("A")));
+        }
+    }
+
+    #[test]
+    fn bounded_propagation_drains_incrementally() {
+        let mut dir = PrimaryCopyDirectory::new(2, 3);
+        for i in 0..5u32 {
+            dir.insert(&k(&format!("k{i}")), &val("v")).unwrap();
+        }
+        assert_eq!(dir.lag_of(1), 5);
+        dir.propagate(2);
+        assert_eq!(dir.lag_of(1), 3);
+        dir.propagate(2);
+        dir.propagate(2);
+        assert_eq!(dir.lag_of(1), 0);
+    }
+
+    #[test]
+    fn failover_loses_unpropagated_updates() {
+        let mut dir = PrimaryCopyDirectory::new(2, 4);
+        dir.insert(&k("kept"), &val("K")).unwrap();
+        dir.propagate_all();
+        dir.insert(&k("lost"), &val("L")).unwrap();
+        // Primary dies before relaying "lost".
+        dir.fail_primary().unwrap();
+        assert_eq!(dir.primary(), 1);
+        assert_eq!(dir.lookup(&k("kept")).unwrap(), Some(val("K")));
+        assert_eq!(
+            dir.lookup(&k("lost")).unwrap(),
+            None,
+            "unpropagated update vanished — the primary-copy hazard"
+        );
+        // The new primary accepts writes.
+        dir.insert(&k("new"), &val("N")).unwrap();
+        assert_eq!(dir.lookup(&k("new")).unwrap(), Some(val("N")));
+    }
+
+    #[test]
+    fn total_failure_reported() {
+        let mut dir = PrimaryCopyDirectory::new(1, 5);
+        assert!(dir.fail_primary().is_err());
+        assert!(matches!(
+            dir.lookup(&k("a")),
+            Err(BaselineError::Unavailable { .. })
+        ));
+    }
+}

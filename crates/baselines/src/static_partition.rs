@@ -1,0 +1,338 @@
+//! Static key-space partitioning with per-partition version voting (§2).
+//!
+//! "The simplest approach is to use a static partitioning; however, the
+//! additional concurrency that is achieved might be less than expected. If
+//! a small number of ranges were used, then at most that number of
+//! transactions could modify a directory concurrently … an uneven
+//! distribution of accesses could limit concurrency."
+//!
+//! Each partition behaves like a small Gifford-replicated file: one version
+//! number per partition per replica, writes rewrite the partition
+//! wholesale in a write quorum. Deletion works (the partition version
+//! covers absent keys), but concurrency is capped at the partition count
+//! and hot ranges serialize.
+
+use std::collections::BTreeMap;
+
+use repdir_core::rng::SplitMix64;
+use repdir_core::suite::SuiteConfig;
+use repdir_core::{Key, UserKey, Value, Version};
+
+use crate::common::{BaselineError, DirectoryOps};
+
+#[derive(Clone, Debug, Default)]
+struct PartitionCopy {
+    version: Version,
+    map: BTreeMap<UserKey, Value>,
+}
+
+/// A statically partitioned, quorum-replicated directory.
+#[derive(Debug)]
+pub struct StaticPartitionDirectory {
+    /// `state[replica][partition]`.
+    state: Vec<Vec<PartitionCopy>>,
+    available: Vec<bool>,
+    /// Sorted boundary keys; partition `i` holds keys in
+    /// `[boundaries[i-1], boundaries[i])`.
+    boundaries: Vec<UserKey>,
+    config: SuiteConfig,
+    rng: SplitMix64,
+    /// Write conflicts observed (optimistic version check lost).
+    pub conflicts: u64,
+}
+
+impl StaticPartitionDirectory {
+    /// Creates a directory with the given partition boundaries (sorted,
+    /// deduplicated automatically). `k` boundaries give `k + 1` partitions.
+    pub fn new(config: SuiteConfig, mut boundaries: Vec<UserKey>, seed: u64) -> Self {
+        boundaries.sort();
+        boundaries.dedup();
+        let partitions = boundaries.len() + 1;
+        let replicas = config.member_count();
+        StaticPartitionDirectory {
+            state: vec![vec![PartitionCopy::default(); partitions]; replicas],
+            available: vec![true; replicas],
+            boundaries,
+            config,
+            rng: SplitMix64::new(seed),
+            conflicts: 0,
+        }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.boundaries.len() + 1
+    }
+
+    /// The partition index a key falls into.
+    pub fn partition_of(&self, key: &UserKey) -> usize {
+        self.boundaries.partition_point(|b| b <= key)
+    }
+
+    /// Injects or heals a failure at replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_available(&mut self, i: usize, available: bool) {
+        self.available[i] = available;
+    }
+
+    fn collect(&mut self, needed: u32) -> Result<Vec<usize>, BaselineError> {
+        let mut order: Vec<usize> = (0..self.state.len()).collect();
+        self.rng.shuffle(&mut order);
+        let mut chosen = Vec::new();
+        let mut votes = 0;
+        for i in order {
+            if votes >= needed {
+                break;
+            }
+            if self.config.votes_of(i) == 0 || !self.available[i] {
+                continue;
+            }
+            votes += self.config.votes_of(i);
+            chosen.push(i);
+        }
+        if votes < needed {
+            Err(BaselineError::Unavailable {
+                needed,
+                gathered: votes,
+            })
+        } else {
+            Ok(chosen)
+        }
+    }
+
+    /// Reads a partition through a read quorum: newest copy wins. Public
+    /// so concurrency experiments can interleave the read and write phases
+    /// of a read-modify-write explicitly.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Unavailable`] if a read quorum cannot form.
+    pub fn read_partition(&mut self, p: usize) -> Result<(Version, BTreeMap<UserKey, Value>), BaselineError> {
+        let quorum = self.collect(self.config.read_quorum())?;
+        let best = quorum
+            .into_iter()
+            .max_by_key(|&i| self.state[i][p].version)
+            .expect("quorum non-empty");
+        Ok((self.state[best][p].version, self.state[best][p].map.clone()))
+    }
+
+    /// Rewrites a partition through a write quorum with an optimistic
+    /// version check.
+    ///
+    /// # Errors
+    ///
+    /// [`BaselineError::Conflict`] if the partition moved past `base`;
+    /// [`BaselineError::Unavailable`] if a write quorum cannot form.
+    pub fn write_partition(
+        &mut self,
+        p: usize,
+        base: Version,
+        map: BTreeMap<UserKey, Value>,
+    ) -> Result<(), BaselineError> {
+        let quorum = self.collect(self.config.write_quorum())?;
+        if quorum.iter().any(|&i| self.state[i][p].version > base) {
+            self.conflicts += 1;
+            return Err(BaselineError::Conflict);
+        }
+        let next = base.next();
+        for i in quorum {
+            self.state[i][p].version = next;
+            self.state[i][p].map = map.clone();
+        }
+        Ok(())
+    }
+
+    fn mutate(
+        &mut self,
+        key: &UserKey,
+        f: impl Fn(&mut BTreeMap<UserKey, Value>) -> Result<(), BaselineError>,
+    ) -> Result<(), BaselineError> {
+        let p = self.partition_of(key);
+        for _ in 0..64 {
+            let (version, mut map) = self.read_partition(p)?;
+            f(&mut map)?;
+            match self.write_partition(p, version, map) {
+                Ok(()) => return Ok(()),
+                Err(BaselineError::Conflict) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(BaselineError::Conflict)
+    }
+
+    fn user(key: &Key) -> Result<UserKey, BaselineError> {
+        key.as_user().cloned().ok_or(BaselineError::NotFound {
+            key: key.clone(),
+        })
+    }
+}
+
+impl DirectoryOps for StaticPartitionDirectory {
+    fn lookup(&mut self, key: &Key) -> Result<Option<Value>, BaselineError> {
+        let user = Self::user(key)?;
+        let p = self.partition_of(&user);
+        let (_, map) = self.read_partition(p)?;
+        Ok(map.get(&user).cloned())
+    }
+
+    fn insert(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        let value = value.clone();
+        let probe = user.clone();
+        self.mutate(&probe, move |map| {
+            if map.contains_key(&user) {
+                return Err(BaselineError::AlreadyExists {
+                    key: Key::User(user.clone()),
+                });
+            }
+            map.insert(user.clone(), value.clone());
+            Ok(())
+        })
+    }
+
+    fn update(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        let value = value.clone();
+        let probe = user.clone();
+        self.mutate(&probe, move |map| match map.get_mut(&user) {
+            Some(slot) => {
+                *slot = value.clone();
+                Ok(())
+            }
+            None => Err(BaselineError::NotFound {
+                key: Key::User(user.clone()),
+            }),
+        })
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        let probe = user.clone();
+        self.mutate(&probe, move |map| {
+            if map.remove(&user).is_none() {
+                return Err(BaselineError::NotFound {
+                    key: Key::User(user.clone()),
+                });
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn uk(s: &str) -> UserKey {
+        UserKey::from(s)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+    fn dir() -> StaticPartitionDirectory {
+        StaticPartitionDirectory::new(
+            SuiteConfig::symmetric(3, 2, 2).unwrap(),
+            vec![uk("h"), uk("p")],
+            9,
+        )
+    }
+
+    #[test]
+    fn partition_routing() {
+        let d = dir();
+        assert_eq!(d.partition_count(), 3);
+        assert_eq!(d.partition_of(&uk("a")), 0);
+        assert_eq!(d.partition_of(&uk("h")), 1); // boundary key goes right
+        assert_eq!(d.partition_of(&uk("m")), 1);
+        assert_eq!(d.partition_of(&uk("z")), 2);
+    }
+
+    #[test]
+    fn crud_across_partitions() {
+        let mut d = dir();
+        for key in ["a", "m", "z"] {
+            d.insert(&k(key), &val(key)).unwrap();
+        }
+        for key in ["a", "m", "z"] {
+            assert_eq!(d.lookup(&k(key)).unwrap(), Some(val(key)));
+        }
+        d.update(&k("m"), &val("M2")).unwrap();
+        assert_eq!(d.lookup(&k("m")).unwrap(), Some(val("M2")));
+        d.delete(&k("a")).unwrap();
+        assert_eq!(d.lookup(&k("a")).unwrap(), None);
+        // Deletion is unambiguous here: the partition version covers the
+        // absent key — the same trick as gap versions, at coarse grain.
+        for _ in 0..20 {
+            assert_eq!(d.lookup(&k("a")).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_missing_errors() {
+        let mut d = dir();
+        d.insert(&k("a"), &val("A")).unwrap();
+        assert_eq!(
+            d.insert(&k("a"), &val("A")),
+            Err(BaselineError::AlreadyExists { key: k("a") })
+        );
+        assert_eq!(
+            d.update(&k("nope"), &val("x")),
+            Err(BaselineError::NotFound { key: k("nope") })
+        );
+        assert_eq!(
+            d.delete(&k("nope")),
+            Err(BaselineError::NotFound { key: k("nope") })
+        );
+    }
+
+    #[test]
+    fn stale_write_base_conflicts() {
+        let mut d = dir();
+        d.insert(&k("a"), &val("A")).unwrap();
+        let p = d.partition_of(&uk("a"));
+        let (v, map) = d.read_partition(p).unwrap();
+        // A competing writer moves the partition first.
+        d.update(&k("a"), &val("A2")).unwrap();
+        assert_eq!(
+            d.write_partition(p, v, map),
+            Err(BaselineError::Conflict)
+        );
+        assert_eq!(d.conflicts, 1);
+    }
+
+    #[test]
+    fn survives_one_failure_in_322() {
+        let mut d = dir();
+        d.insert(&k("a"), &val("A")).unwrap();
+        d.set_available(0, false);
+        assert_eq!(d.lookup(&k("a")).unwrap(), Some(val("A")));
+        d.update(&k("a"), &val("A2")).unwrap();
+        d.set_available(1, false);
+        assert!(matches!(
+            d.lookup(&k("a")),
+            Err(BaselineError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn writes_to_same_partition_share_a_version_counter() {
+        // The concurrency limitation in miniature: distinct keys in one
+        // partition contend on one version; distinct partitions do not.
+        let mut d = dir();
+        d.insert(&k("a"), &val("1")).unwrap();
+        d.insert(&k("b"), &val("2")).unwrap(); // same partition as "a"
+        d.insert(&k("z"), &val("3")).unwrap(); // different partition
+        let p0 = d.partition_of(&uk("a"));
+        let pz = d.partition_of(&uk("z"));
+        let (v0, _) = d.read_partition(p0).unwrap();
+        let (vz, _) = d.read_partition(pz).unwrap();
+        assert_eq!(v0, Version::new(2), "two writes hit partition 0");
+        assert_eq!(vz, Version::new(1), "one write hit partition 2");
+    }
+}

@@ -1,0 +1,216 @@
+//! The unanimous-update strategy (§2): writes touch every replica, reads
+//! any one.
+//!
+//! "Unfortunately, the availability for updates of any object is poor when
+//! large numbers of replicas are used" — the availability benchmark
+//! quantifies exactly that against quorum configurations.
+
+use std::collections::BTreeMap;
+
+use repdir_core::rng::SplitMix64;
+use repdir_core::{Key, UserKey, Value};
+
+use crate::common::{BaselineError, DirectoryOps};
+
+#[derive(Clone, Debug, Default)]
+struct Replica {
+    map: BTreeMap<UserKey, Value>,
+    available: bool,
+}
+
+/// A directory replicated by unanimous update.
+///
+/// All replicas hold identical state, so a read may go to any live replica;
+/// every mutation must reach **all** replicas and fails if any is down
+/// (this implementation does not model SDD-1-style buffered redelivery;
+/// the paper cites it only as a mitigation attempt).
+#[derive(Debug)]
+pub struct UnanimousDirectory {
+    replicas: Vec<Replica>,
+    rng: SplitMix64,
+}
+
+impl UnanimousDirectory {
+    /// Creates `n` empty replicas.
+    pub fn new(n: usize, seed: u64) -> Self {
+        UnanimousDirectory {
+            replicas: vec![
+                Replica {
+                    map: BTreeMap::new(),
+                    available: true,
+                };
+                n
+            ],
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Injects or heals a failure at replica `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_available(&mut self, i: usize, available: bool) {
+        self.replicas[i].available = available;
+    }
+
+    /// Number of replicas currently up.
+    pub fn available_count(&self) -> u32 {
+        self.replicas.iter().filter(|r| r.available).count() as u32
+    }
+
+    fn any_reader(&mut self) -> Result<usize, BaselineError> {
+        let n = self.replicas.len();
+        let start = self.rng.next_below(n as u64) as usize;
+        (0..n)
+            .map(|d| (start + d) % n)
+            .find(|&i| self.replicas[i].available)
+            .ok_or(BaselineError::Unavailable {
+                needed: 1,
+                gathered: 0,
+            })
+    }
+
+    fn all_writers(&self) -> Result<(), BaselineError> {
+        let up = self.available_count();
+        let needed = self.replicas.len() as u32;
+        if up < needed {
+            Err(BaselineError::Unavailable {
+                needed,
+                gathered: up,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn user(key: &Key) -> Result<UserKey, BaselineError> {
+        key.as_user().cloned().ok_or(BaselineError::NotFound {
+            key: key.clone(),
+        })
+    }
+}
+
+impl DirectoryOps for UnanimousDirectory {
+    fn lookup(&mut self, key: &Key) -> Result<Option<Value>, BaselineError> {
+        let user = Self::user(key)?;
+        let i = self.any_reader()?;
+        Ok(self.replicas[i].map.get(&user).cloned())
+    }
+
+    fn insert(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        self.all_writers()?;
+        if self.replicas[0].map.contains_key(&user) {
+            return Err(BaselineError::AlreadyExists { key: key.clone() });
+        }
+        for r in &mut self.replicas {
+            r.map.insert(user.clone(), value.clone());
+        }
+        Ok(())
+    }
+
+    fn update(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        self.all_writers()?;
+        if !self.replicas[0].map.contains_key(&user) {
+            return Err(BaselineError::NotFound { key: key.clone() });
+        }
+        for r in &mut self.replicas {
+            r.map.insert(user.clone(), value.clone());
+        }
+        Ok(())
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<(), BaselineError> {
+        let user = Self::user(key)?;
+        self.all_writers()?;
+        if !self.replicas[0].map.contains_key(&user) {
+            return Err(BaselineError::NotFound { key: key.clone() });
+        }
+        for r in &mut self.replicas {
+            r.map.remove(&user);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn crud_with_all_up() {
+        let mut dir = UnanimousDirectory::new(3, 1);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        assert_eq!(dir.lookup(&k("a")).unwrap(), Some(val("A")));
+        dir.update(&k("a"), &val("A2")).unwrap();
+        dir.delete(&k("a")).unwrap();
+        assert_eq!(dir.lookup(&k("a")).unwrap(), None);
+        assert_eq!(
+            dir.update(&k("a"), &val("x")),
+            Err(BaselineError::NotFound { key: k("a") })
+        );
+    }
+
+    #[test]
+    fn one_failure_blocks_all_writes_but_not_reads() {
+        let mut dir = UnanimousDirectory::new(3, 2);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        dir.set_available(1, false);
+        assert_eq!(
+            dir.insert(&k("b"), &val("B")),
+            Err(BaselineError::Unavailable {
+                needed: 3,
+                gathered: 2
+            })
+        );
+        assert_eq!(
+            dir.delete(&k("a")),
+            Err(BaselineError::Unavailable {
+                needed: 3,
+                gathered: 2
+            })
+        );
+        // Reads survive until the last replica dies.
+        for _ in 0..10 {
+            assert_eq!(dir.lookup(&k("a")).unwrap(), Some(val("A")));
+        }
+        dir.set_available(0, false);
+        dir.set_available(2, false);
+        assert!(matches!(
+            dir.lookup(&k("a")),
+            Err(BaselineError::Unavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn replicas_stay_identical() {
+        let mut dir = UnanimousDirectory::new(4, 3);
+        for key in ["x", "y", "z"] {
+            dir.insert(&k(key), &val(key)).unwrap();
+        }
+        dir.delete(&k("y")).unwrap();
+        for i in 0..4 {
+            assert_eq!(dir.replicas[i].map.len(), 2);
+            assert!(dir.replicas[i].map.contains_key(&UserKey::from("x")));
+        }
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut dir = UnanimousDirectory::new(2, 4);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        assert_eq!(
+            dir.insert(&k("a"), &val("A")),
+            Err(BaselineError::AlreadyExists { key: k("a") })
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the representative state structures: the
+//! BTreeMap-backed `GapMap` against the paper-prescribed `GapBTree` (§5),
+//! at several sizes — the "no performance penalty except on Delete"
+//! abstract claim at the data-structure level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_core::{GapMap, Key, UserKey, Value, Version};
+use repdir_storage::GapBTree;
+
+fn key(i: u64) -> Key {
+    Key::User(UserKey::from_u64(i))
+}
+
+fn filled_map(n: u64) -> GapMap {
+    let mut m = GapMap::new();
+    for i in 0..n {
+        m.insert(&key(i * 10), Version::new(1), Value::from("v"))
+            .expect("insert");
+    }
+    m
+}
+
+fn filled_tree(n: u64, order: usize) -> GapBTree {
+    let mut t = GapBTree::new(order);
+    for i in 0..n {
+        t.insert(&key(i * 10), Version::new(1), Value::from("v"))
+            .expect("insert");
+    }
+    t
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_lookup");
+    for &n in &[100u64, 10_000] {
+        let m = filled_map(n);
+        let t = filled_tree(n, 16);
+        let probe_hit = key((n / 2) * 10);
+        let probe_gap = key((n / 2) * 10 + 5);
+        group.bench_function(BenchmarkId::new("gapmap_hit", n), |b| {
+            b.iter(|| m.lookup(std::hint::black_box(&probe_hit)))
+        });
+        group.bench_function(BenchmarkId::new("gapmap_gap", n), |b| {
+            b.iter(|| m.lookup(std::hint::black_box(&probe_gap)))
+        });
+        group.bench_function(BenchmarkId::new("gapbtree_hit", n), |b| {
+            b.iter(|| t.lookup(std::hint::black_box(&probe_hit)))
+        });
+        group.bench_function(BenchmarkId::new("gapbtree_gap", n), |b| {
+            b.iter(|| t.lookup(std::hint::black_box(&probe_gap)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_remove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_insert_coalesce");
+    for &n in &[100u64, 10_000] {
+        let mut m = filled_map(n);
+        let probe = key((n / 2) * 10 + 5);
+        let lo = key((n / 2) * 10);
+        let hi = key((n / 2) * 10 + 10);
+        group.bench_function(BenchmarkId::new("gapmap", n), |b| {
+            b.iter(|| {
+                m.insert(&probe, Version::new(2), Value::from("x"))
+                    .expect("insert");
+                m.coalesce(&lo, &hi, Version::new(3)).expect("coalesce");
+            })
+        });
+        let mut t = filled_tree(n, 16);
+        group.bench_function(BenchmarkId::new("gapbtree", n), |b| {
+            b.iter(|| {
+                t.insert(&probe, Version::new(2), Value::from("x"))
+                    .expect("insert");
+                t.coalesce(&lo, &hi, Version::new(3)).expect("coalesce");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("state_neighbors");
+    let n = 10_000u64;
+    let m = filled_map(n);
+    let t = filled_tree(n, 16);
+    let probe = key((n / 2) * 10 + 5);
+    group.bench_function("gapmap_pred_succ", |b| {
+        b.iter(|| {
+            m.predecessor(std::hint::black_box(&probe)).expect("pred");
+            m.successor(std::hint::black_box(&probe)).expect("succ");
+        })
+    });
+    group.bench_function("gapbtree_pred_succ", |b| {
+        b.iter(|| {
+            t.predecessor(std::hint::black_box(&probe)).expect("pred");
+            t.successor(std::hint::black_box(&probe)).expect("succ");
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lookup, bench_insert_remove, bench_neighbors
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the range-lock table: uncontended
+//! acquire/release, compatibility scanning with many holders, and
+//! multi-threaded disjoint acquisition.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_core::Key;
+use repdir_rangelock::{KeyRange, LockMode, RangeLockTable, TxnId};
+
+const TIMEOUT: Duration = Duration::from_secs(1);
+
+fn range(a: u64, b: u64) -> KeyRange {
+    KeyRange::new(
+        Key::User(repdir_core::UserKey::from_u64(a)),
+        Key::User(repdir_core::UserKey::from_u64(b)),
+    )
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let table = RangeLockTable::new();
+    c.bench_function("rangelock_acquire_release", |b| {
+        b.iter(|| {
+            table
+                .acquire(TxnId(1), LockMode::Modify, range(10, 20), TIMEOUT)
+                .expect("grant");
+            table.release_all(TxnId(1));
+        })
+    });
+}
+
+fn bench_scan_with_holders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rangelock_scan");
+    for &holders in &[10u64, 100, 1000] {
+        let table = RangeLockTable::new();
+        for i in 0..holders {
+            table
+                .acquire(
+                    TxnId(i + 10),
+                    LockMode::Lookup,
+                    range(i * 100, i * 100 + 50),
+                    TIMEOUT,
+                )
+                .expect("grant");
+        }
+        // The probe lands in a gap between holders' ranges.
+        group.bench_function(BenchmarkId::from_parameter(holders), |b| {
+            b.iter(|| {
+                table
+                    .acquire(TxnId(1), LockMode::Modify, range(55, 60), TIMEOUT)
+                    .expect("grant");
+                table.release_all(TxnId(1));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_threads_disjoint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rangelock_threads");
+    group.sample_size(10);
+    for &threads in &[2usize, 4, 8] {
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| {
+                let table = Arc::new(RangeLockTable::new());
+                let mut handles = Vec::new();
+                for t in 0..threads {
+                    let table = Arc::clone(&table);
+                    handles.push(std::thread::spawn(move || {
+                        let lo = (t as u64) * 1_000_000;
+                        for i in 0..200u64 {
+                            table
+                                .acquire(
+                                    TxnId(t as u64 + 1),
+                                    LockMode::Modify,
+                                    range(lo + i, lo + i + 1),
+                                    TIMEOUT,
+                                )
+                                .expect("grant");
+                            table.release_all(TxnId(t as u64 + 1));
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("worker");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_uncontended, bench_scan_with_holders, bench_threads_disjoint
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of the durability substrate: WAL append/sync cost
+//! per transaction, recovery replay speed, and checkpoint amortization.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_core::{Key, UserKey, Value, Version};
+use repdir_storage::{DurableState, SimDisk};
+use repdir_txn::TxnId;
+
+fn key(i: u64) -> Key {
+    Key::User(UserKey::from_u64(i))
+}
+
+fn bench_txn_commit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_commit");
+    for &ops_per_txn in &[1u64, 10] {
+        let disk = Arc::new(SimDisk::new());
+        let mut st = DurableState::new(disk);
+        let mut next = 0u64;
+        group.bench_function(BenchmarkId::new("insert_txn", ops_per_txn), |b| {
+            b.iter(|| {
+                let t = TxnId(next + 1);
+                st.begin(t);
+                for _ in 0..ops_per_txn {
+                    next += 1;
+                    st.insert(t, &key(next), Version::new(1), Value::from("v"))
+                        .expect("insert");
+                }
+                st.commit(t);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("storage_recovery");
+    group.sample_size(20);
+    for &committed in &[100u64, 5_000] {
+        let disk = Arc::new(SimDisk::new());
+        let mut st = DurableState::new(Arc::clone(&disk));
+        for i in 0..committed {
+            let t = TxnId(i + 1);
+            st.begin(t);
+            st.insert(t, &key(i), Version::new(1), Value::from("v"))
+                .expect("insert");
+            st.commit(t);
+        }
+        group.bench_function(BenchmarkId::new("replay", committed), |b| {
+            b.iter(|| DurableState::recover(Arc::clone(&disk)).expect("recover"))
+        });
+        // The same history with a checkpoint at the end replays instantly
+        // past the log body.
+        let mut st2 = DurableState::recover(Arc::clone(&disk)).expect("recover");
+        st2.checkpoint();
+        let disk2 = Arc::clone(st2.disk());
+        group.bench_function(BenchmarkId::new("replay_checkpointed", committed), |b| {
+            b.iter(|| DurableState::recover(Arc::clone(&disk2)).expect("recover"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_abort(c: &mut Criterion) {
+    let disk = Arc::new(SimDisk::new());
+    let mut st = DurableState::new(disk);
+    // Stable backdrop of entries so coalesce has boundaries.
+    let setup = TxnId(1);
+    st.begin(setup);
+    for i in 0..100 {
+        st.insert(setup, &key(i * 100), Version::new(1), Value::from("v"))
+            .expect("insert");
+    }
+    st.commit(setup);
+    let mut n = 1u64;
+    c.bench_function("storage_abort_rollback", |b| {
+        b.iter(|| {
+            n += 1;
+            let t = TxnId(n);
+            st.begin(t);
+            st.insert(t, &key(4_050), Version::new(2), Value::from("x"))
+                .expect("insert");
+            st.coalesce(t, &key(4_000), &key(4_100), Version::new(3))
+                .expect("coalesce");
+            st.abort(t);
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_txn_commit, bench_recovery, bench_abort
+}
+criterion_main!(benches);

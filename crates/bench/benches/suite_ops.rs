@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the suite operations across configurations —
+//! the per-operation cost behind Figures 14/15, including the delete path
+//! with its real-neighbor searches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_core::suite::{DirSuite, SuiteConfig};
+use repdir_core::{Key, LocalRep, UserKey, Value};
+
+fn filled_suite(n: u32, r: u32, w: u32, entries: u64, seed: u64) -> DirSuite<LocalRep> {
+    let mut suite =
+        DirSuite::in_process(SuiteConfig::symmetric(n, r, w).expect("legal"), seed).expect("suite");
+    for i in 0..entries {
+        suite
+            .insert(&Key::User(UserKey::from_u64(i * 1000)), &Value::from("v"))
+            .expect("fill");
+    }
+    suite
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_lookup");
+    for &(n, r, w) in &[(1u32, 1u32, 1u32), (3, 2, 2), (5, 3, 3)] {
+        let mut suite = filled_suite(n, r, w, 100, 1);
+        let key = Key::User(UserKey::from_u64(50 * 1000));
+        group.bench_function(BenchmarkId::from_parameter(format!("{n}-{r}-{w}")), |b| {
+            b.iter(|| suite.lookup(std::hint::black_box(&key)).expect("lookup"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_delete_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_insert_delete");
+    for &(n, r, w) in &[(1u32, 1u32, 1u32), (3, 2, 2), (5, 3, 3)] {
+        let mut suite = filled_suite(n, r, w, 100, 2);
+        let key = Key::User(UserKey::from_u64(12_345));
+        group.bench_function(BenchmarkId::from_parameter(format!("{n}-{r}-{w}")), |b| {
+            b.iter(|| {
+                suite.insert(&key, &Value::from("x")).expect("insert");
+                suite.delete(&key).expect("delete");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("suite_update");
+    for &(n, r, w) in &[(3u32, 2u32, 2u32), (5, 2, 4)] {
+        let mut suite = filled_suite(n, r, w, 100, 3);
+        let key = Key::User(UserKey::from_u64(50 * 1000));
+        group.bench_function(BenchmarkId::from_parameter(format!("{n}-{r}-{w}")), |b| {
+            b.iter(|| suite.update(&key, &Value::from("y")).expect("update"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_lookup, bench_insert_delete_cycle, bench_update
+}
+criterion_main!(benches);

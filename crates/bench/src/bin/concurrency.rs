@@ -1,0 +1,72 @@
+//! The concurrency comparison motivating the whole paper (§1/§2): per-range
+//! version numbers let transactions modify different entries concurrently,
+//! while a directory stored as one Gifford-replicated file serializes every
+//! modification behind a single version number.
+//!
+//! ```text
+//! cargo run --release -p repdir-bench --bin concurrency
+//! ```
+
+use repdir_workload::{gifford_interleaved_conflicts, repdir_throughput};
+
+fn main() {
+    println!("Part 1: single-version file baseline — interleaved read-modify-write");
+    println!("rounds; every client edits a DIFFERENT directory entry, yet they");
+    println!("conflict because the whole directory shares one version number.");
+    println!();
+    println!(
+        "{:<10} {:>10} {:>10} {:>14} {:>16}",
+        "clients", "attempts", "conflicts", "conflict rate", "expected (k-1)/k"
+    );
+    for clients in [1usize, 2, 4, 8, 16] {
+        let r = gifford_interleaved_conflicts(clients, 500, 0xC0);
+        println!(
+            "{:<10} {:>10} {:>10} {:>14.3} {:>16.3}",
+            clients,
+            r.attempts,
+            r.conflicts,
+            r.conflict_rate(),
+            (clients as f64 - 1.0) / clients as f64
+        );
+    }
+
+    println!();
+    println!("Part 2: the gap-versioned transactional stack (3-2-2, strict 2PL");
+    println!("range locks, WAL) under real threads.");
+    println!();
+    println!(
+        "{:<26} {:>8} {:>12} {:>12} {:>10} {:>10}",
+        "workload", "threads", "ops", "ops/sec", "lockwaits", "deadlocks"
+    );
+    for &threads in &[1usize, 2, 4, 8] {
+        let r = repdir_throughput(threads, 300, true, 0xC1);
+        println!(
+            "{:<26} {:>8} {:>12} {:>12.0} {:>10} {:>10}",
+            "disjoint key ranges",
+            threads,
+            r.ops,
+            r.ops_per_sec(),
+            r.lock_waits,
+            r.deadlocks
+        );
+    }
+    for &threads in &[1usize, 2, 4, 8] {
+        let r = repdir_throughput(threads, 300, false, 0xC2);
+        println!(
+            "{:<26} {:>8} {:>12} {:>12.0} {:>10} {:>10}",
+            "one hot key (worst case)",
+            threads,
+            r.ops,
+            r.ops_per_sec(),
+            r.lock_waits,
+            r.deadlocks
+        );
+    }
+
+    println!();
+    println!("Expected shape: disjoint-range writers show ~zero lock waits and");
+    println!("throughput that does not degrade with thread count (the paper's");
+    println!("concurrency win); hot-key writers queue on the range lock — which");
+    println!("is the behaviour a single whole-directory version would impose on");
+    println!("EVERY key, not just the hot one.");
+}

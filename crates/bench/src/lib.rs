@@ -1,0 +1,9 @@
+//! # repdir-bench
+//!
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation; see the `fig14`, `fig15`, `fig16`, `availability`,
+//! `concurrency`, and `ablation_quorum` binaries and the Criterion benches
+//! (`suite_ops`, `gapmap`, `rangelock`, `storage`). `EXPERIMENTS.md` at the
+//! workspace root records paper-vs-measured results.
+
+pub use repdir_workload as workload;

@@ -1,0 +1,309 @@
+//! Directory keys, including the distinguished `LOW` and `HIGH` sentinels.
+//!
+//! The paper (§3.1) requires every directory representative to contain two
+//! distinguished keys, `LOW` and `HIGH`, such that `LOW` is less than any
+//! insertable key and `HIGH` is greater than any insertable key. They ensure
+//! every key has a *real predecessor* and *real successor*, which simplifies
+//! [`DirSuiteDelete`](crate::suite::DirSuite::delete).
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An application-supplied directory key: an arbitrary byte string ordered
+/// lexicographically.
+///
+/// `UserKey` is cheap to clone (the bytes are reference-counted) because the
+/// suite algorithm passes keys between quorum members frequently.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::UserKey;
+///
+/// let a = UserKey::from("alpha");
+/// let b = UserKey::from("beta");
+/// assert!(a < b);
+/// assert_eq!(a.as_bytes(), b"alpha");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct UserKey(Arc<[u8]>);
+
+impl UserKey {
+    /// Creates a key from raw bytes.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        UserKey(bytes.into())
+    }
+
+    /// Creates a key whose lexicographic order matches the numeric order of
+    /// `n` (big-endian, fixed width). Useful for uniformly distributed
+    /// simulation keys.
+    ///
+    /// ```
+    /// use repdir_core::UserKey;
+    /// assert!(UserKey::from_u64(3) < UserKey::from_u64(200));
+    /// ```
+    pub fn from_u64(n: u64) -> Self {
+        UserKey(Arc::from(n.to_be_bytes().as_slice()))
+    }
+
+    /// Returns the raw bytes of the key.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the key in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key is empty (the empty byte string is a valid key).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for UserKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control()) => write!(f, "k{s:?}"),
+            _ => {
+                write!(f, "k0x")?;
+                for b in self.0.iter() {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for UserKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control()) => f.write_str(s),
+            _ => {
+                for b in self.0.iter() {
+                    write!(f, "{b:02x}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl From<&str> for UserKey {
+    fn from(s: &str) -> Self {
+        UserKey(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<String> for UserKey {
+    fn from(s: String) -> Self {
+        UserKey(Arc::from(s.into_bytes().into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for UserKey {
+    fn from(b: &[u8]) -> Self {
+        UserKey(Arc::from(b))
+    }
+}
+
+impl From<Vec<u8>> for UserKey {
+    fn from(b: Vec<u8>) -> Self {
+        UserKey(Arc::from(b.into_boxed_slice()))
+    }
+}
+
+impl AsRef<[u8]> for UserKey {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Borrow<[u8]> for UserKey {
+    fn borrow(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// A directory key extended with the `LOW` and `HIGH` sentinels.
+///
+/// The total order is `Key::Low < Key::User(_) < Key::High`, with user keys
+/// ordered lexicographically on their bytes.
+///
+/// Sentinels are *conceptually present* in every representative with version
+/// [`Version::ZERO`](crate::Version::ZERO): looking one up reports "present"
+/// so that the real-predecessor/real-successor search of the paper's Fig. 12
+/// terminates at the edge of the key space.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::Key;
+///
+/// let k = Key::from("m");
+/// assert!(Key::Low < k);
+/// assert!(k < Key::High);
+/// assert!(k.is_user());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Key {
+    /// The distinguished key smaller than every user key.
+    #[default]
+    Low,
+    /// An ordinary application key.
+    User(UserKey),
+    /// The distinguished key larger than every user key.
+    High,
+}
+
+impl Key {
+    /// Returns `true` for [`Key::Low`] and [`Key::High`].
+    pub fn is_sentinel(&self) -> bool {
+        matches!(self, Key::Low | Key::High)
+    }
+
+    /// Returns `true` for ordinary (non-sentinel) keys.
+    pub fn is_user(&self) -> bool {
+        matches!(self, Key::User(_))
+    }
+
+    /// Returns the inner user key, or `None` for a sentinel.
+    pub fn as_user(&self) -> Option<&UserKey> {
+        match self {
+            Key::User(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// Consumes the key and returns the inner user key, or `None` for a
+    /// sentinel.
+    pub fn into_user(self) -> Option<UserKey> {
+        match self {
+            Key::User(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Low => f.write_str("LOW"),
+            Key::User(u) => write!(f, "{u:?}"),
+            Key::High => f.write_str("HIGH"),
+        }
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Key::Low => f.write_str("LOW"),
+            Key::User(u) => write!(f, "{u}"),
+            Key::High => f.write_str("HIGH"),
+        }
+    }
+}
+
+impl From<UserKey> for Key {
+    fn from(u: UserKey) -> Self {
+        Key::User(u)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Key::User(UserKey::from(s))
+    }
+}
+
+impl From<u64> for Key {
+    fn from(n: u64) -> Self {
+        Key::User(UserKey::from_u64(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn user_key_orders_lexicographically() {
+        let a = UserKey::from("a");
+        let ab = UserKey::from("ab");
+        let b = UserKey::from("b");
+        assert!(a < ab);
+        assert!(ab < b);
+        assert_eq!(a, UserKey::from("a"));
+    }
+
+    #[test]
+    fn from_u64_preserves_numeric_order() {
+        let mut prev = UserKey::from_u64(0);
+        for n in [1u64, 2, 9, 255, 256, 1 << 20, u64::MAX] {
+            let k = UserKey::from_u64(n);
+            assert!(prev < k, "{prev:?} !< {k:?}");
+            prev = k;
+        }
+    }
+
+    #[test]
+    fn sentinels_bracket_all_user_keys() {
+        for s in ["", "a", "zzzz", "\u{10FFFF}"] {
+            let k = Key::from(s);
+            assert!(Key::Low < k, "LOW !< {k:?}");
+            assert!(k < Key::High, "{k:?} !< HIGH");
+        }
+        assert!(Key::Low < Key::High);
+    }
+
+    #[test]
+    fn sentinel_predicates() {
+        assert!(Key::Low.is_sentinel());
+        assert!(Key::High.is_sentinel());
+        assert!(!Key::from("x").is_sentinel());
+        assert!(Key::from("x").is_user());
+        assert_eq!(Key::from("x").as_user(), Some(&UserKey::from("x")));
+        assert_eq!(Key::Low.as_user(), None);
+        assert_eq!(Key::from("x").into_user(), Some(UserKey::from("x")));
+        assert_eq!(Key::High.into_user(), None);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty_and_distinct() {
+        let low = format!("{:?}", Key::Low);
+        let high = format!("{:?}", Key::High);
+        let user = format!("{:?}", Key::from("q"));
+        assert_eq!(low, "LOW");
+        assert_eq!(high, "HIGH");
+        assert!(user.contains('q'));
+        let bin = format!("{:?}", Key::User(UserKey::new(vec![0u8, 1, 255])));
+        assert!(bin.contains("0x"), "{bin}");
+    }
+
+    #[test]
+    fn empty_user_key_is_still_above_low() {
+        let empty = Key::from("");
+        assert!(Key::Low < empty);
+        assert!(empty < Key::from("\0"));
+        assert!(UserKey::from("").is_empty());
+        assert_eq!(UserKey::from("ab").len(), 2);
+    }
+
+    #[test]
+    fn display_round_trip_for_text_keys() {
+        assert_eq!(Key::from("hello").to_string(), "hello");
+        assert_eq!(Key::Low.to_string(), "LOW");
+        assert_eq!(Key::High.to_string(), "HIGH");
+        assert_eq!(UserKey::new(vec![0xff, 0xfe]).to_string(), "fffe");
+    }
+
+    #[test]
+    fn default_key_is_low_and_default_user_key_is_empty() {
+        assert_eq!(Key::default(), Key::Low);
+        assert_eq!(UserKey::default(), UserKey::from(""));
+    }
+}

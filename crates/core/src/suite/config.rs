@@ -1,0 +1,239 @@
+//! Suite configuration: vote assignment and quorum sizes.
+//!
+//! A directory suite is "a set of directory representatives, a distribution
+//! of votes, and the read and write quorum sizes R and W" (§3.2). The paper
+//! writes configurations as `x-y-z`: `x` representatives (one vote each in
+//! all of the paper's examples), read quorum `y`, write quorum `z`.
+
+use std::fmt;
+
+use crate::error::ConfigError;
+
+/// Vote distribution and quorum thresholds for a directory suite.
+///
+/// Construction enforces Gifford's intersection rules:
+///
+/// * `R + W > total votes` — every read quorum intersects every write
+///   quorum, so a read always sees at least one current copy (§2);
+/// * `2W > total votes` — any two write quorums intersect, so version
+///   numbers form a single lineage.
+///
+/// Representatives may hold **zero votes**: these are Gifford-style "weak
+/// representatives" usable as hints (§2 — "representatives with zero votes
+/// may be used as hints"); they can absorb writes and serve reads but never
+/// contribute to a quorum count.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::suite::SuiteConfig;
+///
+/// // The paper's 3-2-2 example suite.
+/// let cfg = SuiteConfig::symmetric(3, 2, 2)?;
+/// assert_eq!(cfg.total_votes(), 3);
+/// assert_eq!(cfg.describe(), "3-2-2");
+/// # Ok::<(), repdir_core::ConfigError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuiteConfig {
+    votes: Vec<u32>,
+    read_quorum: u32,
+    write_quorum: u32,
+}
+
+impl SuiteConfig {
+    /// Creates a configuration with an explicit vote for each
+    /// representative.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the quorum sizes violate the
+    /// intersection rules, exceed the total votes, are zero, or no votes are
+    /// assigned at all.
+    pub fn new(votes: Vec<u32>, read_quorum: u32, write_quorum: u32) -> Result<Self, ConfigError> {
+        let total: u32 = votes.iter().sum();
+        if total == 0 {
+            return Err(ConfigError::NoVotes);
+        }
+        if read_quorum == 0 || write_quorum == 0 {
+            return Err(ConfigError::ZeroQuorum);
+        }
+        if read_quorum + write_quorum <= total {
+            return Err(ConfigError::ReadWriteTooSmall {
+                read: read_quorum,
+                write: write_quorum,
+                total,
+            });
+        }
+        if 2 * write_quorum <= total {
+            return Err(ConfigError::WriteWriteTooSmall {
+                write: write_quorum,
+                total,
+            });
+        }
+        Ok(SuiteConfig {
+            votes,
+            read_quorum,
+            write_quorum,
+        })
+    }
+
+    /// Creates the paper's `x-y-z` style configuration: `n` representatives
+    /// with one vote each, read quorum `r`, write quorum `w`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SuiteConfig::new`].
+    pub fn symmetric(n: u32, r: u32, w: u32) -> Result<Self, ConfigError> {
+        SuiteConfig::new(vec![1; n as usize], r, w)
+    }
+
+    /// Number of representatives (including zero-vote weak ones).
+    pub fn member_count(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// The vote weight of representative `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn votes_of(&self, i: usize) -> u32 {
+        self.votes[i]
+    }
+
+    /// All vote weights in representative order.
+    pub fn votes(&self) -> &[u32] {
+        &self.votes
+    }
+
+    /// Sum of all votes.
+    pub fn total_votes(&self) -> u32 {
+        self.votes.iter().sum()
+    }
+
+    /// Votes required for a read quorum (`R`).
+    pub fn read_quorum(&self) -> u32 {
+        self.read_quorum
+    }
+
+    /// Votes required for a write quorum (`W`).
+    pub fn write_quorum(&self) -> u32 {
+        self.write_quorum
+    }
+
+    /// Renders the paper's `x-y-z` notation for symmetric configurations,
+    /// or `votes=[..] R=..,W=..` otherwise.
+    pub fn describe(&self) -> String {
+        if self.votes.iter().all(|&v| v == 1) {
+            format!(
+                "{}-{}-{}",
+                self.votes.len(),
+                self.read_quorum,
+                self.write_quorum
+            )
+        } else {
+            format!(
+                "votes={:?} R={} W={}",
+                self.votes, self.read_quorum, self.write_quorum
+            )
+        }
+    }
+}
+
+impl fmt::Display for SuiteConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_are_legal() {
+        for (n, r, w) in [
+            (1u32, 1u32, 1u32),
+            (2, 1, 2),
+            (3, 2, 2),
+            (3, 1, 3),
+            (4, 2, 3),
+            (4, 1, 4),
+            (5, 3, 3),
+            (5, 2, 4),
+            (5, 1, 5),
+            (7, 4, 4),
+        ] {
+            let cfg = SuiteConfig::symmetric(n, r, w)
+                .unwrap_or_else(|e| panic!("{n}-{r}-{w} should be legal: {e}"));
+            assert_eq!(cfg.describe(), format!("{n}-{r}-{w}"));
+        }
+    }
+
+    #[test]
+    fn read_write_intersection_enforced() {
+        // 3 reps, R=1, W=2: R+W = 3 <= 3 votes — reads may miss writes.
+        assert_eq!(
+            SuiteConfig::symmetric(3, 1, 2),
+            Err(ConfigError::ReadWriteTooSmall {
+                read: 1,
+                write: 2,
+                total: 3
+            })
+        );
+    }
+
+    #[test]
+    fn write_write_intersection_enforced() {
+        // 4 reps, R=3, W=2: R+W = 5 > 4 but 2W = 4 <= 4 — two disjoint
+        // write quorums could exist.
+        assert_eq!(
+            SuiteConfig::symmetric(4, 3, 2),
+            Err(ConfigError::WriteWriteTooSmall { write: 2, total: 4 })
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        assert_eq!(SuiteConfig::new(vec![], 1, 1), Err(ConfigError::NoVotes));
+        assert_eq!(
+            SuiteConfig::new(vec![0, 0], 1, 1),
+            Err(ConfigError::NoVotes)
+        );
+        assert_eq!(
+            SuiteConfig::new(vec![1], 0, 1),
+            Err(ConfigError::ZeroQuorum)
+        );
+        assert_eq!(
+            SuiteConfig::new(vec![1], 1, 0),
+            Err(ConfigError::ZeroQuorum)
+        );
+    }
+
+    #[test]
+    fn weighted_votes_and_weak_representatives() {
+        // 2 strong reps with 2 votes, 1 weak rep with 0 votes: total 4,
+        // R=2, W=3.
+        let cfg = SuiteConfig::new(vec![2, 2, 0], 2, 3).unwrap();
+        assert_eq!(cfg.total_votes(), 4);
+        assert_eq!(cfg.member_count(), 3);
+        assert_eq!(cfg.votes_of(2), 0);
+        assert!(cfg.describe().contains("votes"));
+        assert_eq!(cfg.votes(), &[2, 2, 0]);
+    }
+
+    #[test]
+    fn unanimous_update_is_a_special_case() {
+        // §2: "A unanimous update strategy may be specified if desired."
+        let cfg = SuiteConfig::symmetric(5, 1, 5).unwrap();
+        assert_eq!(cfg.read_quorum(), 1);
+        assert_eq!(cfg.write_quorum(), cfg.total_votes());
+    }
+
+    #[test]
+    fn display_matches_describe() {
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        assert_eq!(cfg.to_string(), cfg.describe());
+    }
+}

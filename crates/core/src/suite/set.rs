@@ -1,0 +1,161 @@
+//! Replicated sets: the paper's §1 remark made concrete — "Trivial
+//! modifications of this algorithm may be used to implement sets or similar
+//! abstractions."
+//!
+//! A set is a directory whose values carry no information; membership is
+//! the whole story. [`DirSet`] wraps a [`DirSuite`] with set vocabulary and
+//! idempotent add/remove (a set's `add` of an existing element is a no-op,
+//! unlike the directory's erroring `insert`).
+
+use crate::error::SuiteError;
+use crate::key::{Key, UserKey};
+use crate::rep::RepClient;
+use crate::suite::DirSuite;
+use crate::value::Value;
+
+/// A replicated set of keys over a directory suite.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::suite::{DirSet, DirSuite, SuiteConfig};
+/// use repdir_core::Key;
+///
+/// let suite = DirSuite::in_process(SuiteConfig::symmetric(3, 2, 2)?, 9)?;
+/// let mut set = DirSet::new(suite);
+/// assert!(set.add(&Key::from("apple"))?);
+/// assert!(!set.add(&Key::from("apple"))?, "second add is a no-op");
+/// assert!(set.contains(&Key::from("apple"))?);
+/// assert!(set.remove(&Key::from("apple"))?);
+/// assert!(!set.remove(&Key::from("apple"))?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct DirSet<C: RepClient> {
+    suite: DirSuite<C>,
+}
+
+impl<C: RepClient> DirSet<C> {
+    /// Wraps a directory suite as a set.
+    pub fn new(suite: DirSuite<C>) -> Self {
+        DirSet { suite }
+    }
+
+    /// The underlying suite (policy changes, failure injection, …).
+    pub fn suite_mut(&mut self) -> &mut DirSuite<C> {
+        &mut self.suite
+    }
+
+    /// Unwraps back into the directory suite.
+    pub fn into_suite(self) -> DirSuite<C> {
+        self.suite
+    }
+
+    /// Whether `key` is a member.
+    ///
+    /// # Errors
+    ///
+    /// Quorum/representative failures as for
+    /// [`DirSuite::lookup`].
+    pub fn contains(&mut self, key: &Key) -> Result<bool, SuiteError> {
+        Ok(self.suite.lookup(key)?.present)
+    }
+
+    /// Adds `key`; returns `true` if it was newly added, `false` if already
+    /// a member.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::insert`], minus `AlreadyExists` (absorbed into the
+    /// `false` return).
+    pub fn add(&mut self, key: &Key) -> Result<bool, SuiteError> {
+        match self.suite.insert(key, &Value::empty()) {
+            Ok(_) => Ok(true),
+            Err(SuiteError::AlreadyExists { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Removes `key`; returns `true` if it was a member.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::delete`], minus `NotFound` (absorbed into the `false`
+    /// return).
+    pub fn remove(&mut self, key: &Key) -> Result<bool, SuiteError> {
+        match self.suite.delete(key) {
+            Ok(_) => Ok(true),
+            Err(SuiteError::NotFound { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// All members in key order (a full scan via real-successor walks).
+    ///
+    /// # Errors
+    ///
+    /// Quorum/representative failures.
+    pub fn members(&mut self) -> Result<Vec<UserKey>, SuiteError> {
+        self.suite
+            .scan()
+            .map(|entries| entries.into_iter().map(|(k, _)| k).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rep::LocalRep;
+    use crate::suite::{RandomPolicy, SuiteConfig};
+    use crate::RepId;
+
+    fn set_322(seed: u64) -> DirSet<LocalRep> {
+        let clients: Vec<LocalRep> = (0..3).map(|i| LocalRep::new(RepId(i))).collect();
+        let suite = DirSuite::new(
+            clients,
+            SuiteConfig::symmetric(3, 2, 2).unwrap(),
+            Box::new(RandomPolicy::new(seed)),
+        )
+        .unwrap();
+        DirSet::new(suite)
+    }
+
+    #[test]
+    fn set_semantics_are_idempotent() {
+        let mut s = set_322(1);
+        assert!(!s.contains(&Key::from("x")).unwrap());
+        assert!(s.add(&Key::from("x")).unwrap());
+        assert!(!s.add(&Key::from("x")).unwrap());
+        assert!(s.contains(&Key::from("x")).unwrap());
+        assert!(s.remove(&Key::from("x")).unwrap());
+        assert!(!s.remove(&Key::from("x")).unwrap());
+        assert!(!s.contains(&Key::from("x")).unwrap());
+    }
+
+    #[test]
+    fn members_scan_in_order() {
+        let mut s = set_322(2);
+        for name in ["pear", "apple", "quince", "fig"] {
+            s.add(&Key::from(name)).unwrap();
+        }
+        s.remove(&Key::from("pear")).unwrap();
+        let members: Vec<String> = s
+            .members()
+            .unwrap()
+            .into_iter()
+            .map(|k| k.to_string())
+            .collect();
+        assert_eq!(members, vec!["apple", "fig", "quince"]);
+    }
+
+    #[test]
+    fn survives_failure_like_the_directory() {
+        let mut s = set_322(3);
+        s.add(&Key::from("a")).unwrap();
+        s.suite_mut().member(0).set_available(false);
+        assert!(s.contains(&Key::from("a")).unwrap());
+        assert!(s.add(&Key::from("b")).unwrap());
+        let suite = s.into_suite();
+        assert_eq!(suite.config().describe(), "3-2-2");
+    }
+}

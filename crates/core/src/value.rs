@@ -1,0 +1,117 @@
+//! Directory entry values.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// The value half of a directory `(key, value)` entry: an opaque byte string.
+///
+/// Values are cheap to clone (reference-counted) because the suite's delete
+/// operation copies real-predecessor/real-successor values into quorum
+/// members that lack them (paper Fig. 13).
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::Value;
+///
+/// let v = Value::from("inode-17");
+/// assert_eq!(v.as_bytes(), b"inode-17");
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Value(Arc<[u8]>);
+
+impl Value {
+    /// Creates a value from raw bytes.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Self {
+        Value(bytes.into())
+    }
+
+    /// An empty value.
+    pub fn empty() -> Self {
+        Value::default()
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the value is the empty byte string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control()) => write!(f, "val{s:?}"),
+            _ => write!(f, "val<{} bytes>", self.0.len()),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value(Arc::from(s.as_bytes()))
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value(Arc::from(s.into_bytes().into_boxed_slice()))
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(b: &[u8]) -> Self {
+        Value(Arc::from(b))
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value(Arc::from(b.into_boxed_slice()))
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let v = Value::from("abc");
+        assert_eq!(v.as_bytes(), b"abc");
+        assert_eq!(v.len(), 3);
+        assert!(!v.is_empty());
+        assert!(Value::empty().is_empty());
+    }
+
+    #[test]
+    fn equality_and_clone_share_bytes() {
+        let v = Value::from(vec![1u8, 2, 3]);
+        let w = v.clone();
+        assert_eq!(v, w);
+        assert_eq!(w.as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", Value::from("x")), "val\"x\"");
+        let bin = format!("{:?}", Value::from(vec![0u8, 159]));
+        assert!(bin.contains("bytes"), "{bin}");
+        assert!(!format!("{:?}", Value::empty()).is_empty());
+    }
+}

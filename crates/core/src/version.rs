@@ -1,0 +1,128 @@
+//! Version numbers.
+//!
+//! Every key — whether it has an entry or lies in a gap — is associated with
+//! a version number on each representative. The paper notes (§5) that "for
+//! some applications, version numbers containing 48 or more bits may be
+//! required to prevent version numbers from cycling"; we use 64 bits and
+//! treat overflow as a programming error.
+
+use std::fmt;
+
+/// A monotonically increasing version number associated with a key range.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::Version;
+///
+/// let v = Version::ZERO;
+/// assert_eq!(v.next(), Version::new(1));
+/// assert!(v < v.next());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(u64);
+
+impl Version {
+    /// The lowest version number (`LowestVersion` in the paper's pseudocode).
+    /// Freshly created directories assign it to the initial `(LOW, HIGH)` gap,
+    /// and the sentinels themselves always report it.
+    pub const ZERO: Version = Version(0);
+
+    /// The largest representable version number.
+    pub const MAX: Version = Version(u64::MAX);
+
+    /// Creates a version from a raw counter value.
+    pub const fn new(v: u64) -> Self {
+        Version(v)
+    }
+
+    /// Returns the raw counter value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the successor version.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow; with 64-bit counters this is unreachable in
+    /// practice (the paper's 48-bit recommendation exists for the same
+    /// reason).
+    #[must_use]
+    pub fn next(self) -> Self {
+        Version(self.0.checked_add(1).expect("version counter overflow"))
+    }
+
+    /// Returns the larger of `self` and `other`.
+    #[must_use]
+    pub fn max(self, other: Version) -> Version {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Debug for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Version {
+    fn from(v: u64) -> Self {
+        Version(v)
+    }
+}
+
+impl From<Version> for u64 {
+    fn from(v: Version) -> Self {
+        v.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_lowest() {
+        assert_eq!(Version::ZERO, Version::new(0));
+        assert!(Version::ZERO < Version::new(1));
+        assert_eq!(Version::default(), Version::ZERO);
+    }
+
+    #[test]
+    fn next_increments() {
+        assert_eq!(Version::new(41).next(), Version::new(42));
+        assert_eq!(Version::ZERO.next().next().get(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn next_panics_on_overflow() {
+        let _ = Version::MAX.next();
+    }
+
+    #[test]
+    fn max_picks_larger() {
+        assert_eq!(Version::new(3).max(Version::new(7)), Version::new(7));
+        assert_eq!(Version::new(9).max(Version::new(7)), Version::new(9));
+        assert_eq!(Version::new(5).max(Version::new(5)), Version::new(5));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = Version::from(123u64);
+        assert_eq!(u64::from(v), 123);
+        assert_eq!(format!("{v:?}"), "v123");
+        assert_eq!(v.to_string(), "123");
+    }
+}

@@ -1,0 +1,563 @@
+//! The message fabric: registration, delivery, and fault injection.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Identifies one node on the simulated network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The kind of a delivered message (RPC correlation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A request expecting a response with the same correlation id.
+    Request(u64),
+    /// A response to the request with this correlation id.
+    Response(u64),
+}
+
+/// One delivered message.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    /// Sender.
+    pub src: NodeId,
+    /// Recipient.
+    pub dst: NodeId,
+    /// Request/response discriminator and correlation id.
+    pub kind: MsgKind,
+    /// Opaque payload bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Message latency: uniform in `[base, base + jitter]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Minimum one-way delay.
+    pub base: Duration,
+    /// Additional uniformly distributed delay.
+    pub jitter: Duration,
+}
+
+impl LatencyModel {
+    /// Zero delay: messages deliver synchronously.
+    pub const ZERO: LatencyModel = LatencyModel {
+        base: Duration::ZERO,
+        jitter: Duration::ZERO,
+    };
+
+    /// A fixed delay with no jitter.
+    pub fn fixed(base: Duration) -> Self {
+        LatencyModel {
+            base,
+            jitter: Duration::ZERO,
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.base.is_zero() && self.jitter.is_zero()
+    }
+}
+
+/// Fault-injection configuration, applied to every message.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Probability a message is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a message is delivered twice.
+    pub duplicate_prob: f64,
+    /// Delivery latency.
+    pub latency: LatencyModel,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_prob: 0.0,
+            duplicate_prob: 0.0,
+            latency: LatencyModel::ZERO,
+        }
+    }
+}
+
+/// Cumulative delivery counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages submitted to the fabric.
+    pub sent: u64,
+    /// Messages handed to a destination mailbox.
+    pub delivered: u64,
+    /// Messages dropped by fault injection.
+    pub dropped: u64,
+    /// Messages blocked by a partition.
+    pub partitioned: u64,
+    /// Extra deliveries from duplication.
+    pub duplicated: u64,
+}
+
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    env: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Shared {
+    mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
+    /// Pairs of nodes that cannot currently exchange messages.
+    blocked: Mutex<HashSet<(NodeId, NodeId)>>,
+    plan: Mutex<FaultPlan>,
+    rng: Mutex<StdRng>,
+    stats: Mutex<NetStats>,
+    queue: Mutex<BinaryHeap<Scheduled>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+/// A simulated network connecting [`Endpoint`]s.
+///
+/// Messages pass through fault injection (drop, duplicate, latency) and
+/// partition checks before landing in the destination's mailbox. Latency is
+/// served by a background delivery thread; with zero latency, delivery is
+/// synchronous.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_net::{Network, NodeId};
+///
+/// let net = Network::new(42);
+/// let a = net.register(NodeId(0));
+/// let b = net.register(NodeId(1));
+/// net.send(NodeId(0), NodeId(1), repdir_net::MsgKind::Request(1), b"hi".to_vec());
+/// let msg = b.recv_timeout(std::time::Duration::from_secs(1)).unwrap();
+/// assert_eq!(msg.payload, b"hi");
+/// assert_eq!(msg.src, NodeId(0));
+/// # drop(a);
+/// ```
+pub struct Network {
+    shared: Arc<Shared>,
+}
+
+impl Network {
+    /// Creates a fault-free, zero-latency network; reconfigure with
+    /// [`set_fault_plan`](Network::set_fault_plan). The seed drives all
+    /// fault-injection randomness.
+    pub fn new(seed: u64) -> Self {
+        let shared = Arc::new(Shared {
+            mailboxes: Mutex::new(HashMap::new()),
+            blocked: Mutex::new(HashSet::new()),
+            plan: Mutex::new(FaultPlan::default()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stats: Mutex::new(NetStats::default()),
+            queue: Mutex::new(BinaryHeap::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        });
+        let worker = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("repdir-net-delivery".into())
+            .spawn(move || delivery_loop(worker))
+            .expect("spawn delivery thread");
+        Network { shared }
+    }
+
+    /// Registers a node and returns its endpoint. Re-registering a node
+    /// replaces its mailbox (the old endpoint stops receiving).
+    pub fn register(&self, node: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.shared.mailboxes.lock().insert(node, tx);
+        Endpoint { node, rx }
+    }
+
+    /// Replaces the fault plan.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.shared.plan.lock() = plan;
+    }
+
+    /// Blocks all traffic between `a` and `b` (both directions).
+    pub fn block(&self, a: NodeId, b: NodeId) {
+        let mut blocked = self.shared.blocked.lock();
+        blocked.insert((a, b));
+        blocked.insert((b, a));
+    }
+
+    /// Splits nodes into isolated groups: traffic crosses group boundaries
+    /// no more. Clears previous blocks.
+    pub fn partition(&self, groups: &[&[NodeId]]) {
+        let mut blocked = self.shared.blocked.lock();
+        blocked.clear();
+        for (gi, ga) in groups.iter().enumerate() {
+            for (gj, gb) in groups.iter().enumerate() {
+                if gi == gj {
+                    continue;
+                }
+                for &a in ga.iter() {
+                    for &b in gb.iter() {
+                        blocked.insert((a, b));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes all partitions and blocks.
+    pub fn heal(&self) {
+        self.shared.blocked.lock().clear();
+    }
+
+    /// Submits a message. Returns `false` if the destination was never
+    /// registered (the message vanishes, as on a real network).
+    pub fn send(&self, src: NodeId, dst: NodeId, kind: MsgKind, payload: Vec<u8>) -> bool {
+        let shared = &self.shared;
+        shared.stats.lock().sent += 1;
+        if shared.blocked.lock().contains(&(src, dst)) {
+            shared.stats.lock().partitioned += 1;
+            return true; // silently eaten, like a real partition
+        }
+        let plan = shared.plan.lock().clone();
+        let (dropped, duplicate, delay) = {
+            let mut rng = shared.rng.lock();
+            let dropped = plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob.clamp(0.0, 1.0));
+            let duplicate =
+                plan.duplicate_prob > 0.0 && rng.gen_bool(plan.duplicate_prob.clamp(0.0, 1.0));
+            let delay = if plan.latency.is_zero() {
+                Duration::ZERO
+            } else {
+                let jitter_ns = plan.latency.jitter.as_nanos() as u64;
+                let extra = if jitter_ns == 0 {
+                    0
+                } else {
+                    rng.gen_range(0..=jitter_ns)
+                };
+                plan.latency.base + Duration::from_nanos(extra)
+            };
+            (dropped, duplicate, delay)
+        };
+        if dropped {
+            shared.stats.lock().dropped += 1;
+            return true;
+        }
+        let env = Envelope {
+            src,
+            dst,
+            kind,
+            payload,
+        };
+        let copies = if duplicate {
+            shared.stats.lock().duplicated += 1;
+            2
+        } else {
+            1
+        };
+        let mut ok = true;
+        for _ in 0..copies {
+            ok &= self.deliver_after(env.clone(), delay);
+        }
+        ok
+    }
+
+    /// Delivery counters so far.
+    pub fn stats(&self) -> NetStats {
+        *self.shared.stats.lock()
+    }
+
+    fn deliver_after(&self, env: Envelope, delay: Duration) -> bool {
+        if delay.is_zero() {
+            return deliver_now(&self.shared, env);
+        }
+        let due = Instant::now() + delay;
+        let seq = self.shared.seq.fetch_add(1, Ordering::Relaxed);
+        self.shared.queue.lock().push(Scheduled { due, seq, env });
+        self.shared.queue_cv.notify_one();
+        true
+    }
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("nodes", &self.shared.mailboxes.lock().len())
+            .field("stats", &*self.shared.stats.lock())
+            .finish()
+    }
+}
+
+fn deliver_now(shared: &Shared, env: Envelope) -> bool {
+    let tx = shared.mailboxes.lock().get(&env.dst).cloned();
+    match tx {
+        Some(tx) if tx.send(env).is_ok() => {
+            shared.stats.lock().delivered += 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+fn delivery_loop(shared: Arc<Shared>) {
+    let mut queue = shared.queue.lock();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        // Deliver everything due.
+        while queue.peek().is_some_and(|s| s.due <= now) {
+            let s = queue.pop().expect("peeked");
+            // Drop the lock while delivering to avoid deadlocking with
+            // senders holding mailboxes.
+            parking_lot::MutexGuard::unlocked(&mut queue, || {
+                deliver_now(&shared, s.env);
+            });
+        }
+        match queue.peek().map(|s| s.due) {
+            Some(due) => {
+                shared.queue_cv.wait_until(&mut queue, due);
+            }
+            None => {
+                shared.queue_cv.wait(&mut queue);
+            }
+        }
+    }
+}
+
+/// A node's mailbox on the network.
+#[derive(Debug)]
+pub struct Endpoint {
+    node: NodeId,
+    rx: Receiver<Envelope>,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Blocks until a message arrives or the deadline passes.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(())`-like `None`-style timeout via
+    /// [`crossbeam_channel::RecvTimeoutError`].
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Envelope, crossbeam_channel::RecvTimeoutError> {
+        self.rx.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(500);
+
+    #[test]
+    fn zero_latency_delivery() {
+        let net = Network::new(1);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        assert!(net.send(NodeId(0), NodeId(1), MsgKind::Request(7), vec![1, 2]));
+        let env = b.recv_timeout(TICK).unwrap();
+        assert_eq!(env.src, NodeId(0));
+        assert_eq!(env.kind, MsgKind::Request(7));
+        assert_eq!(env.payload, vec![1, 2]);
+        assert_eq!(net.stats().delivered, 1);
+    }
+
+    #[test]
+    fn latency_delays_but_delivers() {
+        let net = Network::new(2);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.set_fault_plan(FaultPlan {
+            latency: LatencyModel::fixed(Duration::from_millis(30)),
+            ..FaultPlan::default()
+        });
+        let sent_at = Instant::now();
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(1), vec![9]);
+        let env = b.recv_timeout(TICK).unwrap();
+        assert!(sent_at.elapsed() >= Duration::from_millis(25));
+        assert_eq!(env.payload, vec![9]);
+    }
+
+    #[test]
+    fn latency_preserves_order_for_equal_delay() {
+        let net = Network::new(3);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.set_fault_plan(FaultPlan {
+            latency: LatencyModel::fixed(Duration::from_millis(10)),
+            ..FaultPlan::default()
+        });
+        for i in 0..10u8 {
+            net.send(NodeId(0), NodeId(1), MsgKind::Request(i as u64), vec![i]);
+        }
+        for i in 0..10u8 {
+            let env = b.recv_timeout(TICK).unwrap();
+            assert_eq!(env.payload, vec![i]);
+        }
+    }
+
+    #[test]
+    fn jitter_can_reorder_messages() {
+        let net = Network::new(77);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.set_fault_plan(FaultPlan {
+            latency: LatencyModel {
+                base: Duration::from_millis(1),
+                jitter: Duration::from_millis(20),
+            },
+            ..FaultPlan::default()
+        });
+        for i in 0..20u8 {
+            net.send(NodeId(0), NodeId(1), MsgKind::Request(i as u64), vec![i]);
+        }
+        let mut received = Vec::new();
+        for _ in 0..20 {
+            received.push(b.recv_timeout(TICK).unwrap().payload[0]);
+        }
+        let mut sorted = received.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u8>>(), "all delivered");
+        assert_ne!(
+            received, sorted,
+            "with 20x jitter over base, some reordering is overwhelmingly likely"
+        );
+    }
+
+    #[test]
+    fn drops_are_counted_and_messages_vanish() {
+        let net = Network::new(4);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.set_fault_plan(FaultPlan {
+            drop_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(1), vec![]);
+        assert!(b.recv_timeout(Duration::from_millis(30)).is_err());
+        assert_eq!(net.stats().dropped, 1);
+        assert_eq!(net.stats().delivered, 0);
+    }
+
+    #[test]
+    fn duplicates_deliver_twice() {
+        let net = Network::new(5);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.set_fault_plan(FaultPlan {
+            duplicate_prob: 1.0,
+            ..FaultPlan::default()
+        });
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(1), vec![3]);
+        assert_eq!(b.recv_timeout(TICK).unwrap().payload, vec![3]);
+        assert_eq!(b.recv_timeout(TICK).unwrap().payload, vec![3]);
+        assert_eq!(net.stats().duplicated, 1);
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_traffic_until_heal() {
+        let net = Network::new(6);
+        let a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        net.partition(&[&[NodeId(0)], &[NodeId(1)]]);
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(1), vec![]);
+        net.send(NodeId(1), NodeId(0), MsgKind::Request(2), vec![]);
+        assert!(b.recv_timeout(Duration::from_millis(30)).is_err());
+        assert!(a.recv_timeout(Duration::from_millis(30)).is_err());
+        assert_eq!(net.stats().partitioned, 2);
+        net.heal();
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(3), vec![]);
+        assert!(b.recv_timeout(TICK).is_ok());
+    }
+
+    #[test]
+    fn block_is_bidirectional_and_pairwise() {
+        let net = Network::new(7);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        let c = net.register(NodeId(2));
+        net.block(NodeId(0), NodeId(1));
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(1), vec![]);
+        net.send(NodeId(0), NodeId(2), MsgKind::Request(2), vec![]);
+        assert!(b.recv_timeout(Duration::from_millis(30)).is_err());
+        assert!(c.recv_timeout(TICK).is_ok());
+    }
+
+    #[test]
+    fn unregistered_destination_reports_failure() {
+        let net = Network::new(8);
+        let _a = net.register(NodeId(0));
+        assert!(!net.send(NodeId(0), NodeId(9), MsgKind::Request(1), vec![]));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let net = Network::new(9);
+        let _a = net.register(NodeId(0));
+        let b = net.register(NodeId(1));
+        assert!(b.try_recv().is_none());
+        net.send(NodeId(0), NodeId(1), MsgKind::Response(4), vec![8]);
+        // Zero latency: synchronous delivery.
+        let env = b.try_recv().unwrap();
+        assert_eq!(env.kind, MsgKind::Response(4));
+    }
+
+    #[test]
+    fn network_shutdown_stops_delivery_thread() {
+        let net = Network::new(10);
+        let _a = net.register(NodeId(0));
+        drop(net); // must not hang or panic
+    }
+}

@@ -1,0 +1,212 @@
+//! Key ranges and the lock-class compatibility relation of the paper's
+//! Figure 7.
+
+use repdir_core::Key;
+use std::fmt;
+
+/// A closed range of keys `[low, high]` (both inclusive), the unit of
+/// locking.
+///
+/// The paper's lock classes "are generalized to lock an entire range of
+/// keys" (§3.1): `RepLookup(σ, τ)` covers the keys a query explicitly or
+/// implicitly accessed, `RepModify(σ, τ)` the keys a mutation touched.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::Key;
+/// use repdir_rangelock::KeyRange;
+///
+/// let r = KeyRange::new(Key::from("b"), Key::from("f"));
+/// assert!(r.contains(&Key::from("d")));
+/// assert!(r.intersects(&KeyRange::point(Key::from("f"))));
+/// assert!(!r.intersects(&KeyRange::point(Key::from("g"))));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct KeyRange {
+    low: Key,
+    high: Key,
+}
+
+impl KeyRange {
+    /// Creates the range `[low, high]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn new(low: Key, high: Key) -> Self {
+        assert!(low <= high, "inverted key range: {low:?} > {high:?}");
+        KeyRange { low, high }
+    }
+
+    /// The single-key range `[k, k]` (used by `DirRepLookup(x)` /
+    /// `DirRepInsert(x)`, which lock `(x, x)` per Fig. 6).
+    pub fn point(k: Key) -> Self {
+        KeyRange {
+            low: k.clone(),
+            high: k,
+        }
+    }
+
+    /// The whole key space `[LOW, HIGH]`.
+    pub fn everything() -> Self {
+        KeyRange {
+            low: Key::Low,
+            high: Key::High,
+        }
+    }
+
+    /// Lower end (inclusive).
+    pub fn low(&self) -> &Key {
+        &self.low
+    }
+
+    /// Upper end (inclusive).
+    pub fn high(&self) -> &Key {
+        &self.high
+    }
+
+    /// Whether `k` lies within the range.
+    pub fn contains(&self, k: &Key) -> bool {
+        self.low <= *k && *k <= self.high
+    }
+
+    /// Whether the two closed ranges share at least one key.
+    pub fn intersects(&self, other: &KeyRange) -> bool {
+        self.low <= other.high && other.low <= self.high
+    }
+}
+
+impl fmt::Debug for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?}..{:?}]", self.low, self.high)
+    }
+}
+
+/// The two lock classes of §3.1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum LockMode {
+    /// `RepLookup(σ, τ)`: set by `DirRepLookup`, `DirRepPredecessor`, and
+    /// `DirRepSuccessor`.
+    Lookup,
+    /// `RepModify(σ, τ)`: set by `DirRepInsert` and `DirRepCoalesce`.
+    Modify,
+}
+
+impl fmt::Display for LockMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockMode::Lookup => f.write_str("RepLookup"),
+            LockMode::Modify => f.write_str("RepModify"),
+        }
+    }
+}
+
+/// The compatibility relation of Figure 7: two locks held by *different*
+/// transactions are compatible unless one of them is a `RepModify` whose
+/// range intersects the other's range.
+///
+/// Equivalently: `Lookup/Lookup` pairs are always compatible, and any pair
+/// involving `Modify` is compatible exactly when the ranges are disjoint.
+pub fn compatible(
+    held_mode: LockMode,
+    held_range: &KeyRange,
+    req_mode: LockMode,
+    req_range: &KeyRange,
+) -> bool {
+    if held_mode == LockMode::Lookup && req_mode == LockMode::Lookup {
+        return true;
+    }
+    !held_range.intersects(req_range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: &str, b: &str) -> KeyRange {
+        KeyRange::new(Key::from(a), Key::from(b))
+    }
+
+    #[test]
+    fn intersection_basics() {
+        assert!(r("a", "c").intersects(&r("b", "d")));
+        assert!(r("a", "c").intersects(&r("c", "d"))); // shared endpoint
+        assert!(!r("a", "b").intersects(&r("c", "d")));
+        assert!(r("a", "z").intersects(&r("m", "m"))); // containment
+        assert!(KeyRange::everything().intersects(&r("q", "q")));
+    }
+
+    #[test]
+    fn point_and_contains() {
+        let p = KeyRange::point(Key::from("m"));
+        assert!(p.contains(&Key::from("m")));
+        assert!(!p.contains(&Key::from("n")));
+        assert_eq!(p.low(), p.high());
+        assert!(KeyRange::everything().contains(&Key::Low));
+        assert!(KeyRange::everything().contains(&Key::High));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        KeyRange::new(Key::from("z"), Key::from("a"));
+    }
+
+    /// Enumerates the paper's Figure 7 row by row. `[σ..τ]` intersects
+    /// `[σ''..τ'']` and does not intersect `[σ'..τ']`.
+    #[test]
+    fn figure7_compatibility_matrix() {
+        use LockMode::{Lookup, Modify};
+        let held = r("d", "g"); // [σ..τ]
+        let disjoint = r("h", "k"); // [σ'..τ']
+        let overlapping = r("f", "j"); // [σ''..τ'']
+        assert!(held.intersects(&overlapping));
+        assert!(!held.intersects(&disjoint));
+
+        // Row: RepModify(σ', τ') requested — disjoint, so OK against both
+        // held classes.
+        assert!(compatible(Modify, &held, Modify, &disjoint));
+        assert!(compatible(Lookup, &held, Modify, &disjoint));
+
+        // Row: RepModify(σ'', τ'') requested — intersecting, so refused
+        // against both held classes.
+        assert!(!compatible(Modify, &held, Modify, &overlapping));
+        assert!(!compatible(Lookup, &held, Modify, &overlapping));
+
+        // Row: RepLookup(σ'', τ'') requested — intersecting: refused against
+        // held RepModify, OK against held RepLookup.
+        assert!(!compatible(Modify, &held, Lookup, &overlapping));
+        assert!(compatible(Lookup, &held, Lookup, &overlapping));
+
+        // Row: RepLookup(σ', τ') requested — disjoint: OK against both.
+        assert!(compatible(Modify, &held, Lookup, &disjoint));
+        assert!(compatible(Lookup, &held, Lookup, &disjoint));
+    }
+
+    #[test]
+    fn compatibility_is_symmetric() {
+        use LockMode::{Lookup, Modify};
+        let cases = [
+            (Lookup, r("a", "c"), Lookup, r("b", "d")),
+            (Lookup, r("a", "c"), Modify, r("b", "d")),
+            (Modify, r("a", "c"), Modify, r("b", "d")),
+            (Lookup, r("a", "b"), Modify, r("c", "d")),
+            (Modify, r("a", "b"), Modify, r("c", "d")),
+        ];
+        for (m1, r1, m2, r2) in cases {
+            assert_eq!(
+                compatible(m1, &r1, m2, &r2),
+                compatible(m2, &r2, m1, &r1),
+                "asymmetry for {m1:?}{r1:?} vs {m2:?}{r2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(LockMode::Lookup.to_string(), "RepLookup");
+        assert_eq!(LockMode::Modify.to_string(), "RepModify");
+        assert_eq!(format!("{:?}", r("a", "b")), "[k\"a\"..k\"b\"]");
+    }
+}

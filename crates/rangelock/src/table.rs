@@ -1,0 +1,608 @@
+//! The range-lock table: blocking acquisition, two-phase release, deadlock
+//! detection.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::range::{compatible, KeyRange, LockMode};
+
+/// Identifies a lock-holding transaction.
+///
+/// `repdir-txn` assigns these; the lock table only needs identity. Ids are
+/// also used as deadlock-victim tie-breakers (the *youngest* — largest id —
+/// transaction in a cycle is chosen, a wound-wait-style policy that cannot
+/// starve old transactions).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Why a lock could not be granted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LockError {
+    /// The deadline elapsed while waiting for conflicting holders.
+    Timeout,
+    /// Granting the request would close a waits-for cycle, and the requester
+    /// was chosen as the victim.
+    Deadlock,
+}
+
+impl fmt::Display for LockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockError::Timeout => f.write_str("lock wait timed out"),
+            LockError::Deadlock => f.write_str("deadlock victim"),
+        }
+    }
+}
+
+impl std::error::Error for LockError {}
+
+#[derive(Clone, Debug)]
+struct Granted {
+    owner: TxnId,
+    mode: LockMode,
+    range: KeyRange,
+}
+
+#[derive(Clone, Debug)]
+struct Waiting {
+    mode: LockMode,
+    range: KeyRange,
+}
+
+#[derive(Default)]
+struct State {
+    granted: Vec<Granted>,
+    waiting: HashMap<TxnId, Waiting>,
+    stats: LockStats,
+}
+
+/// Cumulative counters for observability and the lock benchmarks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Locks granted (including immediately compatible ones).
+    pub granted: u64,
+    /// Acquisitions that had to wait at least once.
+    pub waited: u64,
+    /// Acquisitions refused with [`LockError::Deadlock`].
+    pub deadlocks: u64,
+    /// Acquisitions refused with [`LockError::Timeout`].
+    pub timeouts: u64,
+}
+
+/// A table of range locks over one directory representative, implementing
+/// the paper's Figure 7 compatibility with blocking waits, deadlock
+/// detection, and all-at-once release for strict two-phase locking.
+///
+/// "As specified, the lock compatibility relation is sufficiently strong to
+/// guarantee that the actions of transactions operating on a directory
+/// representative are serializable, providing that two phase locking is
+/// used" (§3.1). The table enforces compatibility; `repdir-txn` enforces the
+/// two phases by releasing only at commit/abort via
+/// [`release_all`](RangeLockTable::release_all).
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::Key;
+/// use repdir_rangelock::{KeyRange, LockMode, RangeLockTable, TxnId};
+/// use std::time::Duration;
+///
+/// let table = RangeLockTable::new();
+/// let t1 = TxnId(1);
+/// table.acquire(t1, LockMode::Modify, KeyRange::point(Key::from("k")),
+///               Duration::from_millis(10))?;
+/// // A disjoint modify by another transaction is compatible.
+/// table.acquire(TxnId(2), LockMode::Modify, KeyRange::point(Key::from("z")),
+///               Duration::from_millis(10))?;
+/// table.release_all(t1);
+/// # Ok::<(), repdir_rangelock::LockError>(())
+/// ```
+pub struct RangeLockTable {
+    state: Mutex<State>,
+    released: Condvar,
+}
+
+impl Default for RangeLockTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RangeLockTable {
+    /// Creates an empty lock table.
+    pub fn new() -> Self {
+        RangeLockTable {
+            state: Mutex::new(State::default()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// Attempts to acquire without blocking. On conflict, returns the
+    /// holders that block the request.
+    ///
+    /// # Errors
+    ///
+    /// Returns the conflicting transaction ids (deduplicated) if the lock
+    /// cannot be granted immediately.
+    pub fn try_acquire(
+        &self,
+        owner: TxnId,
+        mode: LockMode,
+        range: KeyRange,
+    ) -> Result<(), Vec<TxnId>> {
+        let mut st = self.state.lock();
+        let conflicts = conflicts_of(&st.granted, owner, mode, &range);
+        if conflicts.is_empty() {
+            st.granted.push(Granted { owner, mode, range });
+            st.stats.granted += 1;
+            Ok(())
+        } else {
+            Err(conflicts)
+        }
+    }
+
+    /// Acquires a lock, blocking up to `timeout` for conflicting holders to
+    /// release.
+    ///
+    /// A transaction's own locks never conflict with its new requests
+    /// (re-entrancy), so lock "upgrades" (`Lookup` then `Modify` over the
+    /// same range) always succeed locally.
+    ///
+    /// # Errors
+    ///
+    /// * [`LockError::Deadlock`] if the request would close a waits-for
+    ///   cycle in which this transaction is the youngest participant.
+    /// * [`LockError::Timeout`] if the deadline passes first (also breaks
+    ///   undetected cross-representative deadlocks).
+    pub fn acquire(
+        &self,
+        owner: TxnId,
+        mode: LockMode,
+        range: KeyRange,
+        timeout: Duration,
+    ) -> Result<(), LockError> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let mut waited = false;
+        loop {
+            let conflicts = conflicts_of(&st.granted, owner, mode, &range);
+            if conflicts.is_empty() {
+                st.waiting.remove(&owner);
+                st.granted.push(Granted { owner, mode, range });
+                st.stats.granted += 1;
+                if waited {
+                    st.stats.waited += 1;
+                }
+                return Ok(());
+            }
+            st.waiting.insert(
+                owner,
+                Waiting {
+                    mode,
+                    range: range.clone(),
+                },
+            );
+            if let Some(victim) = detect_deadlock(&st, owner) {
+                if victim == owner {
+                    st.waiting.remove(&owner);
+                    st.stats.deadlocks += 1;
+                    return Err(LockError::Deadlock);
+                }
+                // Another participant is younger; it will be refused when it
+                // re-checks. Keep waiting (its abort releases our blocker).
+            }
+            waited = true;
+            if self.released.wait_until(&mut st, deadline).timed_out() {
+                st.waiting.remove(&owner);
+                st.stats.timeouts += 1;
+                return Err(LockError::Timeout);
+            }
+        }
+    }
+
+    /// Releases every lock held by `owner` and wakes all waiters — the
+    /// shrinking phase of strict two-phase locking. Idempotent.
+    pub fn release_all(&self, owner: TxnId) {
+        let mut st = self.state.lock();
+        st.granted.retain(|g| g.owner != owner);
+        st.waiting.remove(&owner);
+        self.released.notify_all();
+    }
+
+    /// Discards every granted lock and waiter registration, waking all
+    /// blocked acquirers (they re-evaluate and typically proceed).
+    ///
+    /// Models a representative crash: locks are volatile state and do not
+    /// survive restarts. Callers are responsible for ensuring the protected
+    /// state was recovered first.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.granted.clear();
+        st.waiting.clear();
+        self.released.notify_all();
+    }
+
+    /// Number of locks currently granted.
+    pub fn granted_count(&self) -> usize {
+        self.state.lock().granted.len()
+    }
+
+    /// Ids of transactions currently holding at least one lock.
+    pub fn holders(&self) -> Vec<TxnId> {
+        let st = self.state.lock();
+        let mut ids: Vec<TxnId> = st.granted.iter().map(|g| g.owner).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Cumulative counters since creation.
+    pub fn stats(&self) -> LockStats {
+        self.state.lock().stats
+    }
+
+    /// Verifies no two granted locks from different owners are incompatible.
+    /// Test/debug aid; the table upholds this by construction.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let st = self.state.lock();
+        for (i, a) in st.granted.iter().enumerate() {
+            for b in &st.granted[i + 1..] {
+                if a.owner != b.owner && !compatible(a.mode, &a.range, b.mode, &b.range) {
+                    return Err(format!(
+                        "incompatible grants coexist: {a:?} and {b:?}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for RangeLockTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("RangeLockTable")
+            .field("granted", &st.granted.len())
+            .field("waiting", &st.waiting.len())
+            .field("stats", &st.stats)
+            .finish()
+    }
+}
+
+/// Owners whose granted locks are incompatible with the request
+/// (deduplicated; the requester's own locks never conflict).
+fn conflicts_of(granted: &[Granted], owner: TxnId, mode: LockMode, range: &KeyRange) -> Vec<TxnId> {
+    let mut out: Vec<TxnId> = granted
+        .iter()
+        .filter(|g| g.owner != owner && !compatible(g.mode, &g.range, mode, range))
+        .map(|g| g.owner)
+        .collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Searches the waits-for graph for a cycle through `start`. Returns the
+/// chosen victim (the youngest transaction in the first cycle found), or
+/// `None` if `start` is not part of a cycle.
+fn detect_deadlock(st: &State, start: TxnId) -> Option<TxnId> {
+    // Edges: waiter -> holders of conflicting granted locks.
+    let edges = |t: TxnId| -> Vec<TxnId> {
+        match st.waiting.get(&t) {
+            Some(w) => conflicts_of(&st.granted, t, w.mode, &w.range),
+            None => Vec::new(),
+        }
+    };
+    // Depth-first search recording the path; cycles through `start` only
+    // (each blocked thread checks its own cycle, so all cycles are found).
+    let mut stack = vec![(start, edges(start))];
+    let mut path = vec![start];
+    while let Some((_, succs)) = stack.last_mut() {
+        match succs.pop() {
+            Some(next) => {
+                if next == start {
+                    // Found a cycle: path contains every participant.
+                    return path.iter().copied().max();
+                }
+                if !path.contains(&next) {
+                    path.push(next);
+                    stack.push((next, edges(next)));
+                }
+            }
+            None => {
+                stack.pop();
+                path.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repdir_core::Key;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn r(a: &str, b: &str) -> KeyRange {
+        KeyRange::new(Key::from(a), Key::from(b))
+    }
+    const SHORT: Duration = Duration::from_millis(25);
+    const LONG: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn compatible_locks_coexist() {
+        let t = RangeLockTable::new();
+        t.acquire(TxnId(1), LockMode::Lookup, r("a", "m"), SHORT)
+            .unwrap();
+        t.acquire(TxnId(2), LockMode::Lookup, r("g", "z"), SHORT)
+            .unwrap();
+        t.acquire(TxnId(3), LockMode::Modify, r("zz", "zzz"), SHORT)
+            .unwrap();
+        assert_eq!(t.granted_count(), 3);
+        t.check_invariants().unwrap();
+        assert_eq!(t.holders(), vec![TxnId(1), TxnId(2), TxnId(3)]);
+    }
+
+    #[test]
+    fn conflicting_modify_times_out() {
+        let t = RangeLockTable::new();
+        t.acquire(TxnId(1), LockMode::Modify, r("a", "m"), SHORT)
+            .unwrap();
+        let e = t
+            .acquire(TxnId(2), LockMode::Modify, r("g", "z"), SHORT)
+            .unwrap_err();
+        assert_eq!(e, LockError::Timeout);
+        let e = t
+            .acquire(TxnId(2), LockMode::Lookup, r("g", "z"), SHORT)
+            .unwrap_err();
+        assert_eq!(e, LockError::Timeout);
+        assert_eq!(t.stats().timeouts, 2);
+    }
+
+    #[test]
+    fn try_acquire_reports_conflicting_holders() {
+        let t = RangeLockTable::new();
+        t.try_acquire(TxnId(1), LockMode::Modify, r("a", "c")).unwrap();
+        t.try_acquire(TxnId(2), LockMode::Modify, r("d", "f")).unwrap();
+        let holders = t
+            .try_acquire(TxnId(3), LockMode::Lookup, r("b", "e"))
+            .unwrap_err();
+        assert_eq!(holders, vec![TxnId(1), TxnId(2)]);
+    }
+
+    #[test]
+    fn reentrant_and_upgrade_by_same_owner() {
+        let t = RangeLockTable::new();
+        let me = TxnId(9);
+        t.acquire(me, LockMode::Lookup, r("a", "z"), SHORT).unwrap();
+        // Upgrade over the same range.
+        t.acquire(me, LockMode::Modify, r("m", "m"), SHORT).unwrap();
+        t.acquire(me, LockMode::Modify, r("a", "z"), SHORT).unwrap();
+        assert_eq!(t.granted_count(), 3);
+        t.release_all(me);
+        assert_eq!(t.granted_count(), 0);
+    }
+
+    #[test]
+    fn release_wakes_waiter() {
+        let t = Arc::new(RangeLockTable::new());
+        t.acquire(TxnId(1), LockMode::Modify, r("a", "z"), SHORT)
+            .unwrap();
+        let t2 = Arc::clone(&t);
+        let h = thread::spawn(move || {
+            t2.acquire(TxnId(2), LockMode::Modify, r("m", "m"), LONG)
+        });
+        thread::sleep(Duration::from_millis(20));
+        t.release_all(TxnId(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(t.stats().waited, 1);
+        assert_eq!(t.holders(), vec![TxnId(2)]);
+    }
+
+    #[test]
+    fn deadlock_detected_and_youngest_aborted() {
+        // T1 holds [a..b], T2 holds [y..z]; then each requests the other's
+        // range. Whichever closes the cycle must see Deadlock, and the
+        // victim is the younger (larger-id) transaction, T2.
+        let t = Arc::new(RangeLockTable::new());
+        t.acquire(TxnId(1), LockMode::Modify, r("a", "b"), LONG)
+            .unwrap();
+        t.acquire(TxnId(2), LockMode::Modify, r("y", "z"), LONG)
+            .unwrap();
+
+        let t1 = Arc::clone(&t);
+        let older = thread::spawn(move || {
+            t1.acquire(TxnId(1), LockMode::Modify, r("y", "z"), LONG)
+        });
+        thread::sleep(Duration::from_millis(30));
+        let res2 = t.acquire(TxnId(2), LockMode::Modify, r("a", "b"), LONG);
+        assert_eq!(res2, Err(LockError::Deadlock));
+        assert_eq!(t.stats().deadlocks, 1);
+        // Victim aborts: its transaction manager calls release_all, letting
+        // the older transaction proceed.
+        t.release_all(TxnId(2));
+        older.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn deadlock_cycle_of_three() {
+        // T1 -> T2 -> T3 -> T1 around three ranges.
+        let t = Arc::new(RangeLockTable::new());
+        t.acquire(TxnId(1), LockMode::Modify, r("a", "a"), LONG)
+            .unwrap();
+        t.acquire(TxnId(2), LockMode::Modify, r("b", "b"), LONG)
+            .unwrap();
+        t.acquire(TxnId(3), LockMode::Modify, r("c", "c"), LONG)
+            .unwrap();
+        let spawn_wait = |id: u64, range: KeyRange| {
+            let tt = Arc::clone(&t);
+            thread::spawn(move || tt.acquire(TxnId(id), LockMode::Modify, range, LONG))
+        };
+        let h1 = spawn_wait(1, r("b", "b"));
+        thread::sleep(Duration::from_millis(30));
+        let h2 = spawn_wait(2, r("c", "c"));
+        thread::sleep(Duration::from_millis(30));
+        // T3 closes the cycle and is the youngest: it must be the victim.
+        let res3 = t.acquire(TxnId(3), LockMode::Modify, r("a", "a"), LONG);
+        assert_eq!(res3, Err(LockError::Deadlock));
+        t.release_all(TxnId(3));
+        // T2 gets [c..c]; when T2 later releases, T1 gets [b..b]. Unblock
+        // them by finishing T2.
+        h2.join().unwrap().unwrap();
+        t.release_all(TxnId(2));
+        h1.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_proceed_in_parallel() {
+        let t = Arc::new(RangeLockTable::new());
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let tt = Arc::clone(&t);
+            handles.push(thread::spawn(move || {
+                let low = Key::from(format!("{i}0").as_str());
+                let high = Key::from(format!("{i}9").as_str());
+                let range = KeyRange::new(low, high);
+                for _ in 0..50 {
+                    tt.acquire(TxnId(i), LockMode::Modify, range.clone(), LONG)
+                        .unwrap();
+                    tt.check_invariants().unwrap();
+                    tt.release_all(TxnId(i));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.granted_count(), 0);
+        assert_eq!(t.stats().deadlocks, 0);
+    }
+
+    #[test]
+    fn stats_count_grants() {
+        let t = RangeLockTable::new();
+        t.acquire(TxnId(1), LockMode::Lookup, r("a", "b"), SHORT)
+            .unwrap();
+        t.acquire(TxnId(2), LockMode::Lookup, r("a", "b"), SHORT)
+            .unwrap();
+        assert_eq!(t.stats().granted, 2);
+        assert_eq!(t.stats().waited, 0);
+    }
+
+    #[test]
+    fn release_all_is_idempotent_and_scoped() {
+        let t = RangeLockTable::new();
+        t.acquire(TxnId(1), LockMode::Modify, r("a", "b"), SHORT)
+            .unwrap();
+        t.acquire(TxnId(2), LockMode::Modify, r("x", "y"), SHORT)
+            .unwrap();
+        t.release_all(TxnId(1));
+        t.release_all(TxnId(1));
+        assert_eq!(t.holders(), vec![TxnId(2)]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use repdir_core::UserKey;
+
+        #[derive(Clone, Debug)]
+        enum LockOp {
+            Acquire {
+                owner: u8,
+                modify: bool,
+                lo: u8,
+                hi: u8,
+            },
+            ReleaseAll {
+                owner: u8,
+            },
+        }
+
+        fn op() -> impl Strategy<Value = LockOp> {
+            prop_oneof![
+                3 => (0u8..4, any::<bool>(), any::<u8>(), any::<u8>()).prop_map(
+                    |(owner, modify, a, b)| LockOp::Acquire {
+                        owner,
+                        modify,
+                        lo: a.min(b) % 32,
+                        hi: a.max(b) % 32,
+                    }
+                ),
+                1 => (0u8..4).prop_map(|owner| LockOp::ReleaseAll { owner }),
+            ]
+        }
+
+        fn range_of(lo: u8, hi: u8) -> KeyRange {
+            let (lo, hi) = (lo.min(hi), lo.max(hi));
+            KeyRange::new(
+                Key::User(UserKey::from_u64(lo as u64)),
+                Key::User(UserKey::from_u64(hi as u64)),
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The table's grant/deny decisions match an independent model
+            /// applying Figure 7 directly, and incompatible grants never
+            /// coexist.
+            #[test]
+            fn table_matches_figure7_model(ops in proptest::collection::vec(op(), 1..60)) {
+                let table = RangeLockTable::new();
+                let mut model: Vec<(TxnId, LockMode, KeyRange)> = Vec::new();
+                for operation in ops {
+                    match operation {
+                        LockOp::Acquire { owner, modify, lo, hi } => {
+                            let owner = TxnId(owner as u64);
+                            let mode = if modify { LockMode::Modify } else { LockMode::Lookup };
+                            let range = range_of(lo, hi);
+                            let model_ok = model.iter().all(|(o, m, r)| {
+                                *o == owner || compatible(*m, r, mode, &range)
+                            });
+                            match table.try_acquire(owner, mode, range.clone()) {
+                                Ok(()) => {
+                                    prop_assert!(model_ok, "table granted what Fig. 7 denies");
+                                    model.push((owner, mode, range));
+                                }
+                                Err(holders) => {
+                                    prop_assert!(!model_ok, "table denied what Fig. 7 allows");
+                                    prop_assert!(!holders.is_empty());
+                                    prop_assert!(!holders.contains(&owner));
+                                }
+                            }
+                        }
+                        LockOp::ReleaseAll { owner } => {
+                            let owner = TxnId(owner as u64);
+                            table.release_all(owner);
+                            model.retain(|(o, _, _)| *o != owner);
+                        }
+                    }
+                    table.check_invariants().expect("no incompatible grants");
+                    prop_assert_eq!(table.granted_count(), model.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn debug_output_is_informative() {
+        let t = RangeLockTable::new();
+        t.acquire(TxnId(1), LockMode::Lookup, r("a", "b"), SHORT)
+            .unwrap();
+        let s = format!("{t:?}");
+        assert!(s.contains("granted"));
+        assert!(s.contains("stats"));
+    }
+}

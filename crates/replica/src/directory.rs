@@ -1,0 +1,467 @@
+//! A ready-to-use replicated directory: representatives, transactions, and
+//! deadlock-retry wrapped around the core suite algorithm.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, SuiteConfig};
+use repdir_core::suite::LookupOutcome;
+use repdir_core::{ConfigError, Key, RepError, RepId, SuiteError, Value};
+use repdir_txn::TxnManager;
+
+use crate::client::SessionClient;
+use crate::server::TransactionalRep;
+use repdir_storage::{Backend, SimDisk};
+
+/// A complete replicated directory service over transactional
+/// representatives.
+///
+/// Each user operation (or multi-operation closure passed to
+/// [`run`](ReplicatedDirectory::run)) executes inside a transaction that
+/// spans the representatives: Figure-6 range locks are held at every touched
+/// representative until commit (strict two-phase locking), mutations are
+/// durable through each representative's write-ahead log, and deadlock or
+/// lock-timeout victims are retried with a fresh transaction.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::suite::SuiteConfig;
+/// use repdir_core::{Key, Value};
+/// use repdir_replica::ReplicatedDirectory;
+///
+/// let dir = ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2)?, 7)?;
+/// dir.insert(&Key::from("motd"), &Value::from("hello"))?;
+/// assert!(dir.lookup(&Key::from("motd"))?.present);
+/// dir.delete(&Key::from("motd"))?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct ReplicatedDirectory {
+    reps: Vec<Arc<TransactionalRep>>,
+    config: SuiteConfig,
+    txns: Arc<TxnManager>,
+    policy_seed: AtomicU64,
+    max_attempts: u32,
+}
+
+impl ReplicatedDirectory {
+    /// Creates a directory with fresh representatives.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`DirSuite::new`]'s [`ConfigError`]s (cannot occur for a
+    /// valid config).
+    pub fn new(config: SuiteConfig, seed: u64) -> Result<Self, ConfigError> {
+        Self::with_backend(config, seed, Backend::GapMap)
+    }
+
+    /// Creates a directory whose representatives use an explicit state
+    /// representation — e.g. the paper's §5 B-tree.
+    ///
+    /// # Errors
+    ///
+    /// As [`ReplicatedDirectory::new`].
+    pub fn with_backend(
+        config: SuiteConfig,
+        seed: u64,
+        backend: Backend,
+    ) -> Result<Self, ConfigError> {
+        let reps = (0..config.member_count())
+            .map(|i| {
+                TransactionalRep::with_disk_and_backend(
+                    RepId(i as u32),
+                    std::sync::Arc::new(SimDisk::new()),
+                    backend,
+                )
+            })
+            .collect();
+        Self::with_reps(reps, config, seed)
+    }
+
+    /// Wraps existing representatives (e.g. recovered ones).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::MemberCountMismatch`] if counts differ.
+    pub fn with_reps(
+        reps: Vec<Arc<TransactionalRep>>,
+        config: SuiteConfig,
+        seed: u64,
+    ) -> Result<Self, ConfigError> {
+        if reps.len() != config.member_count() {
+            return Err(ConfigError::MemberCountMismatch {
+                clients: reps.len(),
+                votes: config.member_count(),
+            });
+        }
+        Ok(ReplicatedDirectory {
+            reps,
+            config,
+            txns: Arc::new(TxnManager::new()),
+            policy_seed: AtomicU64::new(seed),
+            max_attempts: 8,
+        })
+    }
+
+    /// The suite configuration.
+    pub fn config(&self) -> &SuiteConfig {
+        &self.config
+    }
+
+    /// The representative servers (failure injection, inspection).
+    pub fn reps(&self) -> &[Arc<TransactionalRep>] {
+        &self.reps
+    }
+
+    /// The shared transaction manager.
+    pub fn txn_manager(&self) -> &Arc<TxnManager> {
+        &self.txns
+    }
+
+    /// Begins an explicit transaction with a freshly seeded random quorum
+    /// policy. Most callers use [`run`](ReplicatedDirectory::run) instead.
+    pub fn begin(&self) -> DirTxn<'_> {
+        let seed = self.policy_seed.fetch_add(1, Ordering::Relaxed);
+        self.begin_with_policy(Box::new(RandomPolicy::new(seed)))
+    }
+
+    /// Begins a transaction with an explicit quorum policy.
+    pub fn begin_with_policy(&self, policy: Box<dyn QuorumPolicy + Send>) -> DirTxn<'_> {
+        let id = self.txns.begin();
+        let clients: Vec<SessionClient> = self
+            .reps
+            .iter()
+            .map(|rep| {
+                // Unavailable representatives cannot register the
+                // transaction; they stay unusable for it even if they heal
+                // mid-flight (the suite routes around them).
+                let _ = rep.begin(id);
+                SessionClient::new(Arc::clone(rep), id)
+            })
+            .collect();
+        let suite = DirSuite::new(clients, self.config.clone(), policy)
+            .expect("rep count matches config by construction");
+        DirTxn {
+            dir: self,
+            id,
+            suite,
+            finished: false,
+        }
+    }
+
+    /// Runs `body` in a transaction, committing on success. Deadlock and
+    /// lock-timeout victims are aborted and retried (fresh transaction, new
+    /// quorums) with exponential backoff, up to an attempt limit.
+    ///
+    /// # Errors
+    ///
+    /// The body's error after retries are exhausted, or any non-retryable
+    /// [`SuiteError`].
+    pub fn run<R>(
+        &self,
+        mut body: impl FnMut(&mut DirSuite<SessionClient>) -> Result<R, SuiteError>,
+    ) -> Result<R, SuiteError> {
+        let mut attempt = 0;
+        loop {
+            let mut txn = self.begin();
+            match body(txn.suite_mut()) {
+                Ok(out) => {
+                    txn.commit();
+                    return Ok(out);
+                }
+                Err(e) => {
+                    txn.abort();
+                    attempt += 1;
+                    let retryable = matches!(
+                        e,
+                        SuiteError::Rep(RepError::Deadlock) | SuiteError::Rep(RepError::LockTimeout)
+                    );
+                    if !retryable || attempt >= self.max_attempts {
+                        return Err(e);
+                    }
+                    // Exponential backoff, capped; keeps colliding
+                    // transactions from re-deadlocking in lockstep.
+                    let delay = Duration::from_millis(1 << attempt.min(6));
+                    std::thread::sleep(delay);
+                }
+            }
+        }
+    }
+
+    /// Looks a key up in its own transaction.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::lookup`], after retries.
+    pub fn lookup(&self, key: &Key) -> Result<LookupOutcome, SuiteError> {
+        self.run(|suite| suite.lookup(key))
+    }
+
+    /// Inserts in its own transaction.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::insert`], after retries.
+    pub fn insert(&self, key: &Key, value: &Value) -> Result<(), SuiteError> {
+        self.run(|suite| suite.insert(key, value).map(drop))
+    }
+
+    /// Updates in its own transaction.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::update`], after retries.
+    pub fn update(&self, key: &Key, value: &Value) -> Result<(), SuiteError> {
+        self.run(|suite| suite.update(key, value).map(drop))
+    }
+
+    /// Deletes in its own transaction.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::delete`], after retries.
+    pub fn delete(&self, key: &Key) -> Result<(), SuiteError> {
+        self.run(|suite| suite.delete(key).map(drop))
+    }
+}
+
+impl fmt::Debug for ReplicatedDirectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedDirectory")
+            .field("config", &self.config)
+            .field("reps", &self.reps.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// An open transaction against a [`ReplicatedDirectory`].
+///
+/// Dropping an unfinished transaction aborts it (locks release, mutations
+/// roll back).
+pub struct DirTxn<'a> {
+    dir: &'a ReplicatedDirectory,
+    id: repdir_txn::TxnId,
+    suite: DirSuite<SessionClient>,
+    finished: bool,
+}
+
+impl DirTxn<'_> {
+    /// The transaction's id.
+    pub fn id(&self) -> repdir_txn::TxnId {
+        self.id
+    }
+
+    /// The suite to operate through. All operations share this
+    /// transaction's locks.
+    pub fn suite_mut(&mut self) -> &mut DirSuite<SessionClient> {
+        &mut self.suite
+    }
+
+    /// Commits at every representative (write-ahead-log sync per member)
+    /// and releases locks.
+    pub fn commit(mut self) {
+        self.finished = true;
+        for rep in &self.dir.reps {
+            // A representative that failed mid-transaction cannot commit;
+            // it never saw the transaction's writes (the suite routed
+            // around it), so skipping is sound.
+            let _ = rep.commit(self.id);
+        }
+        let _ = self.dir.txns.commit(self.id);
+    }
+
+    /// Aborts at every representative and releases locks.
+    pub fn abort(mut self) {
+        self.finished = true;
+        self.rollback();
+    }
+
+    fn rollback(&self) {
+        for rep in &self.dir.reps {
+            rep.abort(self.id);
+        }
+        if self.dir.txns.is_active(self.id) {
+            let _ = self.dir.txns.abort(self.id);
+        }
+    }
+}
+
+impl Drop for DirTxn<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.rollback();
+        }
+    }
+}
+
+impl fmt::Debug for DirTxn<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DirTxn")
+            .field("id", &self.id)
+            .field("finished", &self.finished)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repdir_core::suite::FixedPolicy;
+    use repdir_txn::TxnStatus;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    fn dir_322(seed: u64) -> ReplicatedDirectory {
+        ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2).unwrap(), seed).unwrap()
+    }
+
+    #[test]
+    fn autocommit_crud() {
+        let dir = dir_322(1);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        assert!(dir.lookup(&k("a")).unwrap().present);
+        dir.update(&k("a"), &val("A2")).unwrap();
+        assert_eq!(dir.lookup(&k("a")).unwrap().value, Some(val("A2")));
+        dir.delete(&k("a")).unwrap();
+        assert!(!dir.lookup(&k("a")).unwrap().present);
+        assert_eq!(
+            dir.delete(&k("a")),
+            Err(SuiteError::NotFound { key: k("a") })
+        );
+    }
+
+    #[test]
+    fn explicit_transaction_commits_atomically() {
+        let dir = dir_322(2);
+        let mut txn = dir.begin();
+        txn.suite_mut().insert(&k("x"), &val("X")).unwrap();
+        txn.suite_mut().insert(&k("y"), &val("Y")).unwrap();
+        let id = txn.id();
+        txn.commit();
+        assert_eq!(dir.txn_manager().status(id), Some(TxnStatus::Committed));
+        assert!(dir.lookup(&k("x")).unwrap().present);
+        assert!(dir.lookup(&k("y")).unwrap().present);
+    }
+
+    #[test]
+    fn dropped_transaction_rolls_back() {
+        let dir = dir_322(3);
+        {
+            let mut txn = dir.begin();
+            txn.suite_mut().insert(&k("ghost"), &val("G")).unwrap();
+            // dropped without commit
+        }
+        assert!(!dir.lookup(&k("ghost")).unwrap().present);
+        for rep in dir.reps() {
+            assert!(rep.is_empty(), "no residue on any representative");
+        }
+    }
+
+    #[test]
+    fn explicit_abort_rolls_back() {
+        let dir = dir_322(4);
+        dir.insert(&k("keep"), &val("K")).unwrap();
+        let mut txn = dir.begin();
+        txn.suite_mut().update(&k("keep"), &val("dirty")).unwrap();
+        txn.suite_mut().insert(&k("temp"), &val("T")).unwrap();
+        txn.abort();
+        assert_eq!(dir.lookup(&k("keep")).unwrap().value, Some(val("K")));
+        assert!(!dir.lookup(&k("temp")).unwrap().present);
+    }
+
+    #[test]
+    fn run_retries_lock_timeouts() {
+        // A transaction that holds a conflicting lock for a while: run()
+        // must retry the victim until it succeeds.
+        let dir = Arc::new(dir_322(5));
+        dir.insert(&k("contended"), &val("0")).unwrap();
+
+        let holder = {
+            let dir = Arc::clone(&dir);
+            std::thread::spawn(move || {
+                let mut txn = dir.begin_with_policy(Box::new(FixedPolicy::new()));
+                txn.suite_mut()
+                    .update(&k("contended"), &val("held"))
+                    .unwrap();
+                // Hold locks past one lock-timeout period.
+                std::thread::sleep(Duration::from_millis(700));
+                txn.commit();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(50));
+        // This update conflicts at every representative in the fixed quorum;
+        // the first attempts time out, a retry eventually wins.
+        dir.run(|suite| suite.update(&k("contended"), &val("winner")).map(drop))
+            .unwrap();
+        holder.join().unwrap();
+        let got = dir.lookup(&k("contended")).unwrap().value.unwrap();
+        assert_eq!(got, val("winner"), "second writer committed last");
+    }
+
+    #[test]
+    fn disjoint_transactions_proceed_concurrently() {
+        let dir = Arc::new(dir_322(6));
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let dir = Arc::clone(&dir);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..10u64 {
+                    let key = Key::from(format!("worker{t}-{i}").as_str());
+                    dir.insert(&key, &val("v")).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..6u64 {
+            for i in 0..10u64 {
+                let key = Key::from(format!("worker{t}-{i}").as_str());
+                assert!(dir.lookup(&key).unwrap().present, "{key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn survives_one_representative_failure() {
+        let dir = dir_322(7);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        dir.reps()[0].set_available(false);
+        assert!(dir.lookup(&k("a")).unwrap().present);
+        dir.update(&k("a"), &val("A2")).unwrap();
+        dir.delete(&k("a")).unwrap();
+        dir.reps()[0].set_available(true);
+        assert!(!dir.lookup(&k("a")).unwrap().present);
+    }
+
+    #[test]
+    fn representative_crash_recovery_preserves_committed_data() {
+        let dir = dir_322(8);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        dir.insert(&k("b"), &val("B")).unwrap();
+        for rep in dir.reps() {
+            rep.crash_and_recover().unwrap();
+        }
+        assert!(dir.lookup(&k("a")).unwrap().present);
+        assert!(dir.lookup(&k("b")).unwrap().present);
+        // And the directory still accepts writes.
+        dir.delete(&k("a")).unwrap();
+        assert!(!dir.lookup(&k("a")).unwrap().present);
+    }
+
+    #[test]
+    fn quorum_unavailable_propagates_not_retried_forever() {
+        let dir = dir_322(9);
+        dir.reps()[0].set_available(false);
+        dir.reps()[1].set_available(false);
+        let err = dir.lookup(&k("a")).unwrap_err();
+        assert!(matches!(err, SuiteError::QuorumUnavailable { .. }));
+    }
+}

@@ -1,0 +1,325 @@
+//! Serving a representative over the simulated network, and the matching
+//! remote client.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use repdir_core::{
+    CoalesceOutcome, InsertOutcome, Key, LookupReply, NeighborReply, RepClient, RepError, RepId,
+    RepResult, Value, Version,
+};
+use repdir_net::{serve, Network, NodeId, RpcClient, ServerHandle};
+use repdir_txn::TxnId;
+
+use crate::codec::{decode_request, decode_response, encode_request, encode_response, Request, Response};
+use crate::server::TransactionalRep;
+
+/// Runs a [`TransactionalRep`] as an RPC server at `node`. Returns the
+/// handle that stops the serving thread.
+pub fn serve_rep(net: Arc<Network>, node: NodeId, rep: Arc<TransactionalRep>) -> ServerHandle {
+    serve(net, node, move |payload| {
+        let response = match decode_request(payload) {
+            Err(e) => Response::Err(RepError::Storage(format!("bad request: {e}"))),
+            Ok(req) => dispatch(&rep, req),
+        };
+        encode_response(&response)
+    })
+}
+
+fn dispatch(rep: &TransactionalRep, req: Request) -> Response {
+    fn wrap<T>(r: RepResult<T>, f: impl FnOnce(T) -> Response) -> Response {
+        match r {
+            Ok(v) => f(v),
+            Err(e) => Response::Err(e),
+        }
+    }
+    match req {
+        Request::Ping => wrap(rep.ping(), |()| Response::Ok),
+        Request::Begin(t) => wrap(rep.begin(t), |()| Response::Ok),
+        Request::Lookup(t, k) => wrap(rep.lookup(t, &k), Response::Lookup),
+        Request::Predecessor(t, k) => wrap(rep.predecessor(t, &k), Response::Neighbor),
+        Request::Successor(t, k) => wrap(rep.successor(t, &k), Response::Neighbor),
+        Request::PredecessorChain(t, k, limit) => {
+            wrap(rep.predecessor_chain(t, &k, limit as usize), Response::Chain)
+        }
+        Request::SuccessorChain(t, k, limit) => {
+            wrap(rep.successor_chain(t, &k, limit as usize), Response::Chain)
+        }
+        Request::Insert(t, k, v, val) => wrap(rep.insert(t, &k, v, &val), Response::Insert),
+        Request::Coalesce(t, l, h, v) => wrap(rep.coalesce(t, &l, &h, v), Response::Coalesce),
+        Request::Commit(t) => wrap(rep.commit(t), |()| Response::Ok),
+        Request::Abort(t) => {
+            rep.abort(t);
+            Response::Ok
+        }
+    }
+}
+
+/// A transaction's handle to a representative served across the network.
+///
+/// RPC failures (timeout, unreachable) surface as
+/// [`RepError::Unavailable`] — exactly how the suite treats a
+/// representative it cannot gather into a quorum. One `RemoteSessionClient`
+/// serves one transaction; the underlying [`RpcClient`] node is shared per
+/// suite client.
+#[derive(Debug)]
+pub struct RemoteSessionClient {
+    rpc: Arc<RpcClient>,
+    server: NodeId,
+    rep_id: RepId,
+    txn: TxnId,
+    timeout: Duration,
+}
+
+impl RemoteSessionClient {
+    /// Default per-call deadline.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(2);
+
+    /// Creates a client for representative `rep_id` served at `server`,
+    /// acting for transaction `txn`.
+    pub fn new(rpc: Arc<RpcClient>, server: NodeId, rep_id: RepId, txn: TxnId) -> Self {
+        RemoteSessionClient {
+            rpc,
+            server,
+            rep_id,
+            txn,
+            timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Overrides the per-call deadline.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    /// Registers the transaction at the remote representative.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] on RPC failure.
+    pub fn begin(&self) -> RepResult<()> {
+        match self.call(Request::Begin(self.txn))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Commits the transaction at the remote representative.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] on RPC failure.
+    pub fn commit(&self) -> RepResult<()> {
+        match self.call(Request::Commit(self.txn))? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Aborts the transaction at the remote representative (best effort —
+    /// an unreachable representative will roll back when its lock timeouts
+    /// fire or it restarts).
+    pub fn abort(&self) {
+        let _ = self.call(Request::Abort(self.txn));
+    }
+
+    fn call(&self, req: Request) -> RepResult<Response> {
+        let reply = self
+            .rpc
+            .call(self.server, encode_request(&req), self.timeout)
+            .map_err(|_| RepError::Unavailable)?;
+        let resp =
+            decode_response(&reply).map_err(|e| RepError::Storage(format!("bad response: {e}")))?;
+        match resp {
+            Response::Err(e) => Err(e),
+            ok => Ok(ok),
+        }
+    }
+}
+
+fn unexpected(resp: Response) -> RepError {
+    RepError::Storage(format!("protocol violation: unexpected response {resp:?}"))
+}
+
+impl RepClient for RemoteSessionClient {
+    fn id(&self) -> RepId {
+        self.rep_id
+    }
+
+    fn ping(&self) -> RepResult<()> {
+        match self.call(Request::Ping)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn lookup(&self, key: &Key) -> RepResult<LookupReply> {
+        match self.call(Request::Lookup(self.txn, key.clone()))? {
+            Response::Lookup(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn predecessor(&self, key: &Key) -> RepResult<NeighborReply> {
+        match self.call(Request::Predecessor(self.txn, key.clone()))? {
+            Response::Neighbor(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn successor(&self, key: &Key) -> RepResult<NeighborReply> {
+        match self.call(Request::Successor(self.txn, key.clone()))? {
+            Response::Neighbor(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn predecessor_chain(&self, key: &Key, limit: usize) -> RepResult<Vec<NeighborReply>> {
+        match self.call(Request::PredecessorChain(self.txn, key.clone(), limit as u32))? {
+            Response::Chain(chain) => Ok(chain),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn successor_chain(&self, key: &Key, limit: usize) -> RepResult<Vec<NeighborReply>> {
+        match self.call(Request::SuccessorChain(self.txn, key.clone(), limit as u32))? {
+            Response::Chain(chain) => Ok(chain),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn insert(&self, key: &Key, version: Version, value: &Value) -> RepResult<InsertOutcome> {
+        match self.call(Request::Insert(self.txn, key.clone(), version, value.clone()))? {
+            Response::Insert(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn coalesce(&self, low: &Key, high: &Key, version: Version) -> RepResult<CoalesceOutcome> {
+        match self.call(Request::Coalesce(
+            self.txn,
+            low.clone(),
+            high.clone(),
+            version,
+        ))? {
+            Response::Coalesce(r) => Ok(r),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+
+    fn setup() -> (Arc<Network>, Arc<TransactionalRep>, ServerHandle, Arc<RpcClient>) {
+        let net = Arc::new(Network::new(11));
+        let rep = TransactionalRep::new(RepId(0));
+        let handle = serve_rep(Arc::clone(&net), NodeId(10), Arc::clone(&rep));
+        let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+        (net, rep, handle, rpc)
+    }
+
+    #[test]
+    fn remote_round_trip() {
+        let (_net, rep, _handle, rpc) = setup();
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.begin().unwrap();
+        client.ping().unwrap();
+        client
+            .insert(&k("a"), Version::new(1), &Value::from("A"))
+            .unwrap();
+        assert!(client.lookup(&k("a")).unwrap().is_present());
+        assert_eq!(client.successor(&Key::Low).unwrap().key, k("a"));
+        assert_eq!(client.predecessor(&Key::High).unwrap().key, k("a"));
+        client.commit().unwrap();
+        assert_eq!(rep.len(), 1);
+    }
+
+    #[test]
+    fn remote_errors_propagate_with_structure() {
+        let (_net, _rep, _handle, rpc) = setup();
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.begin().unwrap();
+        // Sentinel violation crosses the wire intact.
+        let err = client
+            .insert(&Key::Low, Version::new(1), &Value::empty())
+            .unwrap_err();
+        assert!(matches!(err, RepError::SentinelViolation { .. }));
+        // Coalesce boundary error carries the key.
+        let err = client
+            .coalesce(&k("nope"), &Key::High, Version::new(1))
+            .unwrap_err();
+        assert_eq!(err, RepError::NoSuchBoundary { key: k("nope") });
+        client.abort();
+    }
+
+    #[test]
+    fn partition_makes_rep_unavailable() {
+        let (net, _rep, _handle, rpc) = setup();
+        let mut client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.set_timeout(Duration::from_millis(50));
+        client.begin().unwrap();
+        net.partition(&[&[NodeId(0)], &[NodeId(10)]]);
+        assert_eq!(client.ping(), Err(RepError::Unavailable));
+        assert_eq!(client.lookup(&k("a")), Err(RepError::Unavailable));
+        net.heal();
+        client.ping().unwrap();
+    }
+
+    #[test]
+    fn server_side_abort_rolls_back() {
+        let (_net, rep, _handle, rpc) = setup();
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.begin().unwrap();
+        client
+            .insert(&k("temp"), Version::new(1), &Value::from("T"))
+            .unwrap();
+        client.abort();
+        assert_eq!(rep.len(), 0);
+    }
+
+    #[test]
+    fn suite_runs_over_remote_clients() {
+        use repdir_core::suite::{DirSuite, FixedPolicy, SuiteConfig};
+        let net = Arc::new(Network::new(12));
+        let mut handles = Vec::new();
+        let mut reps = Vec::new();
+        for i in 0..3u32 {
+            let rep = TransactionalRep::new(RepId(i));
+            handles.push(serve_rep(
+                Arc::clone(&net),
+                NodeId(100 + i),
+                Arc::clone(&rep),
+            ));
+            reps.push(rep);
+        }
+        let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+        let txn = TxnId(1);
+        let clients: Vec<RemoteSessionClient> = (0..3u32)
+            .map(|i| RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), txn))
+            .collect();
+        for c in &clients {
+            c.begin().unwrap();
+        }
+        let mut suite = DirSuite::new(
+            clients,
+            SuiteConfig::symmetric(3, 2, 2).unwrap(),
+            Box::new(FixedPolicy::new()),
+        )
+        .unwrap();
+        suite.insert(&k("net"), &Value::from("works")).unwrap();
+        assert!(suite.lookup(&k("net")).unwrap().present);
+        suite.delete(&k("net")).unwrap();
+        assert!(!suite.lookup(&k("net")).unwrap().present);
+        for i in 0..3 {
+            suite.member(i).commit().unwrap();
+        }
+        // Reps 0 and 1 were the fixed quorum: both saw the traffic.
+        assert!(reps[0].snapshot().is_empty());
+    }
+}

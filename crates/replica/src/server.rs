@@ -1,0 +1,556 @@
+//! The full transactional directory representative: durable gap-versioned
+//! state + Figure-6 range locking + per-transaction undo.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use repdir_core::{
+    CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, RepId,
+    RepResult, Value, Version,
+};
+use repdir_rangelock::{KeyRange, LockError, LockMode, LockStats, RangeLockTable};
+use repdir_storage::{Backend, DurableState, SimDisk};
+use repdir_txn::TxnId;
+
+/// A directory representative with the paper's full §3.1 semantics:
+///
+/// * every operation acquires the range lock prescribed by Fig. 6 —
+///   `RepLookup(x, x)` for lookups, `RepLookup(y, x)` / `RepLookup(x, y)`
+///   for neighbor queries (where `y` is the key returned), `RepModify(x, x)`
+///   for inserts, `RepModify(l, h)` for coalesces;
+/// * locks are held until [`commit`](TransactionalRep::commit) /
+///   [`abort`](TransactionalRep::abort) (strict two-phase locking);
+/// * mutations are durable through the write-ahead log; aborts roll back via
+///   undo records; [`crash_and_recover`](TransactionalRep::crash_and_recover)
+///   exercises the recovery path.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::{Key, Value, Version};
+/// use repdir_replica::TransactionalRep;
+/// use repdir_txn::TxnId;
+///
+/// let rep = TransactionalRep::new(repdir_core::RepId(0));
+/// let t = TxnId(1);
+/// rep.begin(t)?;
+/// rep.insert(t, &Key::from("a"), Version::new(1), &Value::from("A"))?;
+/// rep.commit(t)?;
+/// # Ok::<(), repdir_core::RepError>(())
+/// ```
+#[derive(Debug)]
+pub struct TransactionalRep {
+    id: RepId,
+    state: Mutex<DurableState>,
+    locks: RangeLockTable,
+    lock_timeout: Duration,
+    available: AtomicBool,
+}
+
+impl TransactionalRep {
+    /// Default time a lock request waits before giving up. Long enough for
+    /// short transactions to drain, short enough to break undetected
+    /// cross-representative deadlocks.
+    pub const DEFAULT_LOCK_TIMEOUT: Duration = Duration::from_millis(500);
+
+    /// Creates an empty representative on a fresh simulated disk.
+    pub fn new(id: RepId) -> Arc<Self> {
+        Self::with_disk(id, Arc::new(SimDisk::new()))
+    }
+
+    /// Creates an empty representative logging to the given disk.
+    pub fn with_disk(id: RepId, disk: Arc<SimDisk>) -> Arc<Self> {
+        Self::with_disk_and_backend(id, disk, Backend::GapMap)
+    }
+
+    /// Creates an empty representative with an explicit state
+    /// representation — e.g. the paper's §5 B-tree
+    /// ([`Backend::GapBTree`]).
+    pub fn with_disk_and_backend(id: RepId, disk: Arc<SimDisk>, backend: Backend) -> Arc<Self> {
+        Arc::new(TransactionalRep {
+            id,
+            state: Mutex::new(DurableState::with_backend(disk, backend)),
+            locks: RangeLockTable::new(),
+            lock_timeout: Self::DEFAULT_LOCK_TIMEOUT,
+            available: AtomicBool::new(true),
+        })
+    }
+
+    /// Recovers a representative from a disk's durable log.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Storage`] if the log is unreadable.
+    pub fn recover(id: RepId, disk: Arc<SimDisk>) -> Result<Arc<Self>, RepError> {
+        let state = DurableState::recover(disk).map_err(|e| RepError::Storage(e.to_string()))?;
+        Ok(Arc::new(TransactionalRep {
+            id,
+            state: Mutex::new(state),
+            locks: RangeLockTable::new(),
+            lock_timeout: Self::DEFAULT_LOCK_TIMEOUT,
+            available: AtomicBool::new(true),
+        }))
+    }
+
+    /// This representative's identity.
+    pub fn id(&self) -> RepId {
+        self.id
+    }
+
+    /// Injects or heals a failure: while unavailable every operation
+    /// (including pings) fails with [`RepError::Unavailable`].
+    pub fn set_available(&self, available: bool) {
+        self.available.store(available, Ordering::SeqCst);
+    }
+
+    /// Whether the representative currently serves requests.
+    pub fn is_available(&self) -> bool {
+        self.available.load(Ordering::SeqCst)
+    }
+
+    /// Lock-manager counters (for the concurrency experiments).
+    pub fn lock_stats(&self) -> LockStats {
+        self.locks.stats()
+    }
+
+    /// A detached copy of current state (test/statistics aid).
+    pub fn snapshot(&self) -> GapMap {
+        self.state.lock().map()
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.state.lock().len()
+    }
+
+    /// Whether no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Simulates a process crash (all volatile state — locks, undo,
+    /// unsynced log tail — vanishes) followed by recovery from the durable
+    /// log.
+    ///
+    /// Call only while quiesced in tests; in-flight transactions on other
+    /// threads would observe their locks evaporating.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Storage`] if the durable log cannot be replayed.
+    pub fn crash_and_recover(&self) -> Result<(), RepError> {
+        let mut state = self.state.lock();
+        let disk = Arc::clone(state.disk());
+        disk.crash(0);
+        *state = DurableState::recover(disk).map_err(|e| RepError::Storage(e.to_string()))?;
+        self.locks.reset();
+        Ok(())
+    }
+
+    /// Registers a transaction at this representative.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed.
+    pub fn begin(&self, txn: TxnId) -> RepResult<()> {
+        self.check_up()?;
+        self.state.lock().begin(txn);
+        Ok(())
+    }
+
+    /// `DirRepLookup(x)` under a `RepLookup(x, x)` lock.
+    ///
+    /// # Errors
+    ///
+    /// Availability, lock ([`RepError::LockTimeout`] /
+    /// [`RepError::Deadlock`]), and state errors.
+    pub fn lookup(&self, txn: TxnId, key: &Key) -> RepResult<LookupReply> {
+        self.check_up()?;
+        self.acquire(txn, LockMode::Lookup, KeyRange::point(key.clone()))?;
+        Ok(self.state.lock().lookup(key))
+    }
+
+    /// `DirRepPredecessor(x)` under `RepLookup(y, x)`, `y` being the key
+    /// returned. The lock target depends on the answer, so the
+    /// representative peeks, locks, and re-validates (the held lock then
+    /// pins the range, bounding the loop).
+    ///
+    /// # Errors
+    ///
+    /// As [`lookup`](TransactionalRep::lookup), plus
+    /// [`RepError::SentinelViolation`] for `LOW`.
+    pub fn predecessor(&self, txn: TxnId, key: &Key) -> RepResult<NeighborReply> {
+        self.check_up()?;
+        loop {
+            let peek = self.state.lock().predecessor(key)?;
+            self.acquire(
+                txn,
+                LockMode::Lookup,
+                KeyRange::new(peek.key.clone(), key.clone()),
+            )?;
+            let reply = self.state.lock().predecessor(key)?;
+            if reply.key == peek.key {
+                return Ok(reply);
+            }
+            // The neighbor moved between peek and lock; the lock now held
+            // freezes the old range, so one more round settles it.
+        }
+    }
+
+    /// `DirRepSuccessor(x)` under `RepLookup(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// As [`predecessor`](TransactionalRep::predecessor), with `HIGH`
+    /// rejected.
+    pub fn successor(&self, txn: TxnId, key: &Key) -> RepResult<NeighborReply> {
+        self.check_up()?;
+        loop {
+            let peek = self.state.lock().successor(key)?;
+            self.acquire(
+                txn,
+                LockMode::Lookup,
+                KeyRange::new(key.clone(), peek.key.clone()),
+            )?;
+            let reply = self.state.lock().successor(key)?;
+            if reply.key == peek.key {
+                return Ok(reply);
+            }
+        }
+    }
+
+    /// Up to `limit` successive `DirRepPredecessor` results in one request
+    /// (the §4 batching optimization), each acquiring its `RepLookup` range
+    /// lock exactly as the single-step operation would.
+    ///
+    /// # Errors
+    ///
+    /// As [`predecessor`](TransactionalRep::predecessor).
+    pub fn predecessor_chain(
+        &self,
+        txn: TxnId,
+        key: &Key,
+        limit: usize,
+    ) -> RepResult<Vec<NeighborReply>> {
+        let mut out = Vec::with_capacity(limit);
+        let mut probe = key.clone();
+        while out.len() < limit {
+            let nb = self.predecessor(txn, &probe)?;
+            let done = nb.key == Key::Low;
+            probe = nb.key.clone();
+            out.push(nb);
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Up to `limit` successive `DirRepSuccessor` results in one request.
+    ///
+    /// # Errors
+    ///
+    /// As [`successor`](TransactionalRep::successor).
+    pub fn successor_chain(
+        &self,
+        txn: TxnId,
+        key: &Key,
+        limit: usize,
+    ) -> RepResult<Vec<NeighborReply>> {
+        let mut out = Vec::with_capacity(limit);
+        let mut probe = key.clone();
+        while out.len() < limit {
+            let nb = self.successor(txn, &probe)?;
+            let done = nb.key == Key::High;
+            probe = nb.key.clone();
+            out.push(nb);
+            if done {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// `DirRepInsert(x, v, z)` under `RepModify(x, x)`.
+    ///
+    /// # Errors
+    ///
+    /// Availability, lock, and state errors
+    /// ([`RepError::SentinelViolation`] for sentinels,
+    /// [`RepError::TransactionAborted`] for unregistered transactions).
+    pub fn insert(
+        &self,
+        txn: TxnId,
+        key: &Key,
+        version: Version,
+        value: &Value,
+    ) -> RepResult<InsertOutcome> {
+        self.check_up()?;
+        self.acquire(txn, LockMode::Modify, KeyRange::point(key.clone()))?;
+        self.state.lock().insert(txn, key, version, value.clone())
+    }
+
+    /// `DirRepCoalesce(l, h, v)` under `RepModify(l, h)`.
+    ///
+    /// # Errors
+    ///
+    /// Availability, lock, and state errors ([`RepError::InvalidRange`],
+    /// [`RepError::NoSuchBoundary`]).
+    pub fn coalesce(
+        &self,
+        txn: TxnId,
+        low: &Key,
+        high: &Key,
+        version: Version,
+    ) -> RepResult<CoalesceOutcome> {
+        self.check_up()?;
+        if low >= high {
+            return Err(RepError::InvalidRange {
+                low: low.clone(),
+                high: high.clone(),
+            });
+        }
+        self.acquire(
+            txn,
+            LockMode::Modify,
+            KeyRange::new(low.clone(), high.clone()),
+        )?;
+        self.state.lock().coalesce(txn, low, high, version)
+    }
+
+    /// Commits the transaction's effects at this representative (durable
+    /// after the WAL sync) and releases its locks.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed.
+    pub fn commit(&self, txn: TxnId) -> RepResult<()> {
+        self.check_up()?;
+        self.state.lock().commit(txn);
+        self.locks.release_all(txn);
+        Ok(())
+    }
+
+    /// Rolls the transaction back at this representative and releases its
+    /// locks. Safe to call regardless of the transaction's state there.
+    pub fn abort(&self, txn: TxnId) {
+        // Abort proceeds even on an "unavailable" representative: it is the
+        // cleanup path for failures.
+        self.state.lock().abort(txn);
+        self.locks.release_all(txn);
+    }
+
+    /// Pings the representative (quorum collection).
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed.
+    pub fn ping(&self) -> RepResult<()> {
+        self.check_up()
+    }
+
+    fn check_up(&self) -> RepResult<()> {
+        if self.is_available() {
+            Ok(())
+        } else {
+            Err(RepError::Unavailable)
+        }
+    }
+
+    fn acquire(&self, txn: TxnId, mode: LockMode, range: KeyRange) -> RepResult<()> {
+        self.locks
+            .acquire(txn, mode, range, self.lock_timeout)
+            .map_err(|e| match e {
+                LockError::Timeout => RepError::LockTimeout,
+                LockError::Deadlock => RepError::Deadlock,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn v(n: u64) -> Version {
+        Version::new(n)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    #[test]
+    fn basic_transactional_round_trip() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t = TxnId(1);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("a"), v(1), &val("A")).unwrap();
+        assert!(rep.lookup(t, &k("a")).unwrap().is_present());
+        rep.commit(t).unwrap();
+        assert_eq!(rep.len(), 1);
+        assert!(!rep.is_empty());
+        assert_eq!(rep.id(), RepId(0));
+    }
+
+    #[test]
+    fn abort_rolls_back_and_releases_locks() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t1 = TxnId(1);
+        rep.begin(t1).unwrap();
+        rep.insert(t1, &k("a"), v(1), &val("A")).unwrap();
+        rep.abort(t1);
+        assert_eq!(rep.len(), 0);
+
+        // The lock released by abort is immediately available.
+        let t2 = TxnId(2);
+        rep.begin(t2).unwrap();
+        rep.insert(t2, &k("a"), v(1), &val("A2")).unwrap();
+        rep.commit(t2).unwrap();
+        assert_eq!(rep.snapshot().lookup(&k("a")).value(), Some(&val("A2")));
+    }
+
+    #[test]
+    fn conflicting_writers_serialize_via_locks() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t1 = TxnId(1);
+        rep.begin(t1).unwrap();
+        rep.insert(t1, &k("x"), v(1), &val("first")).unwrap();
+
+        // A second transaction's conflicting insert must wait; with t1
+        // holding the lock past the timeout, it fails.
+        let t2 = TxnId(2);
+        rep.begin(t2).unwrap();
+        let err = rep.insert(t2, &k("x"), v(2), &val("second")).unwrap_err();
+        assert_eq!(err, RepError::LockTimeout);
+        rep.commit(t1).unwrap();
+
+        // After release it succeeds.
+        rep.insert(t2, &k("x"), v(2), &val("second")).unwrap();
+        rep.commit(t2).unwrap();
+        assert_eq!(rep.snapshot().lookup(&k("x")).version(), v(2));
+    }
+
+    #[test]
+    fn readers_do_not_block_readers() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t0 = TxnId(1);
+        rep.begin(t0).unwrap();
+        rep.insert(t0, &k("a"), v(1), &val("A")).unwrap();
+        rep.commit(t0).unwrap();
+
+        let mut handles = Vec::new();
+        for i in 2..8u64 {
+            let rep = Arc::clone(&rep);
+            handles.push(thread::spawn(move || {
+                let t = TxnId(i);
+                rep.begin(t).unwrap();
+                for _ in 0..50 {
+                    assert!(rep.lookup(t, &k("a")).unwrap().is_present());
+                }
+                rep.commit(t).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn neighbor_ops_lock_the_scanned_range() {
+        let rep = TransactionalRep::new(RepId(0));
+        let setup = TxnId(1);
+        rep.begin(setup).unwrap();
+        rep.insert(setup, &k("b"), v(1), &val("B")).unwrap();
+        rep.insert(setup, &k("f"), v(1), &val("F")).unwrap();
+        rep.commit(setup).unwrap();
+
+        let reader = TxnId(2);
+        rep.begin(reader).unwrap();
+        let nb = rep.predecessor(reader, &k("f")).unwrap();
+        assert_eq!(nb.key, k("b"));
+        // The reader now holds RepLookup(b, f): an insert of "d" (inside
+        // the scanned range) must block; an insert of "z" must not.
+        let writer = TxnId(3);
+        rep.begin(writer).unwrap();
+        assert_eq!(
+            rep.insert(writer, &k("d"), v(1), &val("D")).unwrap_err(),
+            RepError::LockTimeout
+        );
+        rep.insert(writer, &k("z"), v(1), &val("Z")).unwrap();
+        rep.commit(reader).unwrap();
+        rep.commit(writer).unwrap();
+    }
+
+    #[test]
+    fn unavailable_rep_rejects_operations_but_allows_abort() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t = TxnId(1);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("a"), v(1), &val("A")).unwrap();
+        rep.set_available(false);
+        assert!(!rep.is_available());
+        assert_eq!(rep.ping(), Err(RepError::Unavailable));
+        assert_eq!(rep.lookup(t, &k("a")), Err(RepError::Unavailable));
+        assert_eq!(rep.begin(TxnId(2)), Err(RepError::Unavailable));
+        assert_eq!(rep.commit(t), Err(RepError::Unavailable));
+        // Abort still works — it is how coordinators clean up after
+        // failures.
+        rep.abort(t);
+        rep.set_available(true);
+        assert_eq!(rep.len(), 0);
+    }
+
+    #[test]
+    fn crash_loses_uncommitted_keeps_committed() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t1 = TxnId(1);
+        rep.begin(t1).unwrap();
+        rep.insert(t1, &k("durable"), v(1), &val("D")).unwrap();
+        rep.commit(t1).unwrap();
+
+        let t2 = TxnId(2);
+        rep.begin(t2).unwrap();
+        rep.insert(t2, &k("volatile"), v(1), &val("V")).unwrap();
+
+        rep.crash_and_recover().unwrap();
+        let snap = rep.snapshot();
+        assert!(snap.lookup(&k("durable")).is_present());
+        assert!(!snap.lookup(&k("volatile")).is_present());
+
+        // The representative serves fresh transactions after recovery.
+        let t3 = TxnId(3);
+        rep.begin(t3).unwrap();
+        rep.insert(t3, &k("after"), v(1), &val("A")).unwrap();
+        rep.commit(t3).unwrap();
+        assert_eq!(rep.len(), 2);
+    }
+
+    #[test]
+    fn recover_constructor_reads_existing_disk() {
+        let disk = Arc::new(SimDisk::new());
+        {
+            let rep = TransactionalRep::with_disk(RepId(0), Arc::clone(&disk));
+            let t = TxnId(1);
+            rep.begin(t).unwrap();
+            rep.insert(t, &k("persisted"), v(1), &val("P")).unwrap();
+            rep.commit(t).unwrap();
+        }
+        let rep2 = TransactionalRep::recover(RepId(0), disk).unwrap();
+        assert!(rep2.snapshot().lookup(&k("persisted")).is_present());
+    }
+
+    #[test]
+    fn lock_stats_exposed() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t = TxnId(1);
+        rep.begin(t).unwrap();
+        rep.lookup(t, &k("a")).unwrap();
+        rep.commit(t).unwrap();
+        assert!(rep.lock_stats().granted >= 1);
+    }
+}

@@ -1,0 +1,306 @@
+//! The representative-state abstraction: one interface over the two §5
+//! representations, so the transactional stack can run on either.
+//!
+//! "We envision that directories could be represented as B-trees" (§5) —
+//! with [`DirState`], a representative's durable state can be the
+//! BTreeMap-backed [`GapMap`](repdir_core::GapMap) (simple, the default) or
+//! the explicit [`GapBTree`] (the paper's suggested on-disk layout),
+//! selected by [`Backend`].
+
+use std::fmt;
+
+use repdir_core::{
+    CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, UserKey,
+    Value, Version,
+};
+
+use crate::gapbtree::GapBTree;
+
+/// Gap-versioned representative state: the five Fig. 6 operations plus the
+/// recovery/undo primitives rollback and WAL replay need.
+///
+/// Implemented by [`GapMap`](repdir_core::GapMap) and [`GapBTree`]; the
+/// property tests in this workspace verify the two are observationally
+/// identical.
+pub trait DirState: Send + fmt::Debug {
+    /// `DirRepLookup(x)`.
+    fn lookup(&self, key: &Key) -> LookupReply;
+
+    /// `DirRepPredecessor(x)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::SentinelViolation`] for `LOW`.
+    fn predecessor(&self, key: &Key) -> Result<NeighborReply, RepError>;
+
+    /// `DirRepSuccessor(x)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::SentinelViolation`] for `HIGH`.
+    fn successor(&self, key: &Key) -> Result<NeighborReply, RepError>;
+
+    /// `DirRepInsert(x, v, z)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::SentinelViolation`] for sentinels.
+    fn insert(&mut self, key: &Key, version: Version, value: Value)
+        -> Result<InsertOutcome, RepError>;
+
+    /// `DirRepCoalesce(l, h, v)`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::InvalidRange`] / [`RepError::NoSuchBoundary`].
+    fn coalesce(
+        &mut self,
+        low: &Key,
+        high: &Key,
+        version: Version,
+    ) -> Result<CoalesceOutcome, RepError>;
+
+    /// Number of stored entries.
+    fn len(&self) -> usize;
+
+    /// Whether no entries are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reinstates an exact entry record (undo / replay).
+    fn restore_entry(&mut self, key: UserKey, version: Version, value: Value, gap_after: Version);
+
+    /// Removes an entry record outright (undo of a created insert).
+    fn remove_entry_raw(&mut self, key: &UserKey) -> bool;
+
+    /// Rewrites version/value leaving the trailing gap untouched (undo of
+    /// an update).
+    fn update_entry_raw(&mut self, key: &UserKey, version: Version, value: Value) -> bool;
+
+    /// Sets the version of the gap after `low` (undo of a coalesce).
+    ///
+    /// # Errors
+    ///
+    /// As [`GapMap::set_gap_after`](repdir_core::GapMap::set_gap_after).
+    fn set_gap_after(&mut self, low: &Key, version: Version) -> Result<(), RepError>;
+
+    /// A [`GapMap`] copy of the full state (snapshots, checkpoints,
+    /// cross-backend comparison).
+    fn to_gapmap(&self) -> GapMap;
+
+    /// Replaces the state with the contents of a [`GapMap`] (recovery).
+    fn load(&mut self, map: &GapMap);
+}
+
+impl DirState for GapMap {
+    fn lookup(&self, key: &Key) -> LookupReply {
+        GapMap::lookup(self, key)
+    }
+    fn predecessor(&self, key: &Key) -> Result<NeighborReply, RepError> {
+        GapMap::predecessor(self, key)
+    }
+    fn successor(&self, key: &Key) -> Result<NeighborReply, RepError> {
+        GapMap::successor(self, key)
+    }
+    fn insert(
+        &mut self,
+        key: &Key,
+        version: Version,
+        value: Value,
+    ) -> Result<InsertOutcome, RepError> {
+        GapMap::insert(self, key, version, value)
+    }
+    fn coalesce(
+        &mut self,
+        low: &Key,
+        high: &Key,
+        version: Version,
+    ) -> Result<CoalesceOutcome, RepError> {
+        GapMap::coalesce(self, low, high, version)
+    }
+    fn len(&self) -> usize {
+        GapMap::len(self)
+    }
+    fn restore_entry(&mut self, key: UserKey, version: Version, value: Value, gap_after: Version) {
+        GapMap::restore_entry(self, key, version, value, gap_after);
+    }
+    fn remove_entry_raw(&mut self, key: &UserKey) -> bool {
+        GapMap::remove_entry_raw(self, key)
+    }
+    fn update_entry_raw(&mut self, key: &UserKey, version: Version, value: Value) -> bool {
+        GapMap::update_entry_raw(self, key, version, value)
+    }
+    fn set_gap_after(&mut self, low: &Key, version: Version) -> Result<(), RepError> {
+        GapMap::set_gap_after(self, low, version)
+    }
+    fn to_gapmap(&self) -> GapMap {
+        self.clone()
+    }
+    fn load(&mut self, map: &GapMap) {
+        *self = map.clone();
+    }
+}
+
+impl DirState for GapBTree {
+    fn lookup(&self, key: &Key) -> LookupReply {
+        GapBTree::lookup(self, key)
+    }
+    fn predecessor(&self, key: &Key) -> Result<NeighborReply, RepError> {
+        GapBTree::predecessor(self, key)
+    }
+    fn successor(&self, key: &Key) -> Result<NeighborReply, RepError> {
+        GapBTree::successor(self, key)
+    }
+    fn insert(
+        &mut self,
+        key: &Key,
+        version: Version,
+        value: Value,
+    ) -> Result<InsertOutcome, RepError> {
+        GapBTree::insert(self, key, version, value)
+    }
+    fn coalesce(
+        &mut self,
+        low: &Key,
+        high: &Key,
+        version: Version,
+    ) -> Result<CoalesceOutcome, RepError> {
+        GapBTree::coalesce(self, low, high, version)
+    }
+    fn len(&self) -> usize {
+        GapBTree::len(self)
+    }
+    fn restore_entry(&mut self, key: UserKey, version: Version, value: Value, gap_after: Version) {
+        GapBTree::restore_entry(self, key, version, value, gap_after);
+    }
+    fn remove_entry_raw(&mut self, key: &UserKey) -> bool {
+        GapBTree::remove_entry_raw(self, key)
+    }
+    fn update_entry_raw(&mut self, key: &UserKey, version: Version, value: Value) -> bool {
+        GapBTree::update_entry_raw(self, key, version, value)
+    }
+    fn set_gap_after(&mut self, low: &Key, version: Version) -> Result<(), RepError> {
+        GapBTree::set_gap_after(self, low, version)
+    }
+    fn to_gapmap(&self) -> GapMap {
+        let mut map = GapMap::new();
+        for (key, version, value) in self.iter_collect() {
+            map.restore_entry(key, version, value, Version::ZERO);
+        }
+        for gap in self.gaps() {
+            map.set_gap_after(&gap.lower, gap.version)
+                .expect("gap lower bound exists in copy");
+        }
+        map
+    }
+    fn load(&mut self, map: &GapMap) {
+        // Rebuild from scratch; entries first, then gap versions.
+        *self = GapBTree::new(self.order());
+        for (key, version, value) in map.iter() {
+            self.restore_entry(key.clone(), version, value.clone(), Version::ZERO);
+        }
+        for gap in map.gaps() {
+            self.set_gap_after(&gap.lower, gap.version)
+                .expect("gap lower bound exists in rebuilt tree");
+        }
+    }
+}
+
+/// Which representation backs a representative's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Backend {
+    /// `std::collections::BTreeMap`-backed [`GapMap`] (default).
+    #[default]
+    GapMap,
+    /// The §5 explicit B-tree with the given node order.
+    GapBTree {
+        /// Maximum keys per node (min 3).
+        order: usize,
+    },
+}
+
+
+impl Backend {
+    /// Instantiates an empty state of this backend.
+    pub fn new_state(self) -> Box<dyn DirState> {
+        match self {
+            Backend::GapMap => Box::new(GapMap::new()),
+            Backend::GapBTree { order } => Box::new(GapBTree::new(order)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(s: &str) -> Key {
+        Key::from(s)
+    }
+    fn v(n: u64) -> Version {
+        Version::new(n)
+    }
+    fn val(s: &str) -> Value {
+        Value::from(s)
+    }
+
+    fn exercise(state: &mut dyn DirState) {
+        assert!(state.is_empty());
+        state.insert(&k("a"), v(1), val("A")).unwrap();
+        state.insert(&k("c"), v(1), val("C")).unwrap();
+        state.insert(&k("b"), v(1), val("B")).unwrap();
+        assert_eq!(state.len(), 3);
+        assert!(state.lookup(&k("b")).is_present());
+        assert_eq!(state.predecessor(&k("b")).unwrap().key, k("a"));
+        assert_eq!(state.successor(&k("b")).unwrap().key, k("c"));
+        let out = state.coalesce(&k("a"), &k("c"), v(2)).unwrap();
+        assert_eq!(out.removed.len(), 1);
+        assert_eq!(state.lookup(&k("b")).version(), v(2));
+        // Recovery primitives.
+        state.restore_entry(UserKey::from("b"), v(1), val("B"), v(0));
+        assert!(state.update_entry_raw(&UserKey::from("b"), v(3), val("B3")));
+        assert!(state.remove_entry_raw(&UserKey::from("b")));
+        state.set_gap_after(&k("a"), v(4)).unwrap();
+        assert_eq!(state.lookup(&k("b")).version(), v(4));
+    }
+
+    #[test]
+    fn both_backends_satisfy_the_contract() {
+        for backend in [Backend::GapMap, Backend::GapBTree { order: 4 }] {
+            let mut state = backend.new_state();
+            exercise(state.as_mut());
+        }
+    }
+
+    #[test]
+    fn to_gapmap_and_load_round_trip() {
+        let mut tree = GapBTree::new(5);
+        for key in ["m", "c", "x", "f"] {
+            DirState::insert(&mut tree, &k(key), v(1), val(key)).unwrap();
+        }
+        DirState::coalesce(&mut tree, &k("c"), &k("m"), v(7)).unwrap();
+        let map = DirState::to_gapmap(&tree);
+        assert_eq!(map.len(), 3);
+        assert_eq!(map.version_of(&k("g")), v(7));
+
+        // Load the map into a fresh tree: observationally identical.
+        let mut tree2 = GapBTree::new(3);
+        DirState::load(&mut tree2, &map);
+        assert_eq!(DirState::to_gapmap(&tree2), map);
+        tree2.check_invariants().unwrap();
+
+        // And into a fresh map.
+        let mut map2 = GapMap::new();
+        DirState::load(&mut map2, &map);
+        assert_eq!(map2, map);
+    }
+
+    #[test]
+    fn backend_default_is_gapmap() {
+        assert_eq!(Backend::default(), Backend::GapMap);
+        let s = Backend::default().new_state();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,282 @@
+//! The transaction manager: id allocation, lifecycle, and per-transaction
+//! undo logs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use repdir_core::RepError;
+use repdir_rangelock::TxnId;
+
+use crate::undo::UndoRecord;
+
+/// Lifecycle states of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnStatus {
+    /// Begun and not yet resolved; may hold locks and accumulate undo.
+    Active,
+    /// Successfully committed; its effects are durable.
+    Committed,
+    /// Aborted; its effects were rolled back.
+    Aborted,
+}
+
+#[derive(Debug)]
+struct TxnRecord {
+    status: TxnStatus,
+    undo: Vec<UndoRecord>,
+}
+
+/// Allocates transaction ids and tracks each transaction's status and undo
+/// log.
+///
+/// The manager is deliberately independent of any particular representative:
+/// in the full system one suite-level transaction spans several
+/// representatives, each holding locks in its own
+/// [`RangeLockTable`](repdir_rangelock::RangeLockTable) and logging undo in
+/// the manager under the same id. Ids are allocated monotonically, so the
+/// lock tables' youngest-victim deadlock policy is well defined across
+/// representatives.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_txn::{TxnManager, TxnStatus};
+///
+/// let mgr = TxnManager::new();
+/// let t = mgr.begin();
+/// assert_eq!(mgr.status(t), Some(TxnStatus::Active));
+/// mgr.commit(t)?;
+/// assert_eq!(mgr.status(t), Some(TxnStatus::Committed));
+/// # Ok::<(), repdir_core::RepError>(())
+/// ```
+pub struct TxnManager {
+    next: AtomicU64,
+    txns: Mutex<HashMap<TxnId, TxnRecord>>,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// Creates a manager; the first transaction gets id 1.
+    pub fn new() -> Self {
+        TxnManager {
+            next: AtomicU64::new(1),
+            txns: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Starts a new transaction and returns its id.
+    pub fn begin(&self) -> TxnId {
+        let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.txns.lock().insert(
+            id,
+            TxnRecord {
+                status: TxnStatus::Active,
+                undo: Vec::new(),
+            },
+        );
+        id
+    }
+
+    /// The transaction's status, or `None` if the id was never issued (or
+    /// was garbage-collected).
+    pub fn status(&self, id: TxnId) -> Option<TxnStatus> {
+        self.txns.lock().get(&id).map(|r| r.status)
+    }
+
+    /// Whether the transaction is currently active.
+    pub fn is_active(&self, id: TxnId) -> bool {
+        self.status(id) == Some(TxnStatus::Active)
+    }
+
+    /// Appends an undo record to an active transaction's log.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::TransactionAborted`] if the transaction is not active
+    /// (unknown, committed, or aborted).
+    pub fn record_undo(&self, id: TxnId, record: UndoRecord) -> Result<(), RepError> {
+        let mut txns = self.txns.lock();
+        match txns.get_mut(&id) {
+            Some(rec) if rec.status == TxnStatus::Active => {
+                rec.undo.push(record);
+                Ok(())
+            }
+            _ => Err(RepError::TransactionAborted),
+        }
+    }
+
+    /// Commits an active transaction, discarding its undo log. The caller
+    /// releases locks afterwards (strict two-phase locking: all locks held
+    /// to commit).
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::TransactionAborted`] if the transaction is not active.
+    pub fn commit(&self, id: TxnId) -> Result<(), RepError> {
+        let mut txns = self.txns.lock();
+        match txns.get_mut(&id) {
+            Some(rec) if rec.status == TxnStatus::Active => {
+                rec.status = TxnStatus::Committed;
+                rec.undo.clear();
+                Ok(())
+            }
+            _ => Err(RepError::TransactionAborted),
+        }
+    }
+
+    /// Aborts an active transaction, returning its undo records **in
+    /// reverse order**, ready to be applied one by one. Aborting a
+    /// non-active transaction returns an empty log (abort is idempotent).
+    pub fn abort(&self, id: TxnId) -> Vec<UndoRecord> {
+        let mut txns = self.txns.lock();
+        match txns.get_mut(&id) {
+            Some(rec) if rec.status == TxnStatus::Active => {
+                rec.status = TxnStatus::Aborted;
+                let mut undo = std::mem::take(&mut rec.undo);
+                undo.reverse();
+                undo
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Number of active transactions.
+    pub fn active_count(&self) -> usize {
+        self.txns
+            .lock()
+            .values()
+            .filter(|r| r.status == TxnStatus::Active)
+            .count()
+    }
+
+    /// Drops records of completed transactions, reclaiming memory. Active
+    /// transactions are retained.
+    pub fn gc(&self) {
+        self.txns
+            .lock()
+            .retain(|_, r| r.status == TxnStatus::Active);
+    }
+}
+
+impl fmt::Debug for TxnManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let txns = self.txns.lock();
+        f.debug_struct("TxnManager")
+            .field("tracked", &txns.len())
+            .field(
+                "active",
+                &txns
+                    .values()
+                    .filter(|r| r.status == TxnStatus::Active)
+                    .count(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repdir_core::UserKey;
+
+    fn rec(key: &str) -> UndoRecord {
+        UndoRecord::RemoveEntry {
+            key: UserKey::from(key),
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_monotonic() {
+        let mgr = TxnManager::new();
+        let a = mgr.begin();
+        let b = mgr.begin();
+        assert!(a < b);
+        assert_eq!(mgr.active_count(), 2);
+    }
+
+    #[test]
+    fn commit_lifecycle() {
+        let mgr = TxnManager::new();
+        let t = mgr.begin();
+        mgr.record_undo(t, rec("a")).unwrap();
+        mgr.commit(t).unwrap();
+        assert_eq!(mgr.status(t), Some(TxnStatus::Committed));
+        // Double commit is an error; committed undo is gone.
+        assert_eq!(mgr.commit(t), Err(RepError::TransactionAborted));
+        assert!(mgr.abort(t).is_empty());
+    }
+
+    #[test]
+    fn abort_returns_undo_in_reverse() {
+        let mgr = TxnManager::new();
+        let t = mgr.begin();
+        mgr.record_undo(t, rec("a")).unwrap();
+        mgr.record_undo(t, rec("b")).unwrap();
+        mgr.record_undo(t, rec("c")).unwrap();
+        let undo = mgr.abort(t);
+        assert_eq!(undo, vec![rec("c"), rec("b"), rec("a")]);
+        assert_eq!(mgr.status(t), Some(TxnStatus::Aborted));
+        // Idempotent.
+        assert!(mgr.abort(t).is_empty());
+    }
+
+    #[test]
+    fn record_undo_rejected_after_resolution() {
+        let mgr = TxnManager::new();
+        let t = mgr.begin();
+        mgr.commit(t).unwrap();
+        assert_eq!(mgr.record_undo(t, rec("x")), Err(RepError::TransactionAborted));
+        let unknown = TxnId(999);
+        assert_eq!(
+            mgr.record_undo(unknown, rec("x")),
+            Err(RepError::TransactionAborted)
+        );
+        assert_eq!(mgr.status(unknown), None);
+    }
+
+    #[test]
+    fn gc_drops_completed_only() {
+        let mgr = TxnManager::new();
+        let a = mgr.begin();
+        let b = mgr.begin();
+        mgr.commit(a).unwrap();
+        mgr.gc();
+        assert_eq!(mgr.status(a), None);
+        assert!(mgr.is_active(b));
+    }
+
+    #[test]
+    fn concurrent_begins_do_not_collide() {
+        use std::sync::Arc;
+        let mgr = Arc::new(TxnManager::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let m = Arc::clone(&mgr);
+            handles.push(std::thread::spawn(move || {
+                (0..100).map(|_| m.begin()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<TxnId> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 800);
+    }
+
+    #[test]
+    fn debug_shows_counts() {
+        let mgr = TxnManager::new();
+        mgr.begin();
+        let s = format!("{mgr:?}");
+        assert!(s.contains("active"));
+    }
+}

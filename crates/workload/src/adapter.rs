@@ -1,0 +1,226 @@
+//! Adapters that put the paper's algorithm behind the baselines' common
+//! [`DirectoryOps`] interface, plus a generic empirical-availability
+//! driver.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repdir_baselines::{BaselineError, DirectoryOps};
+use repdir_core::suite::{DirSuite, RandomPolicy, SuiteConfig};
+use repdir_core::{Key, LocalRep, RepId, SuiteError, Value};
+
+/// The gap-versioned replicated directory exposed through
+/// [`DirectoryOps`], so comparison drivers treat it exactly like the
+/// baselines.
+#[derive(Debug)]
+pub struct SuiteDirectory {
+    suite: DirSuite<LocalRep>,
+}
+
+impl SuiteDirectory {
+    /// Creates an in-process suite with uniformly random quorums.
+    pub fn new(config: SuiteConfig, seed: u64) -> Self {
+        let clients = (0..config.member_count())
+            .map(|i| LocalRep::new(RepId(i as u32)))
+            .collect();
+        let suite = DirSuite::new(clients, config, Box::new(RandomPolicy::new(seed)))
+            .expect("valid configuration");
+        SuiteDirectory { suite }
+    }
+
+    /// Injects or heals a failure at representative `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set_available(&mut self, i: usize, available: bool) {
+        self.suite.member(i).set_available(available);
+    }
+
+    /// The wrapped suite.
+    pub fn suite_mut(&mut self) -> &mut DirSuite<LocalRep> {
+        &mut self.suite
+    }
+}
+
+fn convert(e: SuiteError) -> BaselineError {
+    match e {
+        SuiteError::QuorumUnavailable {
+            needed, gathered, ..
+        } => BaselineError::Unavailable { needed, gathered },
+        SuiteError::AlreadyExists { key } => BaselineError::AlreadyExists { key },
+        SuiteError::NotFound { key } | SuiteError::SentinelKey { key } => {
+            BaselineError::NotFound { key }
+        }
+        // SuiteError is #[non_exhaustive]; treat anything else (including
+        // representative failures) as unavailability for comparison runs.
+        _ => BaselineError::Unavailable {
+            needed: 0,
+            gathered: 0,
+        },
+    }
+}
+
+impl DirectoryOps for SuiteDirectory {
+    fn lookup(&mut self, key: &Key) -> Result<Option<Value>, BaselineError> {
+        let out = self.suite.lookup(key).map_err(convert)?;
+        Ok(if out.present { out.value } else { None })
+    }
+
+    fn insert(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        self.suite.insert(key, value).map(drop).map_err(convert)
+    }
+
+    fn update(&mut self, key: &Key, value: &Value) -> Result<(), BaselineError> {
+        self.suite.update(key, value).map(drop).map_err(convert)
+    }
+
+    fn delete(&mut self, key: &Key) -> Result<(), BaselineError> {
+        self.suite.delete(key).map(drop).map_err(convert)
+    }
+}
+
+/// Outcome counts from an [`empirical_availability`] trial.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Operations that completed.
+    pub succeeded: u64,
+    /// Operations refused for lack of replicas (or ambiguity).
+    pub unavailable: u64,
+}
+
+impl TrialOutcome {
+    /// Success fraction.
+    pub fn availability(&self) -> f64 {
+        let total = self.succeeded + self.unavailable;
+        if total == 0 {
+            0.0
+        } else {
+            self.succeeded as f64 / total as f64
+        }
+    }
+}
+
+/// Measures operation availability empirically: before each operation,
+/// every replica is independently up with probability `p`; the counters
+/// record whether the operation succeeded.
+///
+/// `reads` selects lookups (of a pre-inserted key) vs updates of that key.
+/// Domain errors other than unavailability/ambiguity are not expected and
+/// panic, since the workload only touches a key it inserted while fully up.
+pub fn empirical_availability<D: DirectoryOps>(
+    dir: &mut D,
+    set_available: impl Fn(&mut D, usize, bool),
+    replicas: usize,
+    p: f64,
+    reads: bool,
+    ops: u64,
+    seed: u64,
+) -> TrialOutcome {
+    let key = Key::from("availability-probe");
+    dir.insert(&key, &Value::from("x"))
+        .expect("initial insert with all replicas up");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outcome = TrialOutcome::default();
+    for _ in 0..ops {
+        for i in 0..replicas {
+            let up = rng.gen_bool(p.clamp(0.0, 1.0));
+            set_available(dir, i, up);
+        }
+        let result = if reads {
+            dir.lookup(&key).map(drop)
+        } else {
+            dir.update(&key, &Value::from("y")).map(drop)
+        };
+        match result {
+            Ok(()) => outcome.succeeded += 1,
+            Err(BaselineError::Unavailable { .. }) | Err(BaselineError::Ambiguous { .. }) => {
+                outcome.unavailable += 1
+            }
+            Err(e) => panic!("unexpected workload error: {e}"),
+        }
+    }
+    // Heal everything before handing the directory back.
+    for i in 0..replicas {
+        set_available(dir, i, true);
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_322() -> SuiteConfig {
+        SuiteConfig::symmetric(3, 2, 2).unwrap()
+    }
+
+    #[test]
+    fn suite_directory_behaves_like_a_directory() {
+        let mut d = SuiteDirectory::new(cfg_322(), 1);
+        let k = Key::from("a");
+        assert_eq!(d.lookup(&k).unwrap(), None);
+        d.insert(&k, &Value::from("A")).unwrap();
+        assert_eq!(d.lookup(&k).unwrap(), Some(Value::from("A")));
+        assert_eq!(
+            d.insert(&k, &Value::from("A")),
+            Err(BaselineError::AlreadyExists { key: k.clone() })
+        );
+        d.update(&k, &Value::from("A2")).unwrap();
+        d.delete(&k).unwrap();
+        assert_eq!(
+            d.delete(&k),
+            Err(BaselineError::NotFound { key: k.clone() })
+        );
+    }
+
+    #[test]
+    fn unavailability_converts() {
+        let mut d = SuiteDirectory::new(cfg_322(), 2);
+        d.set_available(0, false);
+        d.set_available(1, false);
+        assert_eq!(
+            d.lookup(&Key::from("a")),
+            Err(BaselineError::Unavailable {
+                needed: 2,
+                gathered: 1
+            })
+        );
+    }
+
+    #[test]
+    fn empirical_availability_tracks_analytic_for_322() {
+        let mut d = SuiteDirectory::new(cfg_322(), 3);
+        let p = 0.8;
+        let outcome = empirical_availability(
+            &mut d,
+            |d, i, up| d.set_available(i, up),
+            3,
+            p,
+            true,
+            4000,
+            7,
+        );
+        let expect = crate::availability::symmetric_availability(3, 2, p);
+        assert!(
+            (outcome.availability() - expect).abs() < 0.03,
+            "measured {} vs analytic {expect}",
+            outcome.availability()
+        );
+    }
+
+    #[test]
+    fn empirical_availability_all_up_is_one() {
+        let mut d = SuiteDirectory::new(cfg_322(), 4);
+        let outcome = empirical_availability(
+            &mut d,
+            |d, i, up| d.set_available(i, up),
+            3,
+            1.0,
+            false,
+            100,
+            8,
+        );
+        assert_eq!(outcome.unavailable, 0);
+        assert_eq!(outcome.availability(), 1.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! An analytic model of the deletion statistics.
+//!
+//! The paper's §5: "The performance characterizations presented in this
+//! paper are based on simulations, however initial work on an analytical
+//! treatment indicates that we can obtain similar results from simple
+//! analytic models." This module is such a model; the tests hold it to the
+//! simulator within a few percent.
+//!
+//! ## Derivation
+//!
+//! Track one live entry's *holder count* `m` — how many of the `N`
+//! representatives physically store it:
+//!
+//! * An insert writes a uniform `W`-subset: the entry is born with
+//!   `m = W`.
+//! * An update writes a fresh uniform `W`-subset `Q`: the holder set grows
+//!   to `H ∪ Q`, so `m' = m + |Q \ H|` with `|Q ∩ H|` hypergeometric.
+//! * **Neighbor copies behave identically**: when an adjacent key is
+//!   deleted, `DirSuiteDelete` installs this entry into every write-quorum
+//!   member lacking it — again `m' = |H ∪ Q|`. Each delete does this to
+//!   both real neighbors, so per live key the copy-boost rate is twice the
+//!   per-key delete rate.
+//! * A delete ends the entry's life; quorum members holding it lose it,
+//!   non-members keep *ghosts*.
+//!
+//! With update fraction `u` and the remaining operations split evenly
+//! between inserts and deletes, the per-key event mix between birth and
+//! death is: boosts (updates + neighbor copies) with probability
+//! `β = (u + (1-u)) / (u + (1-u) + (1-u)/2)`, death otherwise. The holder
+//! distribution at death is the geometric mixture of powers of the
+//! hypergeometric-union transition applied to the birth state.
+//!
+//! From the death-time expectation `E[m]`:
+//!
+//! * ghosts created (= removed, in steady state) per delete:
+//!   `E[m] · (N - W) / N`;
+//! * neighbor copies per delete: `2 · W · (1 - E[m]/N)`;
+//! * entries in the coalesced range per quorum member:
+//!   `E[m]/N + ghosts/W`.
+
+use crate::stats::RunningStat;
+
+/// Model outputs for one configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AnalyticStats {
+    /// Expected holder count of an entry at the moment it is deleted.
+    pub holders_at_delete: f64,
+    /// Predicted "Entries in ranges coalesced" (per quorum member).
+    pub entries_in_range: f64,
+    /// Predicted "Deletions while coalescing" (ghosts per suite delete).
+    pub deletions_while_coalescing: f64,
+    /// Predicted "Insertions while coalescing" (copies per suite delete).
+    pub insertions_while_coalescing: f64,
+}
+
+/// Computes the model for a symmetric `n`-representative suite with write
+/// quorum `w` and the given update fraction (the read quorum does not enter
+/// the deletion statistics).
+///
+/// # Panics
+///
+/// Panics unless `1 <= w <= n` and `0 <= update_fraction < 1`.
+pub fn analytic_delete_stats(n: u32, w: u32, update_fraction: f64) -> AnalyticStats {
+    assert!(w >= 1 && w <= n, "write quorum must be within 1..=n");
+    assert!(
+        (0.0..1.0).contains(&update_fraction),
+        "update fraction must be in [0, 1)"
+    );
+    let n_f = n as f64;
+    let w_f = w as f64;
+    let u = update_fraction;
+
+    // Boost probability per inter-event step: updates happen at per-key
+    // rate u, neighbor copies at rate 2 * (delete rate) = 2 * (1-u)/2 =
+    // (1-u); deletion at rate (1-u)/2.
+    let boost_rate = u + (1.0 - u);
+    let death_rate = (1.0 - u) / 2.0;
+    let beta = boost_rate / (boost_rate + death_rate);
+
+    // Holder distribution over m in W..=N, starting at birth (m = W),
+    // evolved by the union transition, mixed geometrically.
+    let states = (n - w + 1) as usize;
+    let mut current = vec![0.0f64; states]; // current[i] = P(m = W + i)
+    current[0] = 1.0;
+    let mut at_death = vec![0.0f64; states];
+    let mut weight = 1.0 - beta; // P(death before any boost)
+    let mut total_weight = 0.0;
+    // Truncate the geometric once its tail is negligible.
+    while weight > 1e-14 {
+        for (i, p) in current.iter().enumerate() {
+            at_death[i] += weight * p;
+        }
+        total_weight += weight;
+        current = step_union(&current, n, w);
+        weight *= beta;
+    }
+    // Renormalize for the truncated tail (the chain is absorbed at m = N
+    // quickly, so assign the residue there).
+    let residue = 1.0 - total_weight;
+    at_death[states - 1] += residue;
+
+    let e_m: f64 = at_death
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (w_f + i as f64) * p)
+        .sum();
+
+    let deletions = e_m * (n_f - w_f) / n_f;
+    let insertions = 2.0 * w_f * (1.0 - e_m / n_f);
+    let entries = e_m / n_f + deletions / w_f;
+    AnalyticStats {
+        holders_at_delete: e_m,
+        entries_in_range: entries,
+        deletions_while_coalescing: deletions,
+        insertions_while_coalescing: insertions,
+    }
+}
+
+/// One boost transition: `m' = |H ∪ Q|` for a uniform `w`-subset `Q` of the
+/// `n` representatives; `|Q \ H|` is hypergeometric.
+fn step_union(dist: &[f64], n: u32, w: u32) -> Vec<f64> {
+    let states = dist.len();
+    let mut next = vec![0.0f64; states];
+    for (i, &p) in dist.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let m = w + i as u32; // current holders
+        let outside = n - m;
+        // j = new holders gained, 0..=min(outside, w)
+        for j in 0..=outside.min(w) {
+            // P(|Q \ H| = j) = C(outside, j) C(m, w - j) / C(n, w)
+            if w < j || m < w - j {
+                continue;
+            }
+            let prob = choose(outside, j) * choose(m, w - j) / choose(n, w);
+            let target = i + j as usize;
+            if target < states {
+                next[target] += p * prob;
+            }
+        }
+    }
+    next
+}
+
+fn choose(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut out = 1.0;
+    for i in 0..k {
+        out *= (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+/// Relative error helper used by the validation tests and the fig14
+/// harness.
+pub fn relative_error(measured: &RunningStat, predicted: f64) -> f64 {
+    let m = measured.mean();
+    if predicted == 0.0 {
+        m.abs()
+    } else {
+        (m - predicted).abs() / predicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_sim, SimParams};
+    use repdir_core::suite::SuiteConfig;
+
+    #[test]
+    fn unanimous_write_predicts_zero_overhead() {
+        for (n, w) in [(1, 1), (3, 3), (5, 5)] {
+            let s = analytic_delete_stats(n, w, 0.2);
+            assert!((s.holders_at_delete - n as f64).abs() < 1e-9);
+            assert_eq!(s.deletions_while_coalescing, 0.0);
+            assert!(s.insertions_while_coalescing.abs() < 1e-9);
+            assert!((s.entries_in_range - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn known_values_for_3_2_2() {
+        // Hand-derivable: beta = 1/1.4 = 5/7; P(m=2 at death) =
+        // (1-b)/(1-b/3) = 0.375; E[m] = 2.625.
+        let s = analytic_delete_stats(3, 2, 0.2);
+        assert!((s.holders_at_delete - 2.625).abs() < 1e-9, "{s:?}");
+        assert!((s.deletions_while_coalescing - 0.875).abs() < 1e-9);
+        assert!((s.insertions_while_coalescing - 0.5).abs() < 1e-9);
+        assert!((s.entries_in_range - 1.3125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn model_tracks_simulation_within_tolerance() {
+        for (n, r, w) in [(3u32, 2u32, 2u32), (4, 2, 3), (5, 3, 3), (5, 2, 4)] {
+            let predicted = analytic_delete_stats(n, w, 0.2);
+            let params = SimParams::figure14(
+                SuiteConfig::symmetric(n, r, w).unwrap(),
+                0xA2A + n as u64,
+            );
+            let measured = run_sim(&params);
+            let checks = [
+                ("entries", &measured.entries_coalesced, predicted.entries_in_range),
+                (
+                    "deletions",
+                    &measured.deletions_while_coalescing,
+                    predicted.deletions_while_coalescing,
+                ),
+                (
+                    "insertions",
+                    &measured.insertions_while_coalescing,
+                    predicted.insertions_while_coalescing,
+                ),
+            ];
+            for (name, stat, pred) in checks {
+                let err = relative_error(stat, pred);
+                assert!(
+                    err < 0.12,
+                    "{n}-{r}-{w} {name}: measured {:.3} vs predicted {pred:.3} (err {err:.3})",
+                    stat.mean()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_updates_mean_fewer_ghosts() {
+        // Updates spread entries over more representatives, so deletes find
+        // the entry nearly everywhere and leave fewer ghosts.
+        let low = analytic_delete_stats(3, 2, 0.05);
+        let high = analytic_delete_stats(3, 2, 0.6);
+        assert!(high.holders_at_delete > low.holders_at_delete);
+        assert!(high.deletions_while_coalescing > low.deletions_while_coalescing * 0.9,
+                "ghost count scales with holders: {high:?} vs {low:?}");
+        assert!(high.insertions_while_coalescing < low.insertions_while_coalescing);
+    }
+
+    #[test]
+    #[should_panic(expected = "write quorum")]
+    fn invalid_quorum_rejected() {
+        analytic_delete_stats(3, 4, 0.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "update fraction")]
+    fn invalid_update_fraction_rejected() {
+        analytic_delete_stats(3, 2, 1.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Availability models: the probability an operation can gather its quorum
+//! as a function of per-replica availability.
+//!
+//! The paper's motivation (§1, §2, §5): quorum sizes trade read availability
+//! against write availability, with unanimous update as the degenerate
+//! worst case for writes. These closed-form models plus a Monte-Carlo
+//! cross-check generate the availability table in the benchmark harness.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repdir_core::suite::SuiteConfig;
+
+/// Probability that at least `quorum` of `n` one-vote replicas are up, with
+/// each replica independently up with probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_workload::symmetric_availability;
+///
+/// // A 3-replica suite with quorum 2 survives one failure.
+/// let a = symmetric_availability(3, 2, 0.9);
+/// assert!((a - 0.972).abs() < 1e-12);
+/// ```
+pub fn symmetric_availability(n: u32, quorum: u32, p: f64) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    (quorum..=n)
+        .map(|k| binomial(n, k) * p.powi(k as i32) * (1.0 - p).powi((n - k) as i32))
+        .sum()
+}
+
+/// Probability that the up replicas hold at least `quorum` votes, for an
+/// arbitrary vote assignment (exact subset enumeration; replica count must
+/// be ≤ 24).
+///
+/// # Panics
+///
+/// Panics if more than 24 replicas are given (2^n enumeration).
+pub fn weighted_availability(votes: &[u32], quorum: u32, p: f64) -> f64 {
+    assert!(votes.len() <= 24, "subset enumeration capped at 24 replicas");
+    let p = p.clamp(0.0, 1.0);
+    let n = votes.len();
+    let mut total = 0.0;
+    for mask in 0u32..(1 << n) {
+        let mut up_votes = 0;
+        let mut prob = 1.0;
+        for (i, &v) in votes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                up_votes += v;
+                prob *= p;
+            } else {
+                prob *= 1.0 - p;
+            }
+        }
+        if up_votes >= quorum {
+            total += prob;
+        }
+    }
+    total
+}
+
+/// Read and write availability of a suite configuration at per-replica
+/// availability `p`.
+pub fn suite_availability(config: &SuiteConfig, p: f64) -> (f64, f64) {
+    let votes = config.votes();
+    (
+        weighted_availability(votes, config.read_quorum(), p),
+        weighted_availability(votes, config.write_quorum(), p),
+    )
+}
+
+/// Unanimous update (§2): reads need any one replica, writes need all `n`.
+pub fn unanimous_availability(n: u32, p: f64) -> (f64, f64) {
+    let p = p.clamp(0.0, 1.0);
+    (1.0 - (1.0 - p).powi(n as i32), p.powi(n as i32))
+}
+
+/// Monte-Carlo estimate of quorum availability (cross-checks the closed
+/// forms; also usable for correlated-failure extensions).
+pub fn monte_carlo_availability(
+    votes: &[u32],
+    quorum: u32,
+    p: f64,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut ok = 0u64;
+    for _ in 0..trials {
+        let up: u32 = votes
+            .iter()
+            .map(|&v| if rng.gen_bool(p.clamp(0.0, 1.0)) { v } else { 0 })
+            .sum();
+        if up >= quorum {
+            ok += 1;
+        }
+    }
+    ok as f64 / trials as f64
+}
+
+fn binomial(n: u32, k: u32) -> f64 {
+    let k = k.min(n - k.min(n));
+    let mut out = 1.0;
+    for i in 0..k {
+        out *= (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_known_values() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 1), 5.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(10, 5), 252.0);
+    }
+
+    #[test]
+    fn symmetric_extremes() {
+        assert_eq!(symmetric_availability(3, 2, 1.0), 1.0);
+        assert_eq!(symmetric_availability(3, 2, 0.0), 0.0);
+        // Quorum 1 of 1 = p.
+        assert!((symmetric_availability(1, 1, 0.7) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_matches_symmetric_for_unit_votes() {
+        for p in [0.5, 0.9, 0.99] {
+            for (n, q) in [(3u32, 2u32), (5, 3), (4, 3)] {
+                let sym = symmetric_availability(n, q, p);
+                let wtd = weighted_availability(&vec![1; n as usize], q, p);
+                assert!((sym - wtd).abs() < 1e-12, "n={n} q={q} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_votes_shift_availability_toward_heavy_replicas() {
+        // One replica with 2 votes, two with 1: quorum 2 is satisfied by
+        // the heavy replica alone.
+        let a = weighted_availability(&[2, 1, 1], 2, 0.9);
+        // P(heavy up) + P(heavy down, both lights up)
+        let expect = 0.9 + 0.1 * 0.9 * 0.9;
+        assert!((a - expect).abs() < 1e-12, "{a} vs {expect}");
+    }
+
+    #[test]
+    fn suite_availability_orders_read_vs_write() {
+        // 3-2-2: equal quorums, equal availability.
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        let (r, w) = suite_availability(&cfg, 0.9);
+        assert!((r - w).abs() < 1e-12);
+        // 3-1-3: reads much more available than writes.
+        let cfg = SuiteConfig::symmetric(3, 1, 3).unwrap();
+        let (r, w) = suite_availability(&cfg, 0.9);
+        assert!(r > 0.998);
+        assert!((w - 0.729).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanimous_write_availability_collapses_with_scale() {
+        let (_, w3) = unanimous_availability(3, 0.9);
+        let (_, w7) = unanimous_availability(7, 0.9);
+        assert!(w3 > w7);
+        assert!((w3 - 0.729).abs() < 1e-12);
+        let (r7, _) = unanimous_availability(7, 0.9);
+        assert!(r7 > 0.999_999);
+    }
+
+    #[test]
+    fn quorum_suite_beats_unanimous_for_writes() {
+        // The paper's availability pitch in one assertion: at p = 0.9,
+        // a 3-2-2 suite's writes beat unanimous-update's writes.
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        let (_, w_quorum) = suite_availability(&cfg, 0.9);
+        let (_, w_unanimous) = unanimous_availability(3, 0.9);
+        assert!(w_quorum > w_unanimous);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_closed_form() {
+        let votes = vec![1u32; 5];
+        let exact = weighted_availability(&votes, 3, 0.8);
+        let mc = monte_carlo_availability(&votes, 3, 0.8, 200_000, 42);
+        assert!((exact - mc).abs() < 0.005, "exact {exact} mc {mc}");
+    }
+
+    #[test]
+    fn probabilities_clamped() {
+        assert_eq!(symmetric_availability(3, 2, 1.5), 1.0);
+        assert_eq!(symmetric_availability(3, 2, -0.5), 0.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Key-selection distributions for workloads.
+//!
+//! The paper's §4 uses uniform selection; §2 warns that for static
+//! partitioning "an uneven distribution of accesses could limit
+//! concurrency". [`Zipf`] provides that uneven distribution for the skew
+//! experiments.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A Zipf(θ) sampler over ranks `0..n`: rank `r` is drawn with probability
+/// proportional to `1 / (r + 1)^θ`.
+///
+/// `θ = 0` is uniform; `θ ≈ 1` is the classic heavy skew where the top
+/// handful of ranks absorb most accesses. The CDF is cached and rebuilt
+/// only when `n` changes, so steady-`n` sampling is a binary search.
+///
+/// # Examples
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use repdir_workload::Zipf;
+///
+/// let mut z = Zipf::new(0.99);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let r = z.sample(100, &mut rng);
+/// assert!(r < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    theta: f64,
+    cached_n: usize,
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a sampler with skew `theta >= 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative or non-finite `theta`.
+    pub fn new(theta: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf skew must be finite and non-negative"
+        );
+        Zipf {
+            theta,
+            cached_n: 0,
+            cdf: Vec::new(),
+        }
+    }
+
+    /// The skew parameter.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Samples a rank in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn sample(&mut self, n: usize, rng: &mut StdRng) -> usize {
+        assert!(n > 0, "cannot sample from an empty population");
+        if self.theta == 0.0 {
+            return rng.gen_range(0..n);
+        }
+        if self.cached_n != n {
+            self.rebuild(n);
+        }
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i.min(n - 1),
+            Err(i) => i.min(n - 1),
+        }
+    }
+
+    fn rebuild(&mut self, n: usize) {
+        self.cdf.clear();
+        self.cdf.reserve(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(self.theta);
+            self.cdf.push(total);
+        }
+        for p in &mut self.cdf {
+            *p /= total;
+        }
+        self.cached_n = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let mut z = Zipf::new(0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 10, 100] {
+            for _ in 0..200 {
+                assert!(z.sample(n, &mut rng) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let mut z = Zipf::new(0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 4];
+        for _ in 0..8000 {
+            counts[z.sample(4, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((1700..2300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn high_theta_concentrates_on_low_ranks() {
+        let mut z = Zipf::new(1.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = 0u32;
+        let trials = 5000;
+        for _ in 0..trials {
+            if z.sample(100, &mut rng) < 5 {
+                head += 1;
+            }
+        }
+        // With theta = 1.2 the top 5 of 100 ranks carry well over half the
+        // mass.
+        assert!(
+            head as f64 / trials as f64 > 0.55,
+            "head fraction {}",
+            head as f64 / trials as f64
+        );
+    }
+
+    #[test]
+    fn rank_probabilities_are_monotone() {
+        let mut z = Zipf::new(0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..30000 {
+            counts[z.sample(10, &mut rng)] += 1;
+        }
+        for w in counts.windows(2) {
+            // Allow sampling noise but require a broadly decreasing shape.
+            assert!(w[0] as f64 > w[1] as f64 * 0.8, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn population_changes_rebuild_correctly() {
+        let mut z = Zipf::new(1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(z.sample(10, &mut rng) < 10);
+        assert!(z.sample(50, &mut rng) < 50);
+        assert!(z.sample(3, &mut rng) < 3);
+        assert_eq!(z.theta(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        Zipf::new(1.0).sample(0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_theta_panics() {
+        Zipf::new(-1.0);
+    }
+}

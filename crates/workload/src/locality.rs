@@ -1,0 +1,194 @@
+//! The paper's Figure 16 locality experiment.
+//!
+//! "Consider a 4-2-3 directory suite with key values in the range of 1 to
+//! 100, and locality such that transactions of Type A operate on entries
+//! having keys 1 to 50, and transactions of Type B operate on entries
+//! having keys 51 to 100. … Type A transactions read from representatives
+//! A1 and A2 and direct their updates to A1, A2, and either B1 or B2. …
+//! all inquiries can be done locally and the non-local write that is
+//! required for modification operations is evenly distributed among the
+//! remote representatives." (§5)
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repdir_core::suite::{DirSuite, LocalityPolicy, SuiteConfig};
+use repdir_core::{Key, LocalRep, RepId, UserKey, Value};
+
+/// Message accounting from a locality run, split by transaction type and
+/// by whether the representative was local to that type.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalityReport {
+    /// Read-path RPCs (lookups during inquiries) that hit a local
+    /// representative.
+    pub local_read_rpcs: u64,
+    /// Read-path RPCs that had to leave the locality group.
+    pub remote_read_rpcs: u64,
+    /// Write-path RPCs to local representatives.
+    pub local_write_rpcs: u64,
+    /// Write-path RPCs to remote representatives.
+    pub remote_write_rpcs: u64,
+    /// Remote write-path RPCs per representative (evenness check): indexed
+    /// by representative.
+    pub remote_write_per_member: Vec<u64>,
+    /// Inquiries / modifications executed.
+    pub inquiries: u64,
+    /// Modification operations executed.
+    pub modifications: u64,
+}
+
+impl LocalityReport {
+    /// Fraction of inquiry traffic served locally.
+    pub fn read_locality(&self) -> f64 {
+        let total = self.local_read_rpcs + self.remote_read_rpcs;
+        if total == 0 {
+            0.0
+        } else {
+            self.local_read_rpcs as f64 / total as f64
+        }
+    }
+}
+
+/// Runs the Figure 16 scenario: representatives `A1 = 0`, `A2 = 1` local to
+/// Type A transactions (keys below the pivot), `B1 = 2`, `B2 = 3` local to
+/// Type B, a 4-2-3 configuration, and a locality-aware quorum policy.
+///
+/// Returns the message accounting; the paper's claims translate to
+/// `read_locality() == 1.0` and `remote_write_per_member` balanced across
+/// the two remote representatives for each type.
+///
+/// # Panics
+///
+/// Panics on suite errors (all representatives stay up during the run).
+pub fn run_locality(ops: u64, seed: u64) -> LocalityReport {
+    let pivot_val = 50u64;
+    let pivot = Key::User(UserKey::from_u64(pivot_val));
+    let config = SuiteConfig::symmetric(4, 2, 3).expect("4-2-3 is legal");
+    let clients: Vec<LocalRep> = (0..4).map(|i| LocalRep::new(RepId(i))).collect();
+    let policy = LocalityPolicy::new(pivot, vec![0, 1], vec![2, 3]);
+    let mut suite = DirSuite::new(clients, config, Box::new(policy)).expect("valid suite");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut report = LocalityReport {
+        remote_write_per_member: vec![0; 4],
+        ..LocalityReport::default()
+    };
+    // Track live keys per side so updates/deletes target existing entries.
+    let mut low_keys: Vec<u64> = Vec::new();
+    let mut high_keys: Vec<u64> = Vec::new();
+
+    for _ in 0..ops {
+        // Pick a transaction type; its keys stay on its side of the pivot.
+        let type_a = rng.gen_bool(0.5);
+        let (side, base) = if type_a {
+            (&mut low_keys, 0)
+        } else {
+            (&mut high_keys, pivot_val)
+        };
+        let local_members: [usize; 2] = if type_a { [0, 1] } else { [2, 3] };
+
+        let before = suite.message_counts().to_vec();
+        let is_inquiry = rng.gen_bool(0.5);
+        let mut write_op = false;
+        if is_inquiry {
+            let k = base + rng.gen_range(0..pivot_val);
+            let _ = suite.lookup(&key_of(k)).expect("lookup");
+            report.inquiries += 1;
+        } else {
+            write_op = true;
+            report.modifications += 1;
+            if side.is_empty() || (side.len() < 25 && rng.gen_bool(0.6)) {
+                // Insert a fresh key on this side.
+                loop {
+                    let k = base + rng.gen_range(0..pivot_val);
+                    if !side.contains(&k) {
+                        suite
+                            .insert(&key_of(k), &Value::from("v"))
+                            .expect("insert");
+                        side.push(k);
+                        break;
+                    }
+                }
+            } else if rng.gen_bool(0.5) {
+                let idx = rng.gen_range(0..side.len());
+                suite
+                    .update(&key_of(side[idx]), &Value::from("v2"))
+                    .expect("update");
+            } else {
+                let idx = rng.gen_range(0..side.len());
+                let k = side.swap_remove(idx);
+                suite.delete(&key_of(k)).expect("delete");
+            }
+        }
+        let after = suite.message_counts();
+        for m in 0..4 {
+            let delta = after[m] - before[m];
+            if delta == 0 {
+                continue;
+            }
+            let local = local_members.contains(&m);
+            match (write_op, local) {
+                (false, true) => report.local_read_rpcs += delta,
+                (false, false) => report.remote_read_rpcs += delta,
+                (true, true) => report.local_write_rpcs += delta,
+                (true, false) => {
+                    report.remote_write_rpcs += delta;
+                    report.remote_write_per_member[m] += delta;
+                }
+            }
+        }
+    }
+    report
+}
+
+fn key_of(n: u64) -> Key {
+    Key::User(UserKey::from_u64(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inquiries_are_fully_local() {
+        let report = run_locality(2000, 1);
+        assert!(report.inquiries > 0);
+        assert_eq!(
+            report.remote_read_rpcs, 0,
+            "Fig 16: all inquiries can be done locally"
+        );
+        assert!((report.read_locality() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remote_writes_spread_evenly() {
+        let report = run_locality(4000, 2);
+        assert!(report.modifications > 0);
+        // Every representative receives some remote-write traffic (each is
+        // remote to the other type's transactions)...
+        let total: u64 = report.remote_write_per_member.iter().sum();
+        assert!(total > 0);
+        // ...and the split within each remote pair is balanced to within
+        // 25% (rotation plus workload noise).
+        for pair in [[2usize, 3], [0, 1]] {
+            let a = report.remote_write_per_member[pair[0]] as f64;
+            let b = report.remote_write_per_member[pair[1]] as f64;
+            let ratio = a.max(b) / a.min(b).max(1.0);
+            assert!(ratio < 1.25, "uneven remote split: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn modifications_use_one_remote_member_each() {
+        // W = 3 with 2 local members: exactly one remote member per write
+        // quorum.
+        let report = run_locality(1000, 3);
+        // Remote write RPCs exist but are a minority of write traffic.
+        assert!(report.remote_write_rpcs > 0);
+        assert!(report.local_write_rpcs > report.remote_write_rpcs);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(run_locality(500, 9), run_locality(500, 9));
+    }
+}

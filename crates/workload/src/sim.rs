@@ -1,0 +1,425 @@
+//! The paper's §4 simulation: steady-state uniform-random workloads over a
+//! directory suite, collecting the three deletion statistics.
+//!
+//! "Figure 14 shows the average results of simulations using directory
+//! sizes of approximately one hundred entries with varying numbers of
+//! directory representatives and varying sizes of read and write quorums.
+//! The duration of each simulation was ten thousand operations, and the
+//! members of quorums and the keys to insert, update, or delete were
+//! selected randomly from a uniform distribution."
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repdir_core::rng::SplitMix64;
+use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, StickyPolicy, SuiteConfig};
+use repdir_core::{Key, LocalRep, SuiteError, UserKey, Value};
+
+use crate::stats::{Histogram, RunningStat};
+
+/// Which quorum-selection policy a simulation uses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PolicyKind {
+    /// Uniform random permutation per operation — the paper's setup.
+    Random,
+    /// A preferred permutation re-drawn with the given probability per
+    /// operation (§5's "write quorums change infrequently").
+    Sticky(f64),
+}
+
+impl PolicyKind {
+    fn build(self, seed: u64) -> Box<dyn QuorumPolicy + Send> {
+        match self {
+            PolicyKind::Random => Box::new(RandomPolicy::new(seed)),
+            PolicyKind::Sticky(p) => Box::new(StickyPolicy::new(seed, p)),
+        }
+    }
+}
+
+/// Parameters of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimParams {
+    /// Suite configuration (`x-y-z`).
+    pub config: SuiteConfig,
+    /// Steady-state directory size the workload regulates around.
+    pub target_size: usize,
+    /// Counted operations (after the warm-up fill).
+    pub ops: u64,
+    /// Seed for keys, operation choices, and quorum selection.
+    pub seed: u64,
+    /// Quorum selection policy.
+    pub policy: PolicyKind,
+    /// Fraction of operations that are updates (the rest split between
+    /// inserts and deletes, biased to hold the target size).
+    pub update_fraction: f64,
+    /// Cross-check every suite reply against a sequential model (slower;
+    /// on by default — a simulation that silently corrupts is worthless).
+    pub check_model: bool,
+    /// §4 neighbor-RPC batch size (1 = the unbatched Fig. 12 search).
+    pub neighbor_batch: usize,
+}
+
+impl SimParams {
+    /// The paper's Figure 14 setup for one configuration: ~100 entries,
+    /// 10 000 operations, uniform random everything.
+    pub fn figure14(config: SuiteConfig, seed: u64) -> Self {
+        SimParams {
+            config,
+            target_size: 100,
+            ops: 10_000,
+            seed,
+            policy: PolicyKind::Random,
+            update_fraction: 0.2,
+            check_model: true,
+            neighbor_batch: 1,
+        }
+    }
+
+    /// The paper's Figure 15 setup: a 3-2-2 suite at the given size,
+    /// 100 000 operations.
+    pub fn figure15(target_size: usize, seed: u64) -> Self {
+        SimParams {
+            config: SuiteConfig::symmetric(3, 2, 2).expect("3-2-2 is legal"),
+            target_size,
+            ops: 100_000,
+            seed,
+            policy: PolicyKind::Random,
+            update_fraction: 0.2,
+            check_model: true,
+            neighbor_batch: 1,
+        }
+    }
+}
+
+/// Aggregated results of one simulation run — the three §4 statistics plus
+/// supporting detail.
+#[derive(Clone, Debug, Default)]
+pub struct SimReport {
+    /// "Entries in ranges coalesced": per write-quorum representative, the
+    /// entries removed by each delete's coalesce (deleted entry + ghosts).
+    pub entries_coalesced: RunningStat,
+    /// "Deletions while coalescing": ghost entries removed per suite
+    /// delete.
+    pub deletions_while_coalescing: RunningStat,
+    /// "Insertions while coalescing": real-predecessor/successor copies
+    /// installed per suite delete.
+    pub insertions_while_coalescing: RunningStat,
+    /// Combined real-predecessor + real-successor search iterations per
+    /// delete (the §4 message-batching claim).
+    pub search_steps: Histogram,
+    /// Neighbor-chain RPCs per delete (across both searches and all quorum
+    /// members) — what §4 batching reduces.
+    pub neighbor_rpcs: RunningStat,
+    /// Operations executed by kind.
+    pub inserts: u64,
+    /// Update count.
+    pub updates: u64,
+    /// Delete count.
+    pub deletes: u64,
+    /// Directory size when the run ended.
+    pub final_size: usize,
+    /// Per-representative entry counts at the end (ghost load indicator).
+    pub rep_entry_counts: Vec<usize>,
+}
+
+impl SimReport {
+    /// Renders the three statistics in the paper's `Avg Max Std Dev` rows.
+    pub fn figure_rows(&self) -> String {
+        format!(
+            "Entries in ranges coalesced    {}\n\
+             Deletions while coalescing     {}\n\
+             Insertions while coalescing    {}",
+            self.entries_coalesced,
+            self.deletions_while_coalescing,
+            self.insertions_while_coalescing
+        )
+    }
+}
+
+/// Runs one steady-state simulation.
+///
+/// The workload first fills the directory to `target_size` (uncounted),
+/// then performs `params.ops` operations: updates with probability
+/// `update_fraction`; otherwise an insert of a fresh uniform key or a
+/// delete of a uniform existing key, with the insert/delete coin biased
+/// toward the target size (a mean-reverting random walk, keeping "sizes of
+/// approximately one hundred entries").
+///
+/// # Panics
+///
+/// Panics if the suite returns an error (the simulation runs with all
+/// representatives up, so every quorum is reachable) or — with
+/// `check_model` — if a reply ever disagrees with the sequential model.
+pub fn run_sim(params: &SimParams) -> SimReport {
+    let mut seeds = SplitMix64::new(params.seed);
+    let policy = params.policy.build(seeds.next_u64());
+    let clients = (0..params.config.member_count())
+        .map(|i| LocalRep::new(repdir_core::RepId(i as u32)))
+        .collect();
+    let mut suite =
+        DirSuite::new(clients, params.config.clone(), policy).expect("valid configuration");
+    suite.set_neighbor_batch(params.neighbor_batch);
+    let mut rng = StdRng::seed_from_u64(seeds.next_u64());
+    let mut model = Model::new();
+    let mut report = SimReport::default();
+
+    // Warm-up fill (not counted in the statistics).
+    while model.len() < params.target_size {
+        let (key, stamp) = model.fresh_key(&mut rng);
+        suite
+            .insert(&Key::User(key.clone()), &value_for(stamp))
+            .expect("warm-up insert");
+        model.insert(key, stamp);
+    }
+
+    for _ in 0..params.ops {
+        let roll: f64 = rng.gen();
+        if roll < params.update_fraction && !model.is_empty() {
+            // Update a uniform existing key.
+            let key = model.random_key(&mut rng);
+            let stamp = rng.gen();
+            suite
+                .update(&Key::User(key.clone()), &value_for(stamp))
+                .expect("update existing");
+            model.insert(key, stamp);
+            report.updates += 1;
+        } else {
+            // Insert/delete, biased toward the target size.
+            let size = model.len() as f64;
+            let target = params.target_size as f64;
+            let p_insert = (0.5 + 0.5 * (target - size) / target).clamp(0.05, 0.95);
+            if model.is_empty() || rng.gen_bool(p_insert) {
+                let (key, stamp) = model.fresh_key(&mut rng);
+                suite
+                    .insert(&Key::User(key.clone()), &value_for(stamp))
+                    .expect("insert fresh");
+                model.insert(key, stamp);
+                report.inserts += 1;
+            } else {
+                let key = model.random_key(&mut rng);
+                let out = suite.delete(&Key::User(key.clone())).expect("delete existing");
+                model.remove(&key);
+                report.deletes += 1;
+                for (_, removed) in &out.entries_in_range {
+                    report.entries_coalesced.push(*removed as f64);
+                }
+                report
+                    .deletions_while_coalescing
+                    .push(out.ghosts_deleted as f64);
+                report
+                    .insertions_while_coalescing
+                    .push(out.copies_inserted as f64);
+                report
+                    .search_steps
+                    .record((out.pred_steps + out.succ_steps) as usize);
+                report
+                    .neighbor_rpcs
+                    .push((out.pred_rpcs + out.succ_rpcs) as f64);
+            }
+        }
+        if params.check_model {
+            // Spot-check a uniform key against the model: either a current
+            // entry or a uniformly random absent key.
+            let probe = if !model.is_empty() && rng.gen_bool(0.5) {
+                model.random_key(&mut rng)
+            } else {
+                UserKey::from_u64(rng.gen())
+            };
+            let got = suite.lookup(&Key::User(probe.clone())).expect("lookup");
+            match model.get(&probe) {
+                Some(stamp) => {
+                    assert!(got.present, "model has {probe:?}, suite says absent");
+                    assert_eq!(
+                        got.value.as_ref(),
+                        Some(&value_for(*stamp)),
+                        "value mismatch for {probe:?}"
+                    );
+                }
+                None => assert!(!got.present, "suite resurrected {probe:?}"),
+            }
+        }
+    }
+
+    report.final_size = model.len();
+    report.rep_entry_counts = (0..suite.member_count())
+        .map(|i| suite.member(i).len())
+        .collect();
+    report
+}
+
+fn value_for(stamp: u64) -> Value {
+    Value::from(stamp.to_le_bytes().to_vec())
+}
+
+/// The sequential oracle: a map plus a dense key vector for O(1) uniform
+/// sampling of existing keys.
+#[derive(Default)]
+struct Model {
+    slots: HashMap<UserKey, (usize, u64)>,
+    keys: Vec<UserKey>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model::default()
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    fn get(&self, key: &UserKey) -> Option<&u64> {
+        self.slots.get(key).map(|(_, stamp)| stamp)
+    }
+
+    fn insert(&mut self, key: UserKey, stamp: u64) {
+        match self.slots.get_mut(&key) {
+            Some((_, slot)) => *slot = stamp,
+            None => {
+                self.slots.insert(key.clone(), (self.keys.len(), stamp));
+                self.keys.push(key);
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &UserKey) {
+        if let Some((idx, _)) = self.slots.remove(key) {
+            self.keys.swap_remove(idx);
+            if let Some(moved) = self.keys.get(idx) {
+                self.slots.get_mut(moved).expect("moved key tracked").0 = idx;
+            }
+        }
+    }
+
+    fn random_key(&self, rng: &mut StdRng) -> UserKey {
+        self.keys[rng.gen_range(0..self.keys.len())].clone()
+    }
+
+    fn fresh_key(&self, rng: &mut StdRng) -> (UserKey, u64) {
+        loop {
+            let key = UserKey::from_u64(rng.gen());
+            if !self.slots.contains_key(&key) {
+                return (key, rng.gen());
+            }
+        }
+    }
+}
+
+/// Convenience error type for drivers that surface suite failures instead
+/// of panicking.
+pub type SimResult<T> = Result<T, SuiteError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(config: SuiteConfig, seed: u64) -> SimParams {
+        SimParams {
+            config,
+            target_size: 30,
+            ops: 800,
+            seed,
+            policy: PolicyKind::Random,
+            update_fraction: 0.2,
+            check_model: true,
+            neighbor_batch: 1,
+        }
+    }
+
+    #[test]
+    fn steady_state_stays_near_target() {
+        let report = run_sim(&quick(SuiteConfig::symmetric(3, 2, 2).unwrap(), 1));
+        assert!(
+            report.final_size >= 10 && report.final_size <= 60,
+            "size drifted to {}",
+            report.final_size
+        );
+        assert!(report.deletes > 50, "deletes: {}", report.deletes);
+        assert!(report.inserts > 50);
+        assert!(report.updates > 50);
+    }
+
+    #[test]
+    fn model_check_holds_across_configs() {
+        for (n, r, w) in [(1, 1, 1), (2, 1, 2), (3, 2, 2), (4, 2, 3), (5, 3, 3)] {
+            let config = SuiteConfig::symmetric(n, r, w).unwrap();
+            // run_sim panics on any model divergence.
+            let report = run_sim(&quick(config, 7 + n as u64));
+            assert_eq!(
+                report.deletes,
+                report.deletions_while_coalescing.count()
+            );
+        }
+    }
+
+    #[test]
+    fn single_rep_suite_has_no_replication_overhead() {
+        let report = run_sim(&quick(SuiteConfig::symmetric(1, 1, 1).unwrap(), 3));
+        // With one representative there are never ghosts or missing
+        // neighbors.
+        assert_eq!(report.deletions_while_coalescing.mean(), 0.0);
+        assert_eq!(report.insertions_while_coalescing.mean(), 0.0);
+        // Every coalesce removes exactly the deleted entry.
+        assert!((report.entries_coalesced.mean() - 1.0).abs() < 1e-9);
+        assert_eq!(report.entries_coalesced.max(), 1.0);
+    }
+
+    #[test]
+    fn unanimous_write_quorum_has_no_ghosts() {
+        // W = N: every replica sees every write, so deletes never find
+        // ghosts and never copy neighbors.
+        let report = run_sim(&quick(SuiteConfig::symmetric(3, 1, 3).unwrap(), 4));
+        assert_eq!(report.deletions_while_coalescing.mean(), 0.0);
+        assert_eq!(report.insertions_while_coalescing.mean(), 0.0);
+    }
+
+    #[test]
+    fn random_quorums_do_produce_ghost_work_in_322() {
+        let report = run_sim(&quick(SuiteConfig::symmetric(3, 2, 2).unwrap(), 5));
+        assert!(
+            report.entries_coalesced.mean() > 1.0,
+            "ghosts should appear: {}",
+            report.entries_coalesced.mean()
+        );
+        assert!(report.insertions_while_coalescing.mean() > 0.0);
+    }
+
+    #[test]
+    fn sticky_quorums_reduce_coalescing_work() {
+        let mut random = quick(SuiteConfig::symmetric(3, 2, 2).unwrap(), 6);
+        random.ops = 2000;
+        let mut sticky = random.clone();
+        sticky.policy = PolicyKind::Sticky(0.01);
+        let r = run_sim(&random);
+        let s = run_sim(&sticky);
+        assert!(
+            s.deletions_while_coalescing.mean() < r.deletions_while_coalescing.mean(),
+            "sticky {} !< random {}",
+            s.deletions_while_coalescing.mean(),
+            r.deletions_while_coalescing.mean()
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = quick(SuiteConfig::symmetric(3, 2, 2).unwrap(), 42);
+        let a = run_sim(&p);
+        let b = run_sim(&p);
+        assert_eq!(a.entries_coalesced, b.entries_coalesced);
+        assert_eq!(a.final_size, b.final_size);
+        assert_eq!(a.rep_entry_counts, b.rep_entry_counts);
+    }
+
+    #[test]
+    fn figure_rows_render() {
+        let report = run_sim(&quick(SuiteConfig::symmetric(3, 2, 2).unwrap(), 8));
+        let rows = report.figure_rows();
+        assert!(rows.contains("Entries in ranges coalesced"));
+        assert!(rows.lines().count() == 3);
+    }
+}

@@ -1,0 +1,258 @@
+//! Statistics accumulators for the simulation reports.
+
+use std::fmt;
+
+/// Running mean / max / standard deviation over streamed samples
+/// (Welford's algorithm — single pass, numerically stable).
+///
+/// The paper's Figure 15 reports exactly these three aggregates (Avg, Max,
+/// Std Dev) for each statistic.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_workload::RunningStat;
+///
+/// let mut s = RunningStat::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.max(), 3.0);
+/// assert_eq!(s.count(), 3);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunningStat {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    max: f64,
+}
+
+impl RunningStat {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStat::default()
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if self.n == 1 || x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Population standard deviation (0 when fewer than 2 samples).
+    pub fn std_dev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningStat) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+    }
+}
+
+impl fmt::Display for RunningStat {
+    /// `avg max σ` in the paper's Figure 15 layout.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.2} {:>3} {:.2}",
+            self.mean(),
+            self.max() as u64,
+            self.std_dev()
+        )
+    }
+}
+
+/// A histogram over small non-negative integers (search-step counts,
+/// quorum sizes, …).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `value`.
+    pub fn record(&mut self, value: usize) {
+        if self.counts.len() <= value {
+            self.counts.resize(value + 1, 0);
+        }
+        self.counts[value] += 1;
+        self.total += 1;
+    }
+
+    /// Observations of exactly `value`.
+    pub fn count(&self, value: usize) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Fraction of observations `<= value` (0 when empty).
+    pub fn fraction_at_most(&self, value: usize) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self.counts.iter().take(value + 1).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// `(value, count)` pairs with non-zero counts.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, &c)| (v, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_max_stddev_known_values() {
+        let mut s = RunningStat::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12, "{}", s.std_dev());
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn empty_stat_is_all_zero() {
+        let s = RunningStat::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert_eq!(s.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let mut s = RunningStat::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.std_dev(), 0.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn merge_equals_pushing_everything() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64) * 0.7 - 3.0).collect();
+        let mut whole = RunningStat::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = RunningStat::new();
+        let mut b = RunningStat::new();
+        for &x in &xs[..20] {
+            a.push(x);
+        }
+        for &x in &xs[20..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.std_dev() - whole.std_dev()).abs() < 1e-9);
+        assert_eq!(a.max(), whole.max());
+        assert_eq!(a.count(), whole.count());
+
+        // Merging into/from empties.
+        let mut e = RunningStat::new();
+        e.merge(&whole);
+        assert_eq!(e, whole);
+        let before = whole;
+        let mut w2 = whole;
+        w2.merge(&RunningStat::new());
+        assert_eq!(w2, before);
+    }
+
+    #[test]
+    fn display_matches_figure15_layout() {
+        let mut s = RunningStat::new();
+        s.push(1.0);
+        s.push(2.0);
+        let line = s.to_string();
+        assert!(line.starts_with("1.50"), "{line}");
+        assert!(line.contains('2'), "{line}");
+    }
+
+    #[test]
+    fn histogram_counts_and_fractions() {
+        let mut h = Histogram::new();
+        for v in [1, 1, 1, 2, 2, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.count(1), 3);
+        assert_eq!(h.count(2), 2);
+        assert_eq!(h.count(0), 0);
+        assert_eq!(h.count(99), 0);
+        assert_eq!(h.total(), 6);
+        assert!((h.fraction_at_most(1) - 0.5).abs() < 1e-12);
+        assert!((h.fraction_at_most(2) - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(h.buckets().count(), 3);
+        assert_eq!(Histogram::new().fraction_at_most(5), 0.0);
+    }
+}

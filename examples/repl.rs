@@ -1,0 +1,163 @@
+//! An interactive shell over a replicated directory — poke at the
+//! algorithm by hand: insert and delete entries, fail representatives,
+//! script quorums, and inspect per-representative state (including ghosts)
+//! in the paper's figure notation.
+//!
+//! ```text
+//! cargo run --example repl
+//! # or scripted:
+//! printf 'insert a 1\ninsert b 2\nfail 2\ndelete a\nheal 2\nstate\nquit\n' \
+//!   | cargo run --example repl
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use repdir::core::suite::{DirSuite, FixedPolicy, RandomPolicy, SuiteConfig};
+use repdir::core::{Key, LocalRep, RepId, Value};
+
+const HELP: &str = "\
+commands:
+  insert <key> <value>     DirSuiteInsert
+  update <key> <value>     DirSuiteUpdate
+  lookup <key>             DirSuiteLookup (shows winning version)
+  delete <key>             DirSuiteDelete (shows pred/succ/ghost stats)
+  scan                     list the suite's logical contents
+  state                    per-representative physical state (incl. ghosts)
+  fail <rep>               take a representative down (0-based index)
+  heal <rep>               bring it back
+  quorum <i> <j> ...       pin quorum preference order (FixedPolicy)
+  quorum random            back to uniformly random quorums
+  help                     this text
+  quit                     exit";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let clients: Vec<LocalRep> = (0..3).map(|i| LocalRep::new(RepId(i))).collect();
+    let mut suite = DirSuite::new(
+        clients,
+        SuiteConfig::symmetric(3, 2, 2)?,
+        Box::new(RandomPolicy::new(0xD1)),
+    )?;
+    println!("repdir shell — 3-2-2 suite (reps A, B, C). Type `help` for commands.");
+
+    let stdin = io::stdin();
+    loop {
+        print!("repdir> ");
+        io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        let result = match parts.as_slice() {
+            [] => Ok(()),
+            ["quit" | "exit"] => break,
+            ["help"] => {
+                println!("{HELP}");
+                Ok(())
+            }
+            ["insert", key, value] => suite
+                .insert(&Key::from(*key), &Value::from(*value))
+                .map(|out| println!("  inserted v{} via {:?}", out.version, out.quorum)),
+            ["update", key, value] => suite
+                .update(&Key::from(*key), &Value::from(*value))
+                .map(|out| println!("  updated to v{} via {:?}", out.version, out.quorum)),
+            ["lookup", key] => suite.lookup(&Key::from(*key)).map(|out| {
+                if out.present {
+                    println!(
+                        "  present v{} = {:?} (quorum {:?})",
+                        out.version,
+                        out.value
+                            .map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
+                            .unwrap_or_default(),
+                        out.quorum
+                    );
+                } else {
+                    println!("  not present (gap v{}, quorum {:?})", out.version, out.quorum);
+                }
+            }),
+            ["delete", key] => suite.delete(&Key::from(*key)).map(|out| {
+                println!(
+                    "  coalesced ({:?}, {:?}) at v{}; {} neighbor copies, {} ghosts swept",
+                    out.predecessor,
+                    out.successor,
+                    out.gap_version,
+                    out.copies_inserted,
+                    out.ghosts_deleted
+                );
+            }),
+            ["scan"] => suite.scan().map(|entries| {
+                if entries.is_empty() {
+                    println!("  (empty)");
+                }
+                for (k, v) in entries {
+                    println!("  {k} = {}", String::from_utf8_lossy(v.as_bytes()));
+                }
+            }),
+            ["state"] => {
+                for i in 0..suite.member_count() {
+                    println!(
+                        "  {} {}: {:?}",
+                        RepId(i as u32).letter(),
+                        if suite.member(i).is_available() {
+                            "up  "
+                        } else {
+                            "DOWN"
+                        },
+                        suite.member(i).snapshot()
+                    );
+                }
+                Ok(())
+            }
+            ["fail", idx] => match idx.parse::<usize>() {
+                Ok(i) if i < suite.member_count() => {
+                    suite.member(i).set_available(false);
+                    println!("  representative {} is down", RepId(i as u32).letter());
+                    Ok(())
+                }
+                _ => {
+                    println!("  no such representative");
+                    Ok(())
+                }
+            },
+            ["heal", idx] => match idx.parse::<usize>() {
+                Ok(i) if i < suite.member_count() => {
+                    suite.member(i).set_available(true);
+                    println!("  representative {} is back", RepId(i as u32).letter());
+                    Ok(())
+                }
+                _ => {
+                    println!("  no such representative");
+                    Ok(())
+                }
+            },
+            ["quorum", "random"] => {
+                suite.set_policy(Box::new(RandomPolicy::new(0xD2)));
+                println!("  quorum selection: uniformly random");
+                Ok(())
+            }
+            ["quorum", rest @ ..] => {
+                let order: Result<Vec<usize>, _> = rest.iter().map(|s| s.parse()).collect();
+                match order {
+                    Ok(order) if !order.is_empty() => {
+                        println!("  quorum preference pinned to {order:?}");
+                        suite.set_policy(Box::new(FixedPolicy::with_order(order)));
+                        Ok(())
+                    }
+                    _ => {
+                        println!("  usage: quorum <i> <j> ... | quorum random");
+                        Ok(())
+                    }
+                }
+            }
+            _ => {
+                println!("  unrecognized; `help` lists commands");
+                Ok(())
+            }
+        };
+        if let Err(e) = result {
+            println!("  error: {e}");
+        }
+    }
+    println!("bye");
+    Ok(())
+}

@@ -1,0 +1,79 @@
+//! Weighted votes and weak representatives (§2): "the sizes of the read and
+//! write quorums may be varied to adjust the relative cost and availability
+//! of reads and writes … representatives with zero votes may be used as
+//! hints."
+//!
+//! Builds a suite with one 2-vote "strong" representative, two 1-vote
+//! peers, and a zero-vote weak mirror; shows how vote weight shapes quorum
+//! membership, availability, and where hint reads can come from.
+//!
+//! ```text
+//! cargo run --example weighted_votes
+//! ```
+
+use repdir::core::suite::{DirSuite, FixedPolicy, SuiteConfig};
+use repdir::core::{Key, LocalRep, RepClient, RepId, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Votes: A=2, B=1, C=1, D=0 (weak). Total 4; R=2, W=3.
+    //  * A alone is a read quorum (fast local reads at the heavy site).
+    //  * Writes need A + one peer, or both peers — never the weak D.
+    let config = SuiteConfig::new(vec![2, 1, 1, 0], 2, 3)?;
+    let clients: Vec<LocalRep> = (0..4).map(|i| LocalRep::new(RepId(i))).collect();
+    let weak = clients[3].clone();
+    let mut dir = DirSuite::new(clients, config, Box::new(FixedPolicy::new()))?;
+    dir.set_write_through_weak(true);
+    println!("suite: votes [2,1,1,0], R=2, W=3 (weak representative D)");
+
+    let out = dir.insert(&Key::from("motd"), &Value::from("hello"))?;
+    println!(
+        "insert wrote quorum {:?} — A's 2 votes + B's 1 make W=3",
+        out.quorum
+    );
+
+    let found = dir.lookup(&Key::from("motd"))?;
+    println!(
+        "lookup read quorum {:?} — A alone satisfies R=2",
+        found.quorum
+    );
+
+    // The weak representative received the entry as a hint even though it
+    // can never vote:
+    let hint = weak.lookup(&Key::from("motd"))?;
+    println!(
+        "weak D holds a hint copy: present={} v{}",
+        hint.is_present(),
+        hint.version()
+    );
+
+    // Availability shape: losing the heavy representative A leaves 2 votes
+    // — reads survive, writes do not.
+    dir.member(0).set_available(false);
+    let read = dir.lookup(&Key::from("motd"));
+    let write = dir.update(&Key::from("motd"), &Value::from("updated"));
+    println!(
+        "with A down: read {} / write {}",
+        if read.is_ok() { "OK" } else { "unavailable" },
+        if write.is_ok() { "OK" } else { "unavailable" },
+    );
+    assert!(read.is_ok());
+    assert!(write.is_err());
+
+    // Losing a light representative instead leaves 3 votes: all good.
+    dir.member(0).set_available(true);
+    dir.member(1).set_available(false);
+    dir.update(&Key::from("motd"), &Value::from("updated"))?;
+    println!("with only B down: reads and writes both fine (A+C = 3 votes)");
+
+    // Analytic view of the same trade-off.
+    use repdir::workload::weighted_availability;
+    let votes = [2u32, 1, 1, 0];
+    for p in [0.9, 0.99] {
+        println!(
+            "p={p}: read availability {:.4}, write availability {:.4}",
+            weighted_availability(&votes, 2, p),
+            weighted_availability(&votes, 3, p),
+        );
+    }
+    Ok(())
+}

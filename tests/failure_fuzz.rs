@@ -1,0 +1,133 @@
+//! Randomized failure injection against the full transactional stack:
+//! representatives flap up and down between operations; operations either
+//! succeed (and must be correct) or fail cleanly (and must leave no trace).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repdir::core::suite::SuiteConfig;
+use repdir::core::{Key, SuiteError, UserKey, Value};
+use repdir::replica::ReplicatedDirectory;
+use std::collections::BTreeMap;
+
+fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
+    let dir = ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2).unwrap(), seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model: BTreeMap<u8, u8> = BTreeMap::new();
+    let mut succeeded = 0u32;
+    let mut unavailable = 0u32;
+
+    for step in 0..ops {
+        // Flap representatives.
+        for rep in dir.reps() {
+            rep.set_available(rng.gen_bool(rep_up_prob));
+        }
+        let k = rng.gen_range(0u8..16);
+        let key = Key::User(UserKey::from_u64(k as u64));
+        let v: u8 = rng.gen();
+        let value = Value::from(vec![v]);
+        let in_model = model.contains_key(&k);
+
+        let result: Result<(), SuiteError> = match rng.gen_range(0..4) {
+            0 if !in_model => dir.insert(&key, &value).map(|_| {
+                model.insert(k, v);
+            }),
+            1 if in_model => dir.update(&key, &value).map(|_| {
+                model.insert(k, v);
+            }),
+            2 if in_model => dir.delete(&key).map(|_| {
+                model.remove(&k);
+            }),
+            _ => dir.lookup(&key).map(|out| {
+                assert_eq!(
+                    out.present, in_model,
+                    "step {step}: lookup({k}) disagreed with the model"
+                );
+                if let Some(mv) = model.get(&k) {
+                    assert_eq!(out.value, Some(Value::from(vec![*mv])));
+                }
+            }),
+        };
+        match result {
+            Ok(()) => succeeded += 1,
+            Err(SuiteError::QuorumUnavailable { .. }) | Err(SuiteError::Rep(_)) => {
+                unavailable += 1;
+                // Failed operations must leave no logical trace; verify by
+                // healing and re-reading the key.
+                for rep in dir.reps() {
+                    rep.set_available(true);
+                }
+                let out = dir.lookup(&key).expect("lookup with all up");
+                assert_eq!(
+                    out.present,
+                    model.contains_key(&k),
+                    "step {step}: failed op left residue on {k}"
+                );
+            }
+            Err(e) => panic!("step {step}: unexpected error {e}"),
+        }
+    }
+
+    // Final audit with everything healed.
+    for rep in dir.reps() {
+        rep.set_available(true);
+    }
+    for k in 0u8..16 {
+        let key = Key::User(UserKey::from_u64(k as u64));
+        let out = dir.lookup(&key).expect("final lookup");
+        assert_eq!(out.present, model.contains_key(&k), "final audit of {k}");
+    }
+    // Sanity on the mix: with p=0.8 both outcomes should appear.
+    if rep_up_prob < 0.95 {
+        assert!(succeeded > 0, "nothing succeeded");
+        assert!(unavailable > 0, "nothing failed — flapping ineffective?");
+    }
+}
+
+#[test]
+fn flapping_reps_at_80_percent() {
+    run_flapping(0xF1A9, 0.8, 300);
+}
+
+#[test]
+fn flapping_reps_at_60_percent() {
+    run_flapping(0xF1AA, 0.6, 300);
+}
+
+#[test]
+fn flapping_reps_at_95_percent_multiple_seeds() {
+    for seed in 0..4 {
+        run_flapping(0xF200 + seed, 0.95, 200);
+    }
+}
+
+/// Crash-recover a representative *between* operations of the same
+/// workload: recovery must agree with the model exactly.
+#[test]
+fn random_crashes_between_operations() {
+    let dir = ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2).unwrap(), 0xCAFE).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xCAFE);
+    let mut model: BTreeMap<u8, u8> = BTreeMap::new();
+    for _ in 0..250 {
+        if rng.gen_bool(0.1) {
+            let victim = rng.gen_range(0..3);
+            dir.reps()[victim].crash_and_recover().unwrap();
+        }
+        let k = rng.gen_range(0u8..12);
+        let key = Key::User(UserKey::from_u64(k as u64));
+        let v: u8 = rng.gen();
+        match rng.gen_range(0..3) {
+            0 if !model.contains_key(&k) => {
+                dir.insert(&key, &Value::from(vec![v])).unwrap();
+                model.insert(k, v);
+            }
+            1 if model.contains_key(&k) => {
+                dir.delete(&key).unwrap();
+                model.remove(&k);
+            }
+            _ => {
+                let out = dir.lookup(&key).unwrap();
+                assert_eq!(out.present, model.contains_key(&k));
+            }
+        }
+    }
+}
