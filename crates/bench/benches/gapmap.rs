@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the representative state structures: the
+//! Self-timed benchmarks of the representative state structures: the
 //! BTreeMap-backed `GapMap` against the paper-prescribed `GapBTree` (§5),
 //! at several sizes — the "no performance penalty except on Delete"
 //! abstract claim at the data-structure level.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repdir_core::{GapMap, Key, UserKey, Value, Version};
 use repdir_storage::GapBTree;
 

@@ -1,11 +1,11 @@
-//! Criterion benchmarks of the range-lock table: uncontended
+//! Self-timed benchmarks of the range-lock table: uncontended
 //! acquire/release, compatibility scanning with many holders, and
 //! multi-threaded disjoint acquisition.
 
 use std::sync::Arc;
 use std::time::Duration;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repdir_core::Key;
 use repdir_rangelock::{KeyRange, LockMode, RangeLockTable, TxnId};
 

@@ -1,9 +1,9 @@
-//! Criterion benchmarks of the durability substrate: WAL append/sync cost
+//! Self-timed benchmarks of the durability substrate: WAL append/sync cost
 //! per transaction, recovery replay speed, and checkpoint amortization.
 
 use std::sync::Arc;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repdir_core::{Key, UserKey, Value, Version};
 use repdir_storage::{DurableState, SimDisk};
 use repdir_txn::TxnId;

@@ -1,8 +1,8 @@
-//! Criterion benchmarks of the suite operations across configurations —
+//! Self-timed benchmarks of the suite operations across configurations —
 //! the per-operation cost behind Figures 14/15, including the delete path
 //! with its real-neighbor searches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repdir_bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use repdir_core::suite::{DirSuite, SuiteConfig};
 use repdir_core::{Key, LocalRep, UserKey, Value};
 

@@ -1,0 +1,273 @@
+//! A small self-timed benchmark harness with a Criterion-shaped surface.
+//!
+//! The workspace builds fully offline with no external crates, so the
+//! Criterion dependency was replaced by this module. It reproduces the
+//! subset of the API our benches use — [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a plain calibrate-warmup-sample
+//! measurement loop instead of Criterion's statistical machinery.
+//!
+//! Measurement model: each sample runs the routine enough iterations to
+//! take roughly [`TARGET_SAMPLE`], and the reported figure is nanoseconds
+//! per iteration. We print min / median / max over the collected samples;
+//! the median is the headline number. Results go to stdout, one line per
+//! benchmark, so `cargo bench -p repdir-bench` output is greppable.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-sample wall-clock target used by iteration-count calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Hard cap on iterations per sample, so nanosecond-scale routines do not
+/// spin for millions of iterations during calibration overshoot.
+const MAX_ITERS_PER_SAMPLE: u64 = 1_000_000;
+
+/// Number of untimed warmup samples before measurement begins.
+const WARMUP_SAMPLES: u64 = 3;
+
+/// Top-level benchmark driver, analogous to `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size;
+        run_one(&id.into().id, samples, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample-size override.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs one benchmark within the group; the printed label is
+    /// `group_name/benchmark_id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, samples, &mut f);
+        self
+    }
+
+    /// Ends the group. Present for Criterion compatibility; all output has
+    /// already been emitted by the time this is called.
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, printed as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Handed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// Nanoseconds per iteration, one entry per timed sample.
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Calibrates an iteration count, warms up, then collects timed
+    /// samples of `routine`. Return values are passed through
+    /// [`std::hint::black_box`] so the routine is not optimized away.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let sample_count = self.samples.capacity().max(1) as u64;
+
+        // Calibration: time a single run, then pick an iteration count
+        // that makes one sample last roughly TARGET_SAMPLE.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let single = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / single.as_nanos())
+            .clamp(1, MAX_ITERS_PER_SAMPLE as u128) as u64;
+
+        for _ in 0..WARMUP_SAMPLES * iters {
+            std::hint::black_box(routine());
+        }
+
+        for _ in 0..sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            self.samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+    }
+}
+
+fn run_one(label: &str, sample_count: usize, f: &mut impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(sample_count),
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<50} (no samples: closure never called iter)");
+        return;
+    }
+    let mut sorted = bencher.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let median = sorted[sorted.len() / 2];
+    println!(
+        "{label:<50} median {} (min {}, max {}, {} samples)",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:7.1} ns/iter")
+    } else if ns < 1_000_000.0 {
+        format!("{:7.2} us/iter", ns / 1_000.0)
+    } else {
+        format!("{:7.2} ms/iter", ns / 1_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::harness::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the `main` entry point for one or more benchmark groups,
+/// mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("lookup", 100).id, "lookup/100");
+        assert_eq!(BenchmarkId::from_parameter("3-2-2").id, "3-2-2");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            calls += 1;
+            b.iter(|| std::hint::black_box(1u64 + 2));
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn group_sample_size_overrides_criterion() {
+        let mut c = Criterion::default().sample_size(50);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(4);
+        let mut seen = 0usize;
+        group.bench_function("inner", |b| {
+            b.iter(|| std::hint::black_box(0u8));
+            seen = b.samples.len();
+        });
+        group.finish();
+        assert_eq!(seen, 4);
+    }
+}

@@ -1,0 +1,202 @@
+//! In-tree `Buf`/`BufMut`-style byte cursors.
+//!
+//! The wire codec and write-ahead log hand-roll little-endian,
+//! length-prefixed framing. They need only a reading cursor over `&[u8]`
+//! and appending writes into `Vec<u8>`, so rather than pulling in the
+//! `bytes` crate we define the two traits with exactly that surface.
+//!
+//! Reads are *checked by convention*: callers test [`Buf::remaining`] before
+//! each `get_*` (both the codec and the WAL decoder do), and the accessors
+//! panic on underflow just like their `bytes` namesakes.
+
+/// A cursor for reading little-endian scalars off a byte slice.
+///
+/// Implemented for `&[u8]`: each read advances the slice in place.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::bytes::{Buf, BufMut};
+///
+/// let mut out = Vec::new();
+/// out.put_u8(7);
+/// out.put_u32_le(300);
+/// let mut cursor: &[u8] = &out;
+/// assert_eq!(cursor.get_u8(), 7);
+/// assert_eq!(cursor.get_u32_le(), 300);
+/// assert_eq!(cursor.remaining(), 0);
+/// ```
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    ///
+    /// Panics if empty.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 bytes remain.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 8 bytes remain.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let v = u16::from_le_bytes(self[..2].try_into().expect("2 bytes"));
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self[..4].try_into().expect("4 bytes"));
+        *self = &self[4..];
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self[..8].try_into().expect("8 bytes"));
+        *self = &self[8..];
+        v
+    }
+}
+
+/// An appending writer of little-endian scalars.
+///
+/// Implemented for `Vec<u8>`, which grows as needed.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends raw bytes.
+    fn put_slice(&mut self, bytes: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, bytes: &[u8]) {
+        self.extend_from_slice(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut b = Vec::new();
+        b.put_u8(0xAB);
+        b.put_u16_le(0xBEEF);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        b.put_slice(&[1, 2, 3]);
+        assert_eq!(b.len(), 1 + 2 + 4 + 8 + 3);
+
+        let mut r: &[u8] = &b;
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.remaining(), 3);
+        r.advance(3);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout_matches_spec() {
+        let mut b = Vec::new();
+        b.put_u32_le(1);
+        assert_eq!(b, vec![1, 0, 0, 0]);
+        b.clear();
+        b.put_u64_le(0x0102_0304_0506_0708);
+        assert_eq!(b, vec![8, 7, 6, 5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn advance_moves_the_window() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.get_u8(), 3);
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut r: &[u8] = &[1, 2];
+        r.advance(3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn get_underflow_panics() {
+        let mut r: &[u8] = &[1, 2, 3];
+        let _ = r.get_u32_le();
+    }
+}

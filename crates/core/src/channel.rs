@@ -1,0 +1,241 @@
+//! An in-tree multi-producer channel with `crossbeam-channel`-style naming.
+//!
+//! Thin wrappers over [`std::sync::mpsc`] providing the subset the network
+//! fabric needs: [`unbounded`] construction, cloneable [`Sender`]s, and a
+//! [`Receiver`] with blocking, timed, and non-blocking receives. Keeping the
+//! types in-tree lets the workspace build fully offline and keeps the error
+//! vocabulary under our control.
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// Creates an unbounded FIFO channel.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::channel::unbounded;
+/// use std::time::Duration;
+///
+/// let (tx, rx) = unbounded();
+/// tx.send(7).unwrap();
+/// assert_eq!(rx.recv_timeout(Duration::from_secs(1)), Ok(7));
+/// ```
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// The sending half of a channel. Cloneable; dropping every sender
+/// disconnects the channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Enqueues a message. Fails only if the receiver was dropped, handing
+    /// the message back.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value).map_err(|e| SendError(e.0))
+    }
+}
+
+/// The receiving half of a channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives or every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv().map_err(|_| RecvError)
+    }
+
+    /// Blocks until a message arrives, every sender is dropped, or
+    /// `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout).map_err(|e| match e {
+            mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+            mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv().map_err(|e| match e {
+            mpsc::TryRecvError::Empty => TryRecvError::Empty,
+            mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+        })
+    }
+
+    /// Drains every message currently queued, without blocking.
+    pub fn drain(&self) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Ok(v) = self.try_recv() {
+            out.push(v);
+        }
+        out
+    }
+}
+
+/// The receiver was dropped; the unsent message is returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
+
+/// Every sender was dropped and the queue is empty.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("receiving on an empty, disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Why a timed receive returned nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The timeout elapsed with no message.
+    Timeout,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+impl std::fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
+/// Why a non-blocking receive returned nothing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// No message was queued.
+    Empty,
+    /// Every sender was dropped and the queue is empty.
+    Disconnected,
+}
+
+impl std::fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("channel is empty"),
+            TryRecvError::Disconnected => f.write_str("channel is empty and disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Instant;
+
+    #[test]
+    fn fifo_delivery() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn cloned_senders_share_the_queue() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let h1 = thread::spawn(move || {
+            for _ in 0..500 {
+                tx.send(1u32).unwrap();
+            }
+        });
+        let h2 = thread::spawn(move || {
+            for _ in 0..500 {
+                tx2.send(1u32).unwrap();
+            }
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let total: u32 = rx.drain().iter().sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn recv_timeout_expires_when_empty() {
+        let (tx, rx) = unbounded::<u8>();
+        let start = Instant::now();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(30)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        drop(tx);
+    }
+
+    #[test]
+    fn recv_timeout_delivers_before_expiry() {
+        let (tx, rx) = unbounded();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.send(9u8).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(9));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_reports_disconnect() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn try_recv_distinguishes_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(1).unwrap();
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_returns_message() {
+        let (tx, rx) = unbounded();
+        drop(rx);
+        assert_eq!(tx.send(41), Err(SendError(41)));
+    }
+}

@@ -65,12 +65,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytes;
+pub mod channel;
 mod error;
 mod gapmap;
 mod key;
+pub mod proptest_mini;
 mod rep;
 pub mod rng;
 pub mod suite;
+pub mod sync;
 mod value;
 mod version;
 

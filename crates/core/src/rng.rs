@@ -83,6 +83,153 @@ impl SplitMix64 {
     }
 }
 
+/// A seeded generator with `rand`-style convenience methods.
+///
+/// The workload generators, simulators, and fault injectors were written
+/// against `rand::rngs::StdRng`; this in-tree replacement (a thin wrapper
+/// over [`SplitMix64`]) keeps those call sites intact — `seed_from_u64`,
+/// [`gen`](StdRng::gen), [`gen_bool`](StdRng::gen_bool),
+/// [`gen_range`](StdRng::gen_range) — while making every stream
+/// reproducible from its seed with no external dependency. The streams are
+/// *not* bit-compatible with the `rand` crate's; only determinism per seed
+/// is promised.
+///
+/// # Examples
+///
+/// ```
+/// use repdir_core::rng::StdRng;
+///
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let die = rng.gen_range(1u8..7);
+/// assert!((1..7).contains(&die));
+/// let p: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&p));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StdRng {
+    inner: SplitMix64,
+}
+
+impl StdRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        StdRng {
+            inner: SplitMix64::new(seed),
+        }
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Returns a uniformly distributed value of `T` (integers over their
+    /// full domain, `f64` in `[0, 1)`).
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.next_bool(p)
+    }
+
+    /// Returns a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+
+    /// Shuffles a slice in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        self.inner.shuffle(items);
+    }
+}
+
+/// Types [`StdRng::gen`] can sample over their natural domain.
+pub trait Standard {
+    /// Draws one value.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! standard_uint {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample(rng: &mut StdRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_uint!(u8, u16, u32, u64, usize);
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Ranges [`StdRng::gen_range`] can sample uniformly.
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value from the range.
+    fn sample_from(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! uniform_uint_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range over empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.inner.next_below(span) as $t
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range over empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX as u64 {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.inner.next_below(span + 1) as $t
+            }
+        }
+    )*};
+}
+uniform_uint_range!(u8, u16, u32, u64, usize);
+
+impl UniformRange for core::ops::Range<i32> {
+    type Output = i32;
+    fn sample_from(self, rng: &mut StdRng) -> i32 {
+        assert!(self.start < self.end, "gen_range over empty range");
+        let span = (self.end as i64 - self.start as i64) as u64;
+        (self.start as i64 + rng.inner.next_below(span) as i64) as i32
+    }
+}
+
+impl UniformRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range over empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -153,6 +300,42 @@ mod tests {
         let mut a = SplitMix64::new(13);
         let mut f = a.fork();
         assert_ne!(a.next_u64(), f.next_u64());
+    }
+
+    #[test]
+    fn stdrng_deterministic_and_in_bounds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..500 {
+            assert!((0..16).contains(&a.gen_range(0u8..16)));
+            assert!((5..=9).contains(&a.gen_range(5u64..=9)));
+            assert!((0.0..1.0).contains(&a.gen_range(0.0f64..1.0)));
+            assert!((-3..4).contains(&a.gen_range(-3i32..4)));
+            let f: f64 = a.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn stdrng_gen_bool_extremes_and_rates() {
+        let mut r = StdRng::seed_from_u64(21);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 hit {hits}/10000");
+    }
+
+    #[test]
+    fn stdrng_inclusive_range_covers_endpoints() {
+        let mut r = StdRng::seed_from_u64(33);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -6,10 +6,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
-use parking_lot::{Condvar, Mutex};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir_core::channel::{unbounded, Receiver, Sender};
+use repdir_core::rng::StdRng;
+use repdir_core::sync::{Condvar, Mutex, MutexGuard};
 
 /// Identifies one node on the simulated network.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -348,7 +347,7 @@ fn delivery_loop(shared: Arc<Shared>) {
             let s = queue.pop().expect("peeked");
             // Drop the lock while delivering to avoid deadlocking with
             // senders holding mailboxes.
-            parking_lot::MutexGuard::unlocked(&mut queue, || {
+            MutexGuard::unlocked(&mut queue, || {
                 deliver_now(&shared, s.env);
             });
         }
@@ -380,12 +379,12 @@ impl Endpoint {
     ///
     /// # Errors
     ///
-    /// Returns `Err(())`-like `None`-style timeout via
-    /// [`crossbeam_channel::RecvTimeoutError`].
+    /// Returns [`RecvTimeoutError`](repdir_core::channel::RecvTimeoutError) on
+    /// timeout or disconnect.
     pub fn recv_timeout(
         &self,
         timeout: Duration,
-    ) -> Result<Envelope, crossbeam_channel::RecvTimeoutError> {
+    ) -> Result<Envelope, repdir_core::channel::RecvTimeoutError> {
         self.rx.recv_timeout(timeout)
     }
 

@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use repdir_core::sync::{Condvar, Mutex};
 
 use crate::range::{compatible, KeyRange, LockMode};
 
@@ -514,7 +514,7 @@ mod tests {
 
     mod properties {
         use super::*;
-        use proptest::prelude::*;
+        use repdir_core::proptest_mini::prelude::*;
         use repdir_core::UserKey;
 
         #[derive(Clone, Debug)]

@@ -6,7 +6,7 @@
 //! malformed input rather than panicking, since bytes arrive from the
 //! network.
 
-use bytes::{Buf, BufMut};
+use repdir_core::bytes::{Buf, BufMut};
 use repdir_core::{
     CoalesceOutcome, InsertOutcome, Key, LookupReply, NeighborReply, RemovedEntry, RepError,
     UserKey, Value, Version,

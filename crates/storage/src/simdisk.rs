@@ -10,7 +10,7 @@
 
 use std::fmt;
 
-use parking_lot::Mutex;
+use repdir_core::sync::Mutex;
 
 /// An append-only simulated disk.
 ///

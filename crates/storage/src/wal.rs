@@ -14,7 +14,7 @@
 //! Framing: `[u32 body-length][body][u32 crc32(body)]`, little-endian. A
 //! record whose frame is incomplete or whose CRC fails ends the usable log.
 
-use bytes::{Buf, BufMut};
+use repdir_core::bytes::{Buf, BufMut};
 use repdir_core::{GapMap, Key, UserKey, Value, Version};
 
 use crate::crc::crc32;

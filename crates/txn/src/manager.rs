@@ -5,7 +5,7 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
+use repdir_core::sync::Mutex;
 use repdir_core::RepError;
 use repdir_rangelock::TxnId;
 

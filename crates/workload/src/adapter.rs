@@ -2,8 +2,7 @@
 //! [`DirectoryOps`] interface, plus a generic empirical-availability
 //! driver.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir_core::rng::StdRng;
 use repdir_baselines::{BaselineError, DirectoryOps};
 use repdir_core::suite::{DirSuite, RandomPolicy, SuiteConfig};
 use repdir_core::{Key, LocalRep, RepId, SuiteError, Value};

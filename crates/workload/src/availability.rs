@@ -6,8 +6,7 @@
 //! worst case for writes. These closed-form models plus a Monte-Carlo
 //! cross-check generate the availability table in the benchmark harness.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir_core::rng::StdRng;
 use repdir_core::suite::SuiteConfig;
 
 /// Probability that at least `quorum` of `n` one-vote replicas are up, with

@@ -17,8 +17,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use repdir_core::rng::StdRng;
 use repdir_baselines::{BaselineError, FileSuite, StaticPartitionDirectory};
 use repdir_core::UserKey;
 

@@ -5,8 +5,7 @@
 //! concurrency". [`Zipf`] provides that uneven distribution for the skew
 //! experiments.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use repdir_core::rng::StdRng;
 
 /// A Zipf(θ) sampler over ranks `0..n`: rank `r` is drawn with probability
 /// proportional to `1 / (r + 1)^θ`.
@@ -18,8 +17,7 @@ use rand::Rng;
 /// # Examples
 ///
 /// ```
-/// use rand::rngs::StdRng;
-/// use rand::SeedableRng;
+/// use repdir_core::rng::StdRng;
 /// use repdir_workload::Zipf;
 ///
 /// let mut z = Zipf::new(0.99);
@@ -98,7 +96,6 @@ impl Zipf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn samples_stay_in_range() {

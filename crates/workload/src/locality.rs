@@ -9,8 +9,7 @@
 //! required for modification operations is evenly distributed among the
 //! remote representatives." (§5)
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir_core::rng::StdRng;
 use repdir_core::suite::{DirSuite, LocalityPolicy, SuiteConfig};
 use repdir_core::{Key, LocalRep, RepId, UserKey, Value};
 

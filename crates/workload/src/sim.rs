@@ -10,8 +10,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir_core::rng::StdRng;
 use repdir_core::rng::SplitMix64;
 use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, StickyPolicy, SuiteConfig};
 use repdir_core::{Key, LocalRep, SuiteError, UserKey, Value};

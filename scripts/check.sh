@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Offline verification gate for the repdir workspace.
+#
+# 1. Greps every Cargo.toml for dependencies that are not in-workspace
+#    `repdir-*` path crates (the zero-external-dependency policy, DESIGN.md §6).
+# 2. Builds the whole workspace offline (release, all targets).
+# 3. Runs the full test suite offline.
+#
+# Exits non-zero on the first violation or failure.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> dependency policy: only repdir-* path crates allowed"
+violations=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    # Examine dependency-table bodies only: lines "name = ..." or "name.workspace = ..."
+    # inside [dependencies] / [dev-dependencies] / [build-dependencies] /
+    # [workspace.dependencies] sections.
+    bad=$(awk '
+        /^\[/ { in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/) ; next }
+        in_deps && /^[a-zA-Z0-9_-]+(\.workspace)?[[:space:]]*=/ {
+            name = $1; sub(/\.workspace$/, "", name)
+            if (name !~ /^repdir-/) print FILENAME ": " $0
+        }
+    ' "$manifest" || true)
+    if [ -n "$bad" ]; then
+        echo "POLICY VIOLATION: non-repdir dependency in $manifest:"
+        echo "$bad"
+        violations=1
+    fi
+done
+if [ "$violations" -ne 0 ]; then
+    echo "FAIL: external dependencies found (see above)"
+    exit 1
+fi
+echo "    ok: no external dependencies declared"
+
+echo "==> cargo build --release --offline --workspace --all-targets"
+cargo build --release --offline --workspace --all-targets
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo build --offline --examples"
+cargo build --offline --examples
+
+echo "ALL CHECKS PASSED"

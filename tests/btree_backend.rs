@@ -2,8 +2,7 @@
 //! representation instead of the default map — same semantics, byte-level
 //! different storage.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir::core::rng::StdRng;
 use repdir::core::suite::SuiteConfig;
 use repdir::core::{Key, UserKey, Value};
 use repdir::replica::ReplicatedDirectory;
@@ -65,7 +64,7 @@ fn btree_and_map_backends_agree_on_a_random_workload() {
         let k = rng.gen_range(0u8..20);
         let key = Key::User(UserKey::from_u64(k as u64));
         let v: u8 = rng.gen();
-        match rng.gen_range(0..4) {
+        match rng.gen_range(0..4u8) {
             0 if !model.contains_key(&k) => {
                 map_dir.insert(&key, &Value::from(vec![v])).unwrap();
                 tree_dir.insert(&key, &Value::from(vec![v])).unwrap();

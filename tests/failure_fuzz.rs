@@ -2,8 +2,7 @@
 //! representatives flap up and down between operations; operations either
 //! succeed (and must be correct) or fail cleanly (and must leave no trace).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use repdir::core::rng::StdRng;
 use repdir::core::suite::SuiteConfig;
 use repdir::core::{Key, SuiteError, UserKey, Value};
 use repdir::replica::ReplicatedDirectory;
@@ -27,7 +26,7 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
         let value = Value::from(vec![v]);
         let in_model = model.contains_key(&k);
 
-        let result: Result<(), SuiteError> = match rng.gen_range(0..4) {
+        let result: Result<(), SuiteError> = match rng.gen_range(0..4u8) {
             0 if !in_model => dir.insert(&key, &value).map(|_| {
                 model.insert(k, v);
             }),
@@ -109,13 +108,13 @@ fn random_crashes_between_operations() {
     let mut model: BTreeMap<u8, u8> = BTreeMap::new();
     for _ in 0..250 {
         if rng.gen_bool(0.1) {
-            let victim = rng.gen_range(0..3);
+            let victim = rng.gen_range(0..3usize);
             dir.reps()[victim].crash_and_recover().unwrap();
         }
         let k = rng.gen_range(0u8..12);
         let key = Key::User(UserKey::from_u64(k as u64));
         let v: u8 = rng.gen();
-        match rng.gen_range(0..3) {
+        match rng.gen_range(0..3u8) {
             0 if !model.contains_key(&k) => {
                 dir.insert(&key, &Value::from(vec![v])).unwrap();
                 model.insert(k, v);

@@ -1,6 +1,6 @@
 //! Property-based tests of the core invariants, via proptest.
 
-use proptest::prelude::*;
+use repdir::core::proptest_mini::prelude::*;
 use repdir::core::suite::{DirSuite, SuiteConfig};
 use repdir::core::{GapMap, Key, UserKey, Value, Version};
 use repdir::storage::{decode_log, encode_record, GapBTree, WalRecord};

@@ -2,7 +2,7 @@
 //! crash point (including torn writes at arbitrary byte offsets), recovery
 //! must reconstruct exactly the state as of the last durable commit.
 
-use proptest::prelude::*;
+use repdir::core::proptest_mini::prelude::*;
 use repdir::core::{GapMap, Key, UserKey, Value, Version};
 use repdir::storage::{DurableState, SimDisk};
 use repdir::txn::TxnId;
