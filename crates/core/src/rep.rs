@@ -62,10 +62,13 @@ pub type RepResult<T> = Result<T, RepError>;
 /// Implementations must be usable from a shared reference: a suite fans one
 /// logical operation out to several representatives, and the concurrent
 /// implementations in `repdir-replica` serve many transactions at once.
+/// The `Send + Sync` supertraits let the suite's scatter-gather executor
+/// issue one wave of member RPCs from scoped threads — a quorum round costs
+/// the *slowest* member's latency, not the sum.
 ///
 /// Every method may return [`RepError::Unavailable`] if the representative
 /// is down or unreachable; the suite treats that as a vote it cannot collect.
-pub trait RepClient {
+pub trait RepClient: Send + Sync {
     /// This representative's identity within the suite.
     fn id(&self) -> RepId;
 

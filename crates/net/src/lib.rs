@@ -12,13 +12,16 @@
 //! * [`Network`] / [`Endpoint`] — registration, mailboxes, and delivery with
 //!   configurable latency ([`LatencyModel`]), message drop and duplication
 //!   ([`FaultPlan`]), and partitions ([`Network::partition`]);
-//! * [`RpcClient`] / [`serve`] — correlated request/response with deadlines
-//!   and stale-reply discarding.
+//! * [`RpcClient`] / [`serve`] — correlated request/response with deadlines,
+//!   stale-reply discarding, and scatter-gather concurrency: a router thread
+//!   demultiplexes replies by correlation id, so one client supports any
+//!   number of concurrent in-flight calls ([`RpcClient::call_async`]) and
+//!   N-way fan-out with replies in arrival order ([`RpcClient::scatter`]).
 //!
 //! Substitution note (see `DESIGN.md`): the repro hint suggests tokio; the
 //! offline crate set excludes it, so replica simulation runs on
-//! `std::thread` + `crossbeam-channel`, which serves laptop-scale suites
-//! equally well.
+//! `std::thread` + the in-tree `repdir_core::channel` substrate, which
+//! serves laptop-scale suites equally well.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -27,4 +30,4 @@ mod fabric;
 mod rpc;
 
 pub use fabric::{Endpoint, Envelope, FaultPlan, LatencyModel, MsgKind, NetStats, Network, NodeId};
-pub use rpc::{serve, RpcClient, RpcError, ServerHandle};
+pub use rpc::{serve, PendingReply, RpcClient, RpcError, Scatter, ServerHandle};

@@ -3,11 +3,25 @@
 //! This is the `Send(<procedure invocation>) to (<object instance>)`
 //! primitive of the paper's §3, with the error responses the paper elides
 //! (timeouts, unreachable peers) made explicit.
+//!
+//! The client is safe for **concurrent in-flight calls**: a router thread
+//! owns the node's mailbox and demultiplexes responses to per-call channels
+//! by correlation id, so any number of threads can [`call`](RpcClient::call)
+//! through one client at once, and a single thread can put N requests in
+//! flight with [`call_async`](RpcClient::call_async) or
+//! [`scatter`](RpcClient::scatter) and gather replies as they arrive. This
+//! turns a quorum round from sum-of-member-latencies into
+//! max-of-member-latencies — the cost model the paper's §3–§4 accounting
+//! assumes.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+use repdir_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use repdir_core::sync::Mutex;
 
 use crate::fabric::{Endpoint, MsgKind, Network, NodeId};
 
@@ -32,34 +46,78 @@ impl fmt::Display for RpcError {
 
 impl std::error::Error for RpcError {}
 
-/// A client that issues blocking calls from its own node.
+/// How often the router thread wakes to check for shutdown.
+const ROUTER_POLL: Duration = Duration::from_millis(25);
+
+/// A registered in-flight call: the channel its response routes to, plus
+/// the caller's tag (the request index within a [`scatter`](RpcClient::scatter),
+/// `0` for solo calls).
+#[derive(Debug)]
+struct PendingSlot {
+    tag: usize,
+    tx: Sender<(usize, Vec<u8>)>,
+}
+
+/// State shared between the client handle, its router thread, and
+/// outstanding [`PendingReply`]/[`Scatter`] handles.
+#[derive(Debug)]
+struct ClientShared {
+    pending: Mutex<HashMap<u64, PendingSlot>>,
+    shutdown: AtomicBool,
+}
+
+impl ClientShared {
+    fn unregister(&self, id: u64) {
+        self.pending.lock().remove(&id);
+    }
+}
+
+/// A client that issues calls from its own node.
 ///
-/// Stale responses (from calls that already timed out) are recognized by
-/// correlation id and discarded, so a late reply can never be mistaken for
-/// the answer to a newer call.
+/// Responses are matched to calls by correlation id in a dedicated router
+/// thread, so concurrent calls from many threads — or many async calls from
+/// one thread — never steal or discard each other's replies. Stale responses
+/// (from calls that already timed out and unregistered) are dropped at the
+/// router, so a late reply can never be mistaken for the answer to a newer
+/// call.
 pub struct RpcClient {
     net: Arc<Network>,
-    endpoint: Endpoint,
+    node: NodeId,
     next_id: AtomicU64,
+    shared: Arc<ClientShared>,
 }
 
 impl RpcClient {
-    /// Creates a client registered as `node`.
+    /// Creates a client registered as `node` and spawns its response
+    /// router.
     pub fn new(net: Arc<Network>, node: NodeId) -> Self {
         let endpoint = net.register(node);
+        let shared = Arc::new(ClientShared {
+            pending: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+        });
+        let router = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("repdir-rpc-router-{node}"))
+            .spawn(move || route_responses(endpoint, router))
+            .expect("spawn rpc router thread");
         RpcClient {
             net,
-            endpoint,
+            node,
             next_id: AtomicU64::new(1),
+            shared,
         }
     }
 
     /// This client's node id.
     pub fn node(&self) -> NodeId {
-        self.endpoint.node()
+        self.node
     }
 
     /// Sends `payload` to `dst` and blocks for the matching response.
+    ///
+    /// Safe to call from many threads at once: each call's response routes
+    /// to it alone.
     ///
     /// # Errors
     ///
@@ -71,44 +129,232 @@ impl RpcClient {
         payload: Vec<u8>,
         timeout: Duration,
     ) -> Result<Vec<u8>, RpcError> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        if !self
-            .net
-            .send(self.endpoint.node(), dst, MsgKind::Request(id), payload)
-        {
+        self.call_async(dst, payload)?.wait(timeout)
+    }
+
+    /// Sends `payload` to `dst` without waiting; the returned handle
+    /// collects the response later. Any number of calls may be in flight
+    /// at once.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Unreachable`] if `dst` never registered (detected at
+    /// send time; timeouts surface from [`PendingReply::wait`]).
+    pub fn call_async(&self, dst: NodeId, payload: Vec<u8>) -> Result<PendingReply, RpcError> {
+        let (tx, rx) = unbounded();
+        let id = self.register(0, tx);
+        if !self.net.send(self.node, dst, MsgKind::Request(id), payload) {
+            self.shared.unregister(id);
             return Err(RpcError::Unreachable(dst));
         }
-        let deadline = Instant::now() + timeout;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(RpcError::Timeout);
-            }
-            match self.endpoint.recv_timeout(remaining) {
-                Ok(env) => match env.kind {
-                    MsgKind::Response(rid) if rid == id => return Ok(env.payload),
-                    // Stale response from an abandoned call, or an
-                    // unexpected request: discard.
-                    _ => continue,
-                },
-                Err(_) => return Err(RpcError::Timeout),
+        Ok(PendingReply {
+            id,
+            rx,
+            shared: Arc::clone(&self.shared),
+        })
+    }
+
+    /// Puts every request in flight at once and returns a gather handle
+    /// that yields replies in **completion order** — the scatter half of
+    /// scatter-gather. Requests to unregistered destinations fail
+    /// immediately and are yielded (as [`RpcError::Unreachable`]) before
+    /// any network reply.
+    pub fn scatter(&self, requests: Vec<(NodeId, Vec<u8>)>) -> Scatter {
+        let (tx, rx) = unbounded();
+        let mut by_id = HashMap::with_capacity(requests.len());
+        let mut immediate = Vec::new();
+        for (index, (dst, payload)) in requests.into_iter().enumerate() {
+            let id = self.register(index, tx.clone());
+            if self.net.send(self.node, dst, MsgKind::Request(id), payload) {
+                by_id.insert(id, index);
+            } else {
+                self.shared.unregister(id);
+                immediate.push((index, Err(RpcError::Unreachable(dst))));
             }
         }
+        // Reverse so pop() yields lowest index first.
+        immediate.reverse();
+        Scatter {
+            shared: Arc::clone(&self.shared),
+            by_id,
+            rx,
+            immediate,
+        }
+    }
+
+    fn register(&self, tag: usize, tx: Sender<(usize, Vec<u8>)>) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shared.pending.lock().insert(id, PendingSlot { tag, tx });
+        id
+    }
+}
+
+impl Drop for RpcClient {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
     }
 }
 
 impl fmt::Debug for RpcClient {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RpcClient")
-            .field("node", &self.endpoint.node())
+            .field("node", &self.node)
+            .field("in_flight", &self.shared.pending.lock().len())
             .finish()
+    }
+}
+
+fn route_responses(endpoint: Endpoint, shared: Arc<ClientShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match endpoint.recv_timeout(ROUTER_POLL) {
+            Ok(env) => {
+                if let MsgKind::Response(rid) = env.kind {
+                    if let Some(slot) = shared.pending.lock().remove(&rid) {
+                        // The waiter may have just timed out and dropped its
+                        // receiver; that loss is indistinguishable from a
+                        // late reply and equally fine.
+                        let _ = slot.tx.send((slot.tag, env.payload));
+                    }
+                    // Unknown id: stale response from an abandoned call.
+                }
+                // Requests addressed to a pure client are dropped.
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            // Mailbox replaced (node re-registered): this router is orphaned.
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// One in-flight call created by [`RpcClient::call_async`].
+///
+/// Dropping the handle abandons the call; its eventual response is
+/// discarded at the router by correlation id.
+#[derive(Debug)]
+pub struct PendingReply {
+    id: u64,
+    rx: Receiver<(usize, Vec<u8>)>,
+    shared: Arc<ClientShared>,
+}
+
+impl PendingReply {
+    /// Blocks until the response arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] if no response arrived in time (the call is
+    /// unregistered; a later reply will be discarded).
+    pub fn wait(&self, timeout: Duration) -> Result<Vec<u8>, RpcError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok((_, payload)) => Ok(payload),
+            Err(_) => {
+                self.shared.unregister(self.id);
+                // A response routed between the timeout and the
+                // unregister above still counts as delivered.
+                match self.rx.try_recv() {
+                    Ok((_, payload)) => Ok(payload),
+                    Err(_) => Err(RpcError::Timeout),
+                }
+            }
+        }
+    }
+}
+
+impl Drop for PendingReply {
+    fn drop(&mut self) {
+        self.shared.unregister(self.id);
+    }
+}
+
+/// Gather handle returned by [`RpcClient::scatter`].
+#[derive(Debug)]
+pub struct Scatter {
+    shared: Arc<ClientShared>,
+    /// Correlation id → request index, for calls still outstanding.
+    by_id: HashMap<u64, usize>,
+    rx: Receiver<(usize, Vec<u8>)>,
+    /// Send-time failures, yielded (lowest index first) before any reply.
+    immediate: Vec<(usize, Result<Vec<u8>, RpcError>)>,
+}
+
+impl Scatter {
+    /// Number of requests not yet yielded.
+    pub fn outstanding(&self) -> usize {
+        self.by_id.len() + self.immediate.len()
+    }
+
+    /// Yields the next settled request as `(request index, result)`, in
+    /// completion order. Returns `None` once every request has been
+    /// yielded. If `timeout` elapses with no arrival, **one** outstanding
+    /// request (the lowest index) is failed with [`RpcError::Timeout`] and
+    /// yielded, so repeated calls always terminate.
+    pub fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Option<(usize, Result<Vec<u8>, RpcError>)> {
+        if let Some(settled) = self.immediate.pop() {
+            return Some(settled);
+        }
+        if self.by_id.is_empty() {
+            return None;
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok((index, payload)) => {
+                self.by_id.retain(|_, v| *v != index);
+                Some((index, Ok(payload)))
+            }
+            Err(_) => {
+                let (&id, &index) = self
+                    .by_id
+                    .iter()
+                    .min_by_key(|(_, &v)| v)
+                    .expect("outstanding nonempty");
+                self.by_id.remove(&id);
+                self.shared.unregister(id);
+                Some((index, Err(RpcError::Timeout)))
+            }
+        }
+    }
+
+    /// Gathers every remaining reply under one overall `deadline`,
+    /// returning results indexed by request position.
+    pub fn gather(mut self, deadline: Duration) -> Vec<Result<Vec<u8>, RpcError>> {
+        let total = self
+            .by_id
+            .values()
+            .copied()
+            .chain(self.immediate.iter().map(|(i, _)| *i))
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut out: Vec<Result<Vec<u8>, RpcError>> = Vec::new();
+        out.resize_with(total, || Err(RpcError::Timeout));
+        let until = Instant::now() + deadline;
+        while self.outstanding() > 0 {
+            let remaining = until.saturating_duration_since(Instant::now());
+            match self.recv_timeout(remaining) {
+                Some((index, result)) => out[index] = result,
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+impl Drop for Scatter {
+    fn drop(&mut self) {
+        for (&id, _) in self.by_id.iter() {
+            self.shared.unregister(id);
+        }
     }
 }
 
 /// Control handle for a running [`serve`] loop.
 #[derive(Debug, Clone)]
 pub struct ServerHandle {
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: Arc<AtomicBool>,
 }
 
 impl ServerHandle {
@@ -126,7 +372,7 @@ where
     F: Fn(&[u8]) -> Vec<u8> + Send + 'static,
 {
     let endpoint = net.register(node);
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&stop);
     std::thread::Builder::new()
         .name(format!("repdir-rpc-{node}"))
@@ -188,6 +434,93 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn concurrent_calls_through_one_client() {
+        // The scatter-gather prerequisite: many threads sharing ONE client
+        // must each get their own reply, never a neighbor's.
+        let net = Arc::new(Network::new(20));
+        let _server = serve(Arc::clone(&net), NodeId(9), |req| req.to_vec());
+        let client = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+        let mut handles = Vec::new();
+        for t in 0..8u8 {
+            let client = Arc::clone(&client);
+            handles.push(std::thread::spawn(move || {
+                for round in 0..25u8 {
+                    let payload = vec![t, round];
+                    let reply = client.call(NodeId(9), payload.clone(), TICK).unwrap();
+                    assert_eq!(reply, payload, "thread {t} round {round}");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn call_async_overlaps_requests() {
+        // Two calls in flight at once over a latency fabric: total wall
+        // clock is ~one latency, not two.
+        let net = Arc::new(Network::new(21));
+        let _server = serve(Arc::clone(&net), NodeId(1), |req| req.to_vec());
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        net.set_fault_plan(FaultPlan {
+            latency: LatencyModel::fixed(Duration::from_millis(40)),
+            ..FaultPlan::default()
+        });
+        let start = Instant::now();
+        let a = client.call_async(NodeId(1), vec![1]).unwrap();
+        let b = client.call_async(NodeId(1), vec![2]).unwrap();
+        assert_eq!(a.wait(TICK).unwrap(), vec![1]);
+        assert_eq!(b.wait(TICK).unwrap(), vec![2]);
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < Duration::from_millis(150),
+            "two overlapped 80ms round trips took {elapsed:?}"
+        );
+    }
+
+    #[test]
+    fn scatter_yields_replies_as_they_arrive() {
+        let net = Arc::new(Network::new(22));
+        let mut servers = Vec::new();
+        for n in 1..=3u32 {
+            servers.push(serve(Arc::clone(&net), NodeId(n), move |req| {
+                let mut out = req.to_vec();
+                out.push(n as u8);
+                out
+            }));
+        }
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        let mut scatter = client.scatter(vec![
+            (NodeId(1), vec![10]),
+            (NodeId(2), vec![20]),
+            (NodeId(3), vec![30]),
+        ]);
+        assert_eq!(scatter.outstanding(), 3);
+        let mut seen = vec![false; 3];
+        while let Some((index, result)) = scatter.recv_timeout(TICK) {
+            let payload = result.unwrap();
+            assert_eq!(payload, vec![(index as u8 + 1) * 10, index as u8 + 1]);
+            seen[index] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn scatter_reports_unreachable_immediately_and_gathers_rest() {
+        let net = Arc::new(Network::new(23));
+        let _server = serve(Arc::clone(&net), NodeId(1), |req| req.to_vec());
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        let scatter = client.scatter(vec![
+            (NodeId(1), vec![7]),
+            (NodeId(99), vec![8]), // never registered
+        ]);
+        let results = scatter.gather(TICK);
+        assert_eq!(results[0], Ok(vec![7]));
+        assert_eq!(results[1], Err(RpcError::Unreachable(NodeId(99))));
     }
 
     #[test]
@@ -256,7 +589,8 @@ mod tests {
     #[test]
     fn survives_duplicated_requests() {
         // Duplicated requests produce duplicated responses; the client uses
-        // the first and discards the second on the next call.
+        // the first and the router discards the duplicate (its correlation
+        // id is already unregistered).
         let net = Arc::new(Network::new(7));
         net.set_fault_plan(FaultPlan {
             duplicate_prob: 1.0,
@@ -268,5 +602,16 @@ mod tests {
             let reply = client.call(NodeId(1), vec![i], TICK).unwrap();
             assert_eq!(reply, vec![i]);
         }
+    }
+
+    #[test]
+    fn client_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        // The client itself is shared across fan-out threads; the one-shot
+        // handles only move to a single waiter.
+        assert_send_sync::<RpcClient>();
+        assert_send::<PendingReply>();
+        assert_send::<Scatter>();
     }
 }

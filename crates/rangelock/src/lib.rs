@@ -26,4 +26,4 @@ mod range;
 mod table;
 
 pub use range::{compatible, KeyRange, LockMode};
-pub use table::{LockError, LockStats, RangeLockTable, TxnId};
+pub use table::{DeadlockDomain, LockError, LockStats, RangeLockTable, TxnId};

@@ -1,8 +1,10 @@
 //! The range-lock table: blocking acquisition, two-phase release, deadlock
 //! detection.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use repdir_core::sync::{Condvar, Mutex};
@@ -78,6 +80,124 @@ pub struct LockStats {
     pub timeouts: u64,
 }
 
+/// How often a waiter attached to a [`DeadlockDomain`] wakes to re-check the
+/// shared graph. A cross-table victim decision cannot notify another table's
+/// condvar, so blocked waiters poll at this cadence while a domain is set.
+const DOMAIN_POLL: Duration = Duration::from_millis(5);
+
+/// A waits-for graph shared by several [`RangeLockTable`]s.
+///
+/// Each table's own [`detect_deadlock`] only sees cycles through its own
+/// locks. When one transaction can block at *several* tables at once — a
+/// directory suite fanning a write wave out to every representative — two
+/// transactions can deadlock with each edge at a different table, invisible
+/// to every per-table graph. A domain aggregates the wait edges of every
+/// joined table ([`RangeLockTable::join_domain`]); a waiter that closes a
+/// cross-table cycle *wounds* the youngest participant, which observes the
+/// wound at its next poll and fails fast with [`LockError::Deadlock`]
+/// instead of burning its full lock timeout.
+///
+/// Edges are keyed by `(transaction, table)` because a fan-out transaction
+/// legitimately waits at several tables simultaneously. A wound outlives its
+/// first observation (all of the victim's in-flight waiters must abort, not
+/// just one) and is cleared when the victim's locks are released.
+#[derive(Default)]
+pub struct DeadlockDomain {
+    state: Mutex<DomainState>,
+}
+
+#[derive(Default)]
+struct DomainState {
+    /// (waiting txn, table id) -> holders blocking it at that table.
+    edges: HashMap<(TxnId, u64), Vec<TxnId>>,
+    /// Chosen victims; each aborts at its next wound check.
+    wounded: HashSet<TxnId>,
+}
+
+impl DeadlockDomain {
+    /// Creates an empty domain; share it via `Arc` and
+    /// [`RangeLockTable::join_domain`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn set_waits(&self, table: u64, owner: TxnId, holders: Vec<TxnId>) {
+        self.state.lock().edges.insert((owner, table), holders);
+    }
+
+    fn clear_waits(&self, table: u64, owner: TxnId) {
+        self.state.lock().edges.remove(&(owner, table));
+    }
+
+    /// Checks whether `owner` must abort: either it was already wounded, or
+    /// its current waits close a cycle in which it is the youngest
+    /// participant. A cycle whose youngest participant is someone else
+    /// wounds that transaction and lets `owner` keep waiting (the victim's
+    /// abort releases the blocking locks).
+    fn must_abort(&self, owner: TxnId) -> bool {
+        let mut st = self.state.lock();
+        if st.wounded.contains(&owner) {
+            return true;
+        }
+        // Union adjacency across all tables.
+        let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        for ((waiter, _), holders) in &st.edges {
+            adj.entry(*waiter).or_default().extend(holders.iter().copied());
+        }
+        let edges = |t: TxnId| adj.get(&t).cloned().unwrap_or_default();
+        let mut stack = vec![(owner, edges(owner))];
+        let mut path = vec![owner];
+        while let Some((_, succs)) = stack.last_mut() {
+            match succs.pop() {
+                Some(next) if next == owner => {
+                    // Cycle found; `path` holds every participant.
+                    let victim = path.iter().copied().max().unwrap_or(owner);
+                    if victim == owner {
+                        return true;
+                    }
+                    st.wounded.insert(victim);
+                    return false;
+                }
+                Some(next) => {
+                    if !path.contains(&next) {
+                        path.push(next);
+                        stack.push((next, edges(next)));
+                    }
+                }
+                None => {
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+        false
+    }
+
+    /// Drops every edge and wound belonging to `owner` — called when its
+    /// locks are released (commit or abort ends the transaction's waits).
+    fn forget(&self, owner: TxnId) {
+        let mut st = self.state.lock();
+        st.edges.retain(|(waiter, _), _| *waiter != owner);
+        st.wounded.remove(&owner);
+    }
+
+    /// Drops every edge registered by `table` — called on table reset
+    /// (representative crash: its waiters are woken and re-evaluate).
+    fn drop_table(&self, table: u64) {
+        self.state.lock().edges.retain(|(_, t), _| *t != table);
+    }
+}
+
+impl fmt::Debug for DeadlockDomain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock();
+        f.debug_struct("DeadlockDomain")
+            .field("edges", &st.edges.len())
+            .field("wounded", &st.wounded.len())
+            .finish()
+    }
+}
+
 /// A table of range locks over one directory representative, implementing
 /// the paper's Figure 7 compatibility with blocking waits, deadlock
 /// detection, and all-at-once release for strict two-phase locking.
@@ -107,9 +227,14 @@ pub struct LockStats {
 /// # Ok::<(), repdir_rangelock::LockError>(())
 /// ```
 pub struct RangeLockTable {
+    /// Distinguishes this table's edges inside a [`DeadlockDomain`].
+    id: u64,
     state: Mutex<State>,
     released: Condvar,
+    domain: Mutex<Option<Arc<DeadlockDomain>>>,
 }
+
+static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(0);
 
 impl Default for RangeLockTable {
     fn default() -> Self {
@@ -121,9 +246,18 @@ impl RangeLockTable {
     /// Creates an empty lock table.
     pub fn new() -> Self {
         RangeLockTable {
+            id: NEXT_TABLE_ID.fetch_add(1, Ordering::Relaxed),
             state: Mutex::new(State::default()),
             released: Condvar::new(),
+            domain: Mutex::new(None),
         }
+    }
+
+    /// Registers this table in a shared [`DeadlockDomain`], enabling
+    /// detection of waits-for cycles that span several tables (one edge per
+    /// representative). Replaces any previously joined domain.
+    pub fn join_domain(&self, domain: &Arc<DeadlockDomain>) {
+        *self.domain.lock() = Some(Arc::clone(domain));
     }
 
     /// Attempts to acquire without blocking. On conflict, returns the
@@ -160,9 +294,12 @@ impl RangeLockTable {
     /// # Errors
     ///
     /// * [`LockError::Deadlock`] if the request would close a waits-for
-    ///   cycle in which this transaction is the youngest participant.
+    ///   cycle — within this table, or across every table of a joined
+    ///   [`DeadlockDomain`] — in which this transaction is the youngest
+    ///   participant, or if a cycle check at another table already chose
+    ///   this transaction as the victim.
     /// * [`LockError::Timeout`] if the deadline passes first (also breaks
-    ///   undetected cross-representative deadlocks).
+    ///   cross-representative deadlocks when no domain is joined).
     pub fn acquire(
         &self,
         owner: TxnId,
@@ -170,6 +307,8 @@ impl RangeLockTable {
         range: KeyRange,
         timeout: Duration,
     ) -> Result<(), LockError> {
+        // Lock order everywhere is table state, then domain state.
+        let domain = self.domain.lock().clone();
         let deadline = Instant::now() + timeout;
         let mut st = self.state.lock();
         let mut waited = false;
@@ -177,6 +316,9 @@ impl RangeLockTable {
             let conflicts = conflicts_of(&st.granted, owner, mode, &range);
             if conflicts.is_empty() {
                 st.waiting.remove(&owner);
+                if let Some(d) = &domain {
+                    d.clear_waits(self.id, owner);
+                }
                 st.granted.push(Granted { owner, mode, range });
                 st.stats.granted += 1;
                 if waited {
@@ -194,15 +336,38 @@ impl RangeLockTable {
             if let Some(victim) = detect_deadlock(&st, owner) {
                 if victim == owner {
                     st.waiting.remove(&owner);
+                    if let Some(d) = &domain {
+                        d.clear_waits(self.id, owner);
+                    }
                     st.stats.deadlocks += 1;
                     return Err(LockError::Deadlock);
                 }
                 // Another participant is younger; it will be refused when it
                 // re-checks. Keep waiting (its abort releases our blocker).
             }
+            if let Some(d) = &domain {
+                d.set_waits(self.id, owner, conflicts);
+                if d.must_abort(owner) {
+                    st.waiting.remove(&owner);
+                    d.clear_waits(self.id, owner);
+                    st.stats.deadlocks += 1;
+                    return Err(LockError::Deadlock);
+                }
+            }
             waited = true;
-            if self.released.wait_until(&mut st, deadline).timed_out() {
+            // A cross-table wound cannot notify this table's condvar, so
+            // domain members wake periodically to re-check the shared graph.
+            let wake = match &domain {
+                Some(_) => std::cmp::min(deadline, Instant::now() + DOMAIN_POLL),
+                None => deadline,
+            };
+            if self.released.wait_until(&mut st, wake).timed_out()
+                && Instant::now() >= deadline
+            {
                 st.waiting.remove(&owner);
+                if let Some(d) = &domain {
+                    d.clear_waits(self.id, owner);
+                }
                 st.stats.timeouts += 1;
                 return Err(LockError::Timeout);
             }
@@ -212,9 +377,13 @@ impl RangeLockTable {
     /// Releases every lock held by `owner` and wakes all waiters — the
     /// shrinking phase of strict two-phase locking. Idempotent.
     pub fn release_all(&self, owner: TxnId) {
+        let domain = self.domain.lock().clone();
         let mut st = self.state.lock();
         st.granted.retain(|g| g.owner != owner);
         st.waiting.remove(&owner);
+        if let Some(d) = &domain {
+            d.forget(owner);
+        }
         self.released.notify_all();
     }
 
@@ -225,9 +394,13 @@ impl RangeLockTable {
     /// survive restarts. Callers are responsible for ensuring the protected
     /// state was recovered first.
     pub fn reset(&self) {
+        let domain = self.domain.lock().clone();
         let mut st = self.state.lock();
         st.granted.clear();
         st.waiting.clear();
+        if let Some(d) = &domain {
+            d.drop_table(self.id);
+        }
         self.released.notify_all();
     }
 
@@ -368,6 +541,93 @@ mod tests {
             .unwrap_err();
         assert_eq!(e, LockError::Timeout);
         assert_eq!(t.stats().timeouts, 2);
+    }
+
+    /// Two transactions deadlock with one edge at each of two tables — the
+    /// shape a suite write wave produces across representatives, invisible
+    /// to either per-table graph. The shared domain wounds the younger
+    /// transaction well before the lock timeout, and after its abort the
+    /// survivor's blocked acquire completes.
+    #[test]
+    fn domain_breaks_cross_table_deadlock() {
+        let t1 = Arc::new(RangeLockTable::new());
+        let t2 = Arc::new(RangeLockTable::new());
+        let domain = Arc::new(DeadlockDomain::new());
+        t1.join_domain(&domain);
+        t2.join_domain(&domain);
+
+        // txn1 holds the range at table 1, txn2 holds it at table 2.
+        t1.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG).unwrap();
+        t2.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG).unwrap();
+
+        // txn2 blocks at table 1 (first cross-table edge)...
+        let younger = thread::spawn({
+            let t1 = Arc::clone(&t1);
+            move || t1.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG)
+        });
+        while t1.state.lock().waiting.is_empty() {
+            thread::sleep(Duration::from_millis(1));
+        }
+        // ...then txn1 blocks at table 2, closing the cycle.
+        let older = thread::spawn({
+            let t2 = Arc::clone(&t2);
+            move || t2.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG)
+        });
+
+        // The younger transaction is wounded promptly (well under LONG).
+        let start = Instant::now();
+        assert_eq!(younger.join().unwrap(), Err(LockError::Deadlock));
+        assert!(start.elapsed() < Duration::from_secs(1));
+
+        // Its abort releases table 2; the survivor then completes.
+        t1.release_all(TxnId(2));
+        t2.release_all(TxnId(2));
+        assert_eq!(older.join().unwrap(), Ok(()));
+        t1.check_invariants().unwrap();
+        t2.check_invariants().unwrap();
+    }
+
+    /// A wound persists until release: every in-flight waiter of the victim
+    /// aborts, and a fresh transaction id is unaffected.
+    #[test]
+    fn wound_covers_all_waiters_and_clears_on_release() {
+        let t1 = Arc::new(RangeLockTable::new());
+        let t2 = Arc::new(RangeLockTable::new());
+        let domain = Arc::new(DeadlockDomain::new());
+        t1.join_domain(&domain);
+        t2.join_domain(&domain);
+
+        t1.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG).unwrap();
+        t2.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG).unwrap();
+        // txn2 waits at table 1; txn1 closes the cycle at table 2 from a
+        // second thread. txn2 is wounded; while still wounded, its second
+        // acquire (same transaction, new thread) must also fail fast.
+        let w1 = thread::spawn({
+            let t1 = Arc::clone(&t1);
+            move || t1.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG)
+        });
+        while t1.state.lock().waiting.is_empty() {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let older = thread::spawn({
+            let t2 = Arc::clone(&t2);
+            move || t2.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG)
+        });
+        assert_eq!(w1.join().unwrap(), Err(LockError::Deadlock));
+        // Still wounded until its locks are released: a further conflicting
+        // wait by txn2 aborts at its first domain check.
+        let e = t1.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG);
+        assert_eq!(e, Err(LockError::Deadlock));
+
+        t1.release_all(TxnId(2));
+        t2.release_all(TxnId(2));
+        assert_eq!(older.join().unwrap(), Ok(()));
+        t1.release_all(TxnId(1));
+        t2.release_all(TxnId(1));
+
+        // The id is clean again once released: no stale wound.
+        t1.acquire(TxnId(2), LockMode::Modify, r("x", "z"), SHORT).unwrap();
+        t1.release_all(TxnId(2));
     }
 
     #[test]

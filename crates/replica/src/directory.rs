@@ -96,6 +96,13 @@ impl ReplicatedDirectory {
                 votes: config.member_count(),
             });
         }
+        // Concurrent write waves acquire locks at several representatives
+        // at once, so deadlock cycles can span representatives; a shared
+        // domain lets them be detected instead of timed out.
+        let domain = Arc::new(repdir_rangelock::DeadlockDomain::new());
+        for rep in &reps {
+            rep.join_deadlock_domain(&domain);
+        }
         Ok(ReplicatedDirectory {
             reps,
             config,
@@ -153,7 +160,11 @@ impl ReplicatedDirectory {
 
     /// Runs `body` in a transaction, committing on success. Deadlock and
     /// lock-timeout victims are aborted and retried (fresh transaction, new
-    /// quorums) with exponential backoff, up to an attempt limit.
+    /// quorums) with exponential backoff, up to an attempt limit. A member
+    /// that dies inside the ping-then-call window — it votes into a quorum,
+    /// then fails the data RPC with [`RepError::Unavailable`] — is retried
+    /// the same way: the fresh attempt collects a quorum from the
+    /// survivors.
     ///
     /// # Errors
     ///
@@ -176,15 +187,25 @@ impl ReplicatedDirectory {
                     attempt += 1;
                     let retryable = matches!(
                         e,
-                        SuiteError::Rep(RepError::Deadlock) | SuiteError::Rep(RepError::LockTimeout)
+                        SuiteError::Rep(RepError::Deadlock)
+                            | SuiteError::Rep(RepError::LockTimeout)
+                            | SuiteError::Rep(RepError::Unavailable)
                     );
                     if !retryable || attempt >= self.max_attempts {
                         return Err(e);
                     }
-                    // Exponential backoff, capped; keeps colliding
-                    // transactions from re-deadlocking in lockstep.
-                    let delay = Duration::from_millis(1 << attempt.min(6));
-                    std::thread::sleep(delay);
+                    // Exponential backoff with jitter, capped. The jitter
+                    // matters: colliding transactions that backed off for
+                    // *identical* durations re-collide in lockstep; drawing
+                    // from the directory's seed stream desynchronizes them.
+                    let base = 1u64 << attempt.min(6);
+                    let mut z = self
+                        .policy_seed
+                        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    let jitter = (z ^ (z >> 31)) % base;
+                    std::thread::sleep(Duration::from_millis(base + jitter));
                 }
             }
         }
@@ -454,6 +475,44 @@ mod tests {
         // And the directory still accepts writes.
         dir.delete(&k("a")).unwrap();
         assert!(!dir.lookup(&k("a")).unwrap().present);
+    }
+
+    #[test]
+    fn run_retries_member_death_between_collect_and_call() {
+        // The ping-then-call window: a member votes into the quorum, dies,
+        // and the data RPC addressed to it surfaces Rep(Unavailable) —
+        // DirSuite's behavior for this interleaving is pinned by
+        // repdir-core's member_death_between_collect_and_call test. Here the
+        // body reproduces that outcome on its first attempt (killing rep 0
+        // mid-flight) and run() must classify it retryable: the retry
+        // collects a fresh quorum from the survivors and commits.
+        let dir = dir_322(10);
+        dir.insert(&k("a"), &val("A")).unwrap();
+        let mut attempts = 0;
+        dir.run(|suite| {
+            attempts += 1;
+            if attempts == 1 {
+                dir.reps()[0].set_available(false);
+                return Err(SuiteError::Rep(RepError::Unavailable));
+            }
+            suite.update(&k("a"), &val("A2")).map(drop)
+        })
+        .unwrap();
+        assert_eq!(attempts, 2, "one death, one successful retry");
+        dir.reps()[0].set_available(true);
+        assert_eq!(dir.lookup(&k("a")).unwrap().value, Some(val("A2")));
+    }
+
+    #[test]
+    fn session_clients_are_shareable_across_threads() {
+        // The fan-out executor lends &SessionClient to scoped threads;
+        // clients must be Send + Sync. The suite itself only needs Send
+        // (its quorum policy is Send-only): the coordinator owns it, and
+        // only member references cross threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        fn assert_send<T: Send>() {}
+        assert_send_sync::<SessionClient>();
+        assert_send::<DirSuite<SessionClient>>();
     }
 
     #[test]

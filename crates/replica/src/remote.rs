@@ -284,6 +284,46 @@ mod tests {
     }
 
     #[test]
+    fn remote_client_is_send_and_sync() {
+        // The suite's fan-out executor lends &RemoteSessionClient to scoped
+        // threads, so concurrent in-flight calls through one client (and
+        // one shared RpcClient) must be sound.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RemoteSessionClient>();
+    }
+
+    #[test]
+    fn concurrent_in_flight_calls_share_one_client() {
+        let (_net, _rep, _handle, rpc) = setup();
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.begin().unwrap();
+        for i in 0..8u32 {
+            client
+                .insert(
+                    &Key::from(format!("k{i}").as_str()),
+                    Version::new(1),
+                    &Value::from("v"),
+                )
+                .unwrap();
+        }
+        // Eight threads issue overlapping lookups and pings through the
+        // same client; the RPC router must hand every reply to its caller.
+        std::thread::scope(|scope| {
+            for t in 0..8u32 {
+                let client = &client;
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        client.ping().unwrap();
+                        let key = Key::from(format!("k{t}").as_str());
+                        assert!(client.lookup(&key).unwrap().is_present());
+                    }
+                });
+            }
+        });
+        client.abort();
+    }
+
+    #[test]
     fn suite_runs_over_remote_clients() {
         use repdir_core::suite::{DirSuite, FixedPolicy, SuiteConfig};
         let net = Arc::new(Network::new(12));

@@ -10,7 +10,7 @@ use repdir_core::{
     CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, RepId,
     RepResult, Value, Version,
 };
-use repdir_rangelock::{KeyRange, LockError, LockMode, LockStats, RangeLockTable};
+use repdir_rangelock::{DeadlockDomain, KeyRange, LockError, LockMode, LockStats, RangeLockTable};
 use repdir_storage::{Backend, DurableState, SimDisk};
 use repdir_txn::TxnId;
 
@@ -113,6 +113,18 @@ impl TransactionalRep {
     /// Lock-manager counters (for the concurrency experiments).
     pub fn lock_stats(&self) -> LockStats {
         self.locks.stats()
+    }
+
+    /// Registers this representative's lock table in a shared
+    /// [`DeadlockDomain`]. A suite's parallel write waves can block at
+    /// several representatives at once, so two transactions can deadlock
+    /// with each waits-for edge at a *different* representative — invisible
+    /// to every per-table cycle check. Joining all of a directory's
+    /// representatives into one domain lets such cycles be detected and a
+    /// victim wounded in milliseconds instead of waiting out the lock
+    /// timeout.
+    pub fn join_deadlock_domain(&self, domain: &Arc<DeadlockDomain>) {
+        self.locks.join_domain(domain);
     }
 
     /// A detached copy of current state (test/statistics aid).

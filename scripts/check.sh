@@ -5,6 +5,8 @@
 #    `repdir-*` path crates (the zero-external-dependency policy, DESIGN.md §6).
 # 2. Builds the whole workspace offline (release, all targets).
 # 3. Runs the full test suite offline.
+# 4. Runs the suite_latency bench in quick mode, which fails unless quorum
+#    fan-out beats the sequential baseline by >= 1.5x median latency.
 #
 # Exits non-zero on the first violation or failure.
 
@@ -44,5 +46,8 @@ cargo test -q --offline --workspace
 
 echo "==> cargo build --offline --examples"
 cargo build --offline --examples
+
+echo "==> suite_latency --quick --check (fan-out must beat sequential >= 1.5x)"
+cargo run --release --offline -p repdir-bench --bin suite_latency -- --quick --check
 
 echo "ALL CHECKS PASSED"
