@@ -1,0 +1,269 @@
+//! Random vs latency-aware quorum selection on a *skewed* fabric.
+//!
+//! Weighted voting lets any R members answer a read, so on a fabric where
+//! some representatives are slower (distant, loaded), the coordinator is
+//! free to prefer the fast ones. `LatencyPolicy` orders candidates by the
+//! per-member reply-time EWMAs the obs subsystem records on every ping and
+//! data RPC; `RandomPolicy` — the availability-oriented default — keeps
+//! drawing slow members into read quorums.
+//!
+//! The fixture is a 5-member suite (R=2, W=4) where two members sit behind
+//! a per-node latency override ([`Network::set_node_latency`]). With R=2
+//! out of 5 and 2 slow members, a random pair includes a slow member 70%
+//! of the time, so the random read median is slow-bound; the latency
+//! policy converges on the three fast members after a couple of
+//! self-exploring probe rounds and reads at the fast round-trip.
+//!
+//! ```text
+//! cargo run --release -p repdir-bench --bin latency_policy [-- --quick] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless (a) the latency policy's read prefix is
+//! exactly the fast members and (b) its median lookup beats random by the
+//! gate factor. Every run rewrites `BENCH_latency_policy.json` at the repo
+//! root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, SuiteConfig};
+use repdir_core::{Key, QuorumKind, RepId, Value};
+use repdir_net::{FaultPlan, LatencyModel, Network, NodeId, RpcClient, ServerHandle};
+use repdir_replica::{serve_rep, RemoteSessionClient, TransactionalRep};
+use repdir_txn::TxnId;
+
+const MEMBERS: u32 = 5;
+const READ_QUORUM: u32 = 2;
+const WRITE_QUORUM: u32 = 4;
+/// Member indices behind the latency override.
+const SLOW: [usize; 2] = [3, 4];
+
+struct Samples {
+    us: Vec<u64>,
+}
+
+impl Samples {
+    fn from_durations(mut ds: Vec<Duration>) -> Self {
+        ds.sort();
+        Samples {
+            us: ds.iter().map(|d| d.as_micros() as u64).collect(),
+        }
+    }
+
+    fn percentile(&self, p: f64) -> u64 {
+        if self.us.is_empty() {
+            return 0;
+        }
+        let idx = ((self.us.len() - 1) as f64 * p).round() as usize;
+        self.us[idx]
+    }
+
+    fn median(&self) -> u64 {
+        self.percentile(0.5)
+    }
+
+    fn mean(&self) -> u64 {
+        if self.us.is_empty() {
+            return 0;
+        }
+        self.us.iter().sum::<u64>() / self.us.len() as u64
+    }
+}
+
+struct Fixture {
+    suite: DirSuite<RemoteSessionClient>,
+    _handles: Vec<ServerHandle>,
+}
+
+/// Builds the skewed suite: every hop costs `fast` except messages *to* the
+/// [`SLOW`] members' nodes, which cost `slow`.
+fn build(fast: Duration, slow: Duration, seed: u64) -> Fixture {
+    let net = Arc::new(Network::new(seed));
+    net.set_fault_plan(FaultPlan {
+        drop_prob: 0.0,
+        duplicate_prob: 0.0,
+        latency: LatencyModel::fixed(fast),
+    });
+    for &i in &SLOW {
+        net.set_node_latency(NodeId(100 + i as u32), LatencyModel::fixed(slow));
+    }
+    let mut handles = Vec::new();
+    let mut clients = Vec::new();
+    let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+    for i in 0..MEMBERS {
+        let rep = TransactionalRep::new(RepId(i));
+        handles.push(serve_rep(Arc::clone(&net), NodeId(100 + i), rep));
+        let mut client =
+            RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
+        client.set_timeout(Duration::from_secs(10));
+        client.begin().expect("begin never fails on a healthy fabric");
+        clients.push(client);
+    }
+    let config = SuiteConfig::symmetric(MEMBERS, READ_QUORUM, WRITE_QUORUM)
+        .expect("5-2-4 is a valid weighted-voting config");
+    let suite = DirSuite::new(clients, config, Box::new(RandomPolicy::new(seed)))
+        .expect("client count matches config");
+    Fixture {
+        suite,
+        _handles: handles,
+    }
+}
+
+/// Seeds EWMAs (writes probe W=4 members each; the latency policy explores
+/// unsampled members first), then times a read-heavy phase. An untimed
+/// write is interleaved every few reads: reads only sample the chosen R
+/// members, so a fast member whose EWMA caught a one-off scheduler stall
+/// would otherwise never be re-probed and stay exiled. Write waves touch
+/// the W=4 best-ranked members, letting a stale EWMA decay back to truth.
+fn run_workload(suite: &mut DirSuite<RemoteSessionClient>, warmup: usize, reads: usize) -> Samples {
+    for i in 0..warmup {
+        let key = Key::from(format!("warm{i:03}").as_str());
+        suite.insert(&key, &Value::from("v")).expect("insert");
+    }
+    let mut times = Vec::new();
+    for i in 0..reads {
+        if i % 4 == 3 {
+            let key = Key::from(format!("warm{:03}", i % warmup).as_str());
+            suite.update(&key, &Value::from("v2")).expect("update");
+        }
+        let key = Key::from(format!("warm{:03}", i % warmup).as_str());
+        let t = Instant::now();
+        suite.lookup(&key).expect("lookup");
+        times.push(t.elapsed());
+    }
+    Samples::from_durations(times)
+}
+
+fn json_samples(s: &Samples) -> String {
+    format!(
+        r#"{{"median_us": {}, "mean_us": {}, "p90_us": {}}}"#,
+        s.median(),
+        s.mean(),
+        s.percentile(0.9)
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let (fast, slow) = if quick {
+        (Duration::from_millis(1), Duration::from_millis(6))
+    } else {
+        (Duration::from_millis(2), Duration::from_millis(12))
+    };
+    let warmup = 6;
+    let reads = if quick { 16 } else { 40 };
+
+    println!(
+        "latency_policy: {MEMBERS} members (R={READ_QUORUM}, W={WRITE_QUORUM}), \
+         fast hop {}ms, slow hop {}ms to members {SLOW:?}",
+        fast.as_millis(),
+        slow.as_millis()
+    );
+    println!();
+
+    // Random: the seeded default policy the fixture starts with.
+    let mut fx = build(fast, slow, 0x5EED);
+    let random = run_workload(&mut fx.suite, warmup, reads);
+    drop(fx);
+
+    // Latency-aware: same fixture, policy swapped for one reading the
+    // suite's own obs-recorded reply EWMAs.
+    let mut fx = build(fast, slow, 0x5EED + 1);
+    let policy = fx.suite.latency_policy();
+    fx.suite.set_policy(Box::new(policy));
+    let latency = run_workload(&mut fx.suite, warmup, reads);
+
+    // Where did the EWMAs land, and whom would the policy read from now?
+    let ewmas: Vec<u64> = fx
+        .suite
+        .member_reply_ewmas()
+        .iter()
+        .map(|e| e.value_us().unwrap_or(0.0).round() as u64)
+        .collect();
+    let read_prefix: Vec<usize> = fx
+        .suite
+        .latency_policy()
+        .candidates(QuorumKind::Read, MEMBERS as usize, None)
+        .into_iter()
+        .take(READ_QUORUM as usize)
+        .collect();
+    drop(fx);
+
+    let speedup = random.median() as f64 / latency.median().max(1) as f64;
+    println!(
+        "{:<10} {:>14} {:>14} {:>14}",
+        "policy", "median", "mean", "p90"
+    );
+    for (name, s) in [("random", &random), ("latency", &latency)] {
+        println!(
+            "{:<10} {:>12}us {:>12}us {:>12}us",
+            name,
+            s.median(),
+            s.mean(),
+            s.percentile(0.9)
+        );
+    }
+    println!();
+    println!("reply EWMAs (us): {ewmas:?}");
+    println!("latency-policy read prefix: {read_prefix:?}  (slow members: {SLOW:?})");
+    println!("speedup (random median / latency median): {speedup:.2}x");
+
+    let doc = format!(
+        concat!(
+            "{{\n  \"bench\": \"latency_policy\",\n  \"mode\": \"{}\",\n",
+            "  \"members\": {}, \"read_quorum\": {}, \"write_quorum\": {},\n",
+            "  \"fast_hop_us\": {}, \"slow_hop_us\": {}, \"slow_members\": {:?},\n",
+            "  \"timed_reads\": {},\n",
+            "  \"random\": {},\n  \"latency\": {},\n",
+            "  \"reply_ewma_us\": {:?},\n  \"read_prefix\": {:?},\n",
+            "  \"speedup_median\": {:.3}\n}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        MEMBERS,
+        READ_QUORUM,
+        WRITE_QUORUM,
+        fast.as_micros(),
+        slow.as_micros(),
+        SLOW,
+        reads,
+        json_samples(&random),
+        json_samples(&latency),
+        ewmas,
+        read_prefix,
+        speedup
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_latency_policy.json");
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("\nwrote {}", path.canonicalize().unwrap_or(path).display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_latency_policy.json: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if check {
+        const GATE: f64 = 2.0;
+        let mut ok = true;
+        if read_prefix.iter().any(|m| SLOW.contains(m)) {
+            eprintln!(
+                "FAIL: latency policy still reads from a slow member: {read_prefix:?}"
+            );
+            ok = false;
+        }
+        if speedup < GATE {
+            eprintln!("FAIL: speedup {speedup:.2}x below the {GATE}x gate");
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: reads come from the fast members, >= {GATE}x faster than random"
+        );
+    }
+}

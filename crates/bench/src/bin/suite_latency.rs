@@ -14,7 +14,10 @@
 //!
 //! `--quick` shrinks the workload and per-hop delay for CI; `--check` exits
 //! nonzero unless fan-out beats sequential by at least 1.5x median latency
-//! on every quorum size >= 2 (the acceptance gate `scripts/check.sh` runs).
+//! on every quorum size >= 2 (the acceptance gate `scripts/check.sh` runs),
+//! and unless the obs-instrumented build (timing armed: spans and latency
+//! samples recorded) stays within 5% of the same workload with every
+//! registry disarmed — the pre-instrumentation baseline shape.
 //! Every run rewrites `BENCH_quorum_fanout.json` at the repo root.
 
 use std::sync::Arc;
@@ -128,6 +131,47 @@ fn run_workload(suite: &mut DirSuite<RemoteSessionClient>, ops: usize) -> Sample
     Samples::from_durations(times)
 }
 
+/// The obs-overhead measurement: one fan-out workload timed with metrics
+/// timing armed and once with every registry (the suite's and the global
+/// one) disarmed. Disarmed skips every clock read and span record — the
+/// pre-obs baseline — so the ratio is the instrumentation's cost.
+struct Overhead {
+    armed: Samples,
+    detached: Samples,
+}
+
+impl Overhead {
+    fn ratio(&self) -> f64 {
+        self.armed.median() as f64 / self.detached.median().max(1) as f64
+    }
+}
+
+fn measure_overhead(base: Duration, ops: usize) -> Overhead {
+    let cfg = Config {
+        members: 3,
+        read_quorum: 2,
+        write_quorum: 2,
+    };
+    let mut armed = None;
+    let mut detached = None;
+    for arm in [true, false] {
+        let mut fx = build(&cfg, base, 0x0B5 + u64::from(arm), true);
+        fx.suite.obs().set_timing_armed(arm);
+        repdir_obs::global().set_timing_armed(arm);
+        let samples = run_workload(&mut fx.suite, ops);
+        if arm {
+            armed = Some(samples);
+        } else {
+            detached = Some(samples);
+        }
+    }
+    repdir_obs::global().set_timing_armed(true);
+    Overhead {
+        armed: armed.expect("measured"),
+        detached: detached.expect("measured"),
+    }
+}
+
 struct Row {
     cfg: Config,
     ops: usize,
@@ -150,7 +194,12 @@ fn json_samples(s: &Samples) -> String {
     )
 }
 
-fn write_json(rows: &[Row], base: Duration, quick: bool) -> std::io::Result<std::path::PathBuf> {
+fn write_json(
+    rows: &[Row],
+    overhead: &Overhead,
+    base: Duration,
+    quick: bool,
+) -> std::io::Result<std::path::PathBuf> {
     let mut configs = Vec::new();
     for row in rows {
         configs.push(format!(
@@ -171,11 +220,16 @@ fn write_json(rows: &[Row], base: Duration, quick: bool) -> std::io::Result<std:
     let doc = format!(
         concat!(
             "{{\n  \"bench\": \"suite_latency\",\n  \"mode\": \"{}\",\n",
-            "  \"per_hop_latency_us\": {},\n  \"configs\": [\n{}\n  ]\n}}\n"
+            "  \"per_hop_latency_us\": {},\n  \"configs\": [\n{}\n  ],\n",
+            "  \"obs_overhead\": {{\"armed\": {}, \"detached\": {}, ",
+            "\"ratio_median\": {:.4}}}\n}}\n"
         ),
         if quick { "quick" } else { "full" },
         base.as_micros(),
-        configs.join(",\n")
+        configs.join(",\n"),
+        json_samples(&overhead.armed),
+        json_samples(&overhead.detached),
+        overhead.ratio()
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -260,7 +314,16 @@ fn main() {
         rows.push(row);
     }
 
-    match write_json(&rows, base, quick) {
+    let overhead = measure_overhead(base, ops);
+    println!();
+    println!(
+        "obs overhead (3-2-2 fan-out): armed median {}us, detached median {}us, ratio {:.3}",
+        overhead.armed.median(),
+        overhead.detached.median(),
+        overhead.ratio()
+    );
+
+    match write_json(&rows, &overhead, base, quick) {
         Ok(path) => println!("\nwrote {}", path.display()),
         Err(e) => {
             eprintln!("failed to write BENCH_quorum_fanout.json: {e}");
@@ -288,9 +351,29 @@ fn main() {
                 ok = false;
             }
         }
+        // The obs gate: instrumented (timing armed) must stay within 5% of
+        // the disarmed baseline, plus a 1ms absolute slop so scheduler
+        // noise on a network-bound median cannot flake CI.
+        const OBS_GATE: f64 = 1.05;
+        const OBS_SLOP_US: u64 = 1_000;
+        let budget =
+            (overhead.detached.median() as f64 * OBS_GATE) as u64 + OBS_SLOP_US;
+        if overhead.armed.median() > budget {
+            eprintln!(
+                "FAIL: armed median {}us exceeds {}us (detached {}us * {OBS_GATE} + {OBS_SLOP_US}us slop)",
+                overhead.armed.median(),
+                budget,
+                overhead.detached.median()
+            );
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
         println!("check passed: fan-out >= {GATE}x faster on every quorum config");
+        println!(
+            "check passed: obs timing overhead within {:.0}% (+{OBS_SLOP_US}us slop) of disarmed baseline",
+            (OBS_GATE - 1.0) * 100.0
+        );
     }
 }

@@ -15,7 +15,9 @@ pub mod quorum;
 mod set;
 
 pub use config::SuiteConfig;
-pub use quorum::{FixedPolicy, LocalityPolicy, QuorumPolicy, RandomPolicy, StickyPolicy};
+pub use quorum::{
+    FixedPolicy, LatencyPolicy, LocalityPolicy, QuorumPolicy, RandomPolicy, StickyPolicy,
+};
 pub use set::DirSet;
 
 use crate::error::{ConfigError, QuorumKind, SuiteError};
@@ -24,6 +26,7 @@ use crate::key::Key;
 use crate::rep::{LocalRep, RepClient, RepId, RepResult};
 use crate::value::Value;
 use crate::version::Version;
+use repdir_obs::{Counter, Ewma, Registry};
 
 /// Result of [`DirSuite::lookup`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -109,6 +112,44 @@ struct Member<C> {
     votes: u32,
 }
 
+/// Per-suite observability handles, resolved by name once at construction so
+/// the hot path records through lock-free atomics. Each suite owns a fresh
+/// [`Registry`] by default — per-member counters stay exact even when many
+/// suites (or parallel tests) run in one process — and
+/// [`DirSuite::set_obs_registry`] rebinds everything to a shared one.
+struct SuiteObs {
+    registry: Registry,
+    /// Data RPCs per member (`suite.member.{i}.msgs`) — the paper's §4
+    /// message-count statistic, formerly the ad-hoc `msg_counts` vector.
+    msgs: Vec<Counter>,
+    /// Quorum-collection pings per member (`suite.member.{i}.pings`).
+    pings: Vec<Counter>,
+    /// Reply-time EWMA per member (`suite.member.{i}.reply_us`), fed by
+    /// every timed ping and data RPC; [`LatencyPolicy`] orders quorum
+    /// candidates by it.
+    reply: Vec<Ewma>,
+    /// Ping waves issued by `collect_quorum` (`suite.quorum.waves`).
+    waves: Counter,
+    /// Preferred candidates that were pinged but failed to vote
+    /// (`suite.quorum.sticky_miss`): for a sticky policy this is exactly
+    /// "a remembered member stopped responding", forcing fresh collection.
+    sticky_miss: Counter,
+}
+
+impl SuiteObs {
+    fn new(registry: Registry, n: usize) -> Self {
+        let handle = |kind: &str, i: usize| format!("suite.member.{i}.{kind}");
+        SuiteObs {
+            msgs: (0..n).map(|i| registry.counter(&handle("msgs", i))).collect(),
+            pings: (0..n).map(|i| registry.counter(&handle("pings", i))).collect(),
+            reply: (0..n).map(|i| registry.ewma(&handle("reply_us", i))).collect(),
+            waves: registry.counter("suite.quorum.waves"),
+            sticky_miss: registry.counter("suite.quorum.sticky_miss"),
+            registry,
+        }
+    }
+}
+
 /// A replicated directory: Gifford-style weighted voting over gap-versioned
 /// representatives.
 ///
@@ -143,8 +184,7 @@ pub struct DirSuite<C: RepClient> {
     /// over scoped threads) or serialized. Concurrent is the default; the
     /// sequential mode is kept as the counter/latency baseline.
     fanout: bool,
-    msg_counts: Vec<u64>,
-    ping_counts: Vec<u64>,
+    obs: SuiteObs,
 }
 
 impl<C: RepClient> DirSuite<C> {
@@ -182,8 +222,7 @@ impl<C: RepClient> DirSuite<C> {
             write_through_weak: false,
             neighbor_batch: 1,
             fanout: true,
-            msg_counts: vec![0; n],
-            ping_counts: vec![0; n],
+            obs: SuiteObs::new(Registry::new(), n),
         })
     }
 
@@ -250,21 +289,53 @@ impl<C: RepClient> DirSuite<C> {
     }
 
     /// Data RPCs sent to each representative since the last reset (pings
-    /// excluded). Index `i` corresponds to member `i`.
-    pub fn message_counts(&self) -> &[u64] {
-        &self.msg_counts
+    /// excluded). Index `i` corresponds to member `i`. A view over the
+    /// suite's obs counters (`suite.member.{i}.msgs`).
+    pub fn message_counts(&self) -> Vec<u64> {
+        self.obs.msgs.iter().map(Counter::get).collect()
     }
 
     /// Quorum-collection pings sent to each representative since the last
-    /// reset.
-    pub fn ping_counts(&self) -> &[u64] {
-        &self.ping_counts
+    /// reset. A view over the suite's obs counters
+    /// (`suite.member.{i}.pings`).
+    pub fn ping_counts(&self) -> Vec<u64> {
+        self.obs.pings.iter().map(Counter::get).collect()
     }
 
     /// Zeroes both message counters.
     pub fn reset_message_counts(&mut self) {
-        self.msg_counts.iter_mut().for_each(|c| *c = 0);
-        self.ping_counts.iter_mut().for_each(|c| *c = 0);
+        self.obs.msgs.iter().for_each(Counter::reset);
+        self.obs.pings.iter().for_each(Counter::reset);
+    }
+
+    /// The suite's metric registry: per-member message/ping counters and
+    /// reply-time EWMAs, quorum wave counters, and the spans recorded by
+    /// every operation. Fresh per suite unless rebound with
+    /// [`set_obs_registry`](DirSuite::set_obs_registry).
+    pub fn obs(&self) -> &Registry {
+        &self.obs.registry
+    }
+
+    /// Rebinds the suite's metrics to `registry` (e.g. the process-wide
+    /// [`repdir_obs::global`] registry, or a disarmed one for overhead
+    /// baselines). Counter readings restart from the registry's existing
+    /// values — rebind before running a workload, not mid-measurement.
+    pub fn set_obs_registry(&mut self, registry: Registry) {
+        self.obs = SuiteObs::new(registry, self.members.len());
+    }
+
+    /// Clones of the per-member reply-time EWMA handles, in member order.
+    /// Feed these to [`LatencyPolicy`] so quorum selection tracks measured
+    /// reply times; samples accumulate from every timed ping and data RPC.
+    pub fn member_reply_ewmas(&self) -> Vec<Ewma> {
+        self.obs.reply.clone()
+    }
+
+    /// A [`LatencyPolicy`] wired to this suite's reply-time EWMAs. Install
+    /// with [`set_policy`](DirSuite::set_policy) to route reads to the
+    /// measured R fastest members.
+    pub fn latency_policy(&self) -> LatencyPolicy {
+        LatencyPolicy::new(self.member_reply_ewmas())
     }
 
     /// `DirSuiteLookup(x)` (Fig. 8): queries a read quorum and returns the
@@ -278,6 +349,7 @@ impl<C: RepClient> DirSuite<C> {
     /// [`SuiteError::QuorumUnavailable`] if a read quorum cannot be
     /// gathered; [`SuiteError::Rep`] if a member fails mid-operation.
     pub fn lookup(&mut self, key: &Key) -> Result<LookupOutcome, SuiteError> {
+        let _span = self.obs.registry.span("suite.lookup");
         let quorum = self.collect_quorum(QuorumKind::Read, Some(key))?;
         // One concurrent wave over the read quorum; `pick_reply` is
         // order-independent, so merging in slot order is equivalent to
@@ -382,6 +454,7 @@ impl<C: RepClient> DirSuite<C> {
         key: &Key,
         dir: Direction,
     ) -> Result<NeighborSearch, SuiteError> {
+        let _span = self.obs.registry.span("suite.neighbor");
         let quorum = self.collect_quorum(QuorumKind::Read, Some(key))?;
         let batch = self.neighbor_batch;
         let terminal = dir.terminal();
@@ -475,6 +548,7 @@ impl<C: RepClient> DirSuite<C> {
     /// * Quorum and representative failures.
     pub fn delete(&mut self, key: &Key) -> Result<DeleteOutcome, SuiteError> {
         self.require_user_key(key)?;
+        let _span = self.obs.registry.span("suite.delete");
         // Fig. 13 folds DirSuiteLookup(x) into `ver` mid-flow; checking it
         // up front additionally rejects deletes of absent keys before any
         // mutation.
@@ -611,6 +685,7 @@ impl<C: RepClient> DirSuite<C> {
         version: Version,
         value: &Value,
     ) -> Result<WriteOutcome, SuiteError> {
+        let _span = self.obs.registry.span("suite.write");
         let quorum = self.collect_quorum(QuorumKind::Write, Some(key))?;
         for outcome in self.scatter(&quorum, |_, c| c.insert(key, version, value)) {
             outcome?;
@@ -650,6 +725,10 @@ impl<C: RepClient> DirSuite<C> {
             QuorumKind::Read => self.config.read_quorum(),
             QuorumKind::Write => self.config.write_quorum(),
         };
+        let _collect_span = self.obs.registry.span(match kind {
+            QuorumKind::Read => "quorum.collect.read",
+            QuorumKind::Write => "quorum.collect.write",
+        });
         let mut order = self.policy.candidates(kind, n, hint);
         // Fall back to index order for members the policy did not mention,
         // and drop duplicates/out-of-range indices defensively.
@@ -688,22 +767,35 @@ impl<C: RepClient> DirSuite<C> {
                     gathered: votes,
                 });
             }
+            self.obs.waves.inc();
             for &i in &wave {
-                self.ping_counts[i] += 1;
+                self.obs.pings[i].inc();
             }
             let members = &self.members;
-            for (slot, pong) in
-                fan_out_arrival(members, &wave, self.fanout, |_, c| c.ping())
-            {
+            let obs = &self.obs;
+            let wave_ref = &wave;
+            let arrivals = fan_out_arrival(members, &wave, self.fanout, |slot, c| {
+                obs.registry
+                    .time(|d| obs.reply[wave_ref[slot]].record(d), || c.ping())
+            });
+            for (slot, pong) in arrivals {
                 if votes >= needed {
                     // Late votes beyond the threshold are discarded, exactly
                     // as the sequential walk would not have pinged past it
-                    // had these arrivals been its successes.
+                    // had these arrivals been its successes. (A wave only
+                    // reaches the threshold when every ping in it succeeds —
+                    // it is the minimal prefix — so no miss is ever skipped
+                    // here and the miss counter is mode-independent.)
                     break;
                 }
                 if pong.is_ok() {
                     votes += self.members[wave[slot]].votes;
                     chosen.push(wave[slot]);
+                } else {
+                    // A preferred candidate was pinged and failed to vote:
+                    // for a sticky policy this is a remembered member that
+                    // stopped responding, forcing fresh collection.
+                    self.obs.sticky_miss.inc();
                 }
             }
         }
@@ -713,19 +805,25 @@ impl<C: RepClient> DirSuite<C> {
 
     /// Issues one RPC wave: counts a data message per target, then runs `f`
     /// against every target concurrently (or serially with fan-out
-    /// disabled). Results come back in target order. Counters are mutated
+    /// disabled). Results come back in target order. Counters are bumped
     /// only here in the coordinator, before the wave launches, which is
-    /// what keeps `msg_counts` exact under concurrency: every wave is a
-    /// known set of RPCs regardless of reply order.
+    /// what keeps the message counts exact under concurrency: every wave is
+    /// a known set of RPCs regardless of reply order. Each member's call is
+    /// timed into its reply-time EWMA (skipped when the registry is
+    /// disarmed).
     fn scatter<T: Send>(
         &mut self,
         targets: &[usize],
         f: impl Fn(usize, &C) -> RepResult<T> + Sync,
     ) -> Vec<RepResult<T>> {
         for &i in targets {
-            self.msg_counts[i] += 1;
+            self.obs.msgs[i].inc();
         }
-        fan_out(&self.members, targets, self.fanout, f)
+        let obs = &self.obs;
+        fan_out(&self.members, targets, self.fanout, |slot, c| {
+            obs.registry
+                .time(|d| obs.reply[targets[slot]].record(d), || f(slot, c))
+        })
     }
 
     fn ids_of(&self, indices: &[usize]) -> Vec<RepId> {
@@ -1262,6 +1360,82 @@ mod tests {
         assert_eq!(log_fan, log_seq);
         assert_eq!(msgs_fan, msgs_seq);
         assert_eq!(pings_fan, pings_seq);
+    }
+
+    #[test]
+    fn sticky_policy_revalidates_dead_favorite_and_counts_the_miss() {
+        // §5's sticky quorums remember a preferred permutation, but the
+        // suite still pings every candidate before counting its votes. When
+        // the remembered favorite dies, collection must fall back to the
+        // live members and record the stale preference as a sticky miss.
+        let mut s = suite_322(11);
+        s.set_policy(Box::new(StickyPolicy::new(9, 0.0)));
+        s.insert(&k("a"), &val("A")).unwrap();
+        let favorite = s.lookup(&k("a")).unwrap().quorum[0];
+        let misses = s.obs().counter("suite.quorum.sticky_miss");
+        assert_eq!(misses.get(), 0, "healthy suite: preferences all verify");
+
+        s.member(favorite.0 as usize).set_available(false);
+        let out = s.lookup(&k("a")).unwrap();
+        assert!(out.present);
+        assert!(
+            !out.quorum.contains(&favorite),
+            "dead favorite must not vote: {:?}",
+            out.quorum
+        );
+        assert!(misses.get() >= 1, "failed re-validation counts as a miss");
+
+        // The favorite recovers: the unchanged sticky order finds it first
+        // again, with no further misses.
+        s.member(favorite.0 as usize).set_available(true);
+        let before = misses.get();
+        let out = s.lookup(&k("a")).unwrap();
+        assert_eq!(out.quorum[0], favorite);
+        assert_eq!(misses.get(), before);
+    }
+
+    #[test]
+    fn obs_registry_counters_back_message_and_ping_accessors() {
+        // message_counts()/ping_counts() are documented as views over the
+        // named obs counters; a scripted workload must leave the accessor
+        // vectors and the registry's `suite.member.{i}.*` counters in exact
+        // agreement, and the operations must have recorded spans.
+        let mut s = suite_322(12);
+        s.set_policy(fixed(&[0, 1, 2]));
+        s.insert(&k("a"), &val("A")).unwrap();
+        s.insert(&k("c"), &val("C")).unwrap();
+        s.update(&k("a"), &val("A2")).unwrap();
+        s.lookup(&k("a")).unwrap();
+        s.delete(&k("c")).unwrap();
+
+        let msgs = s.message_counts();
+        let pings = s.ping_counts();
+        assert!(msgs.iter().sum::<u64>() > 0);
+        assert!(pings.iter().sum::<u64>() > 0);
+        let snap = s.obs().snapshot();
+        for i in 0..3 {
+            assert_eq!(snap.counter(&format!("suite.member.{i}.msgs")), msgs[i]);
+            assert_eq!(snap.counter(&format!("suite.member.{i}.pings")), pings[i]);
+        }
+        // One collection wave per quorum: five ops, each collecting one
+        // read and/or write quorum, so at least five waves.
+        assert!(snap.counter("suite.quorum.waves") >= 5);
+        let spans = s.obs().spans();
+        for name in ["suite.lookup", "suite.write", "suite.delete"] {
+            assert!(
+                spans.iter().any(|e| e.name == name),
+                "missing span {name:?}"
+            );
+        }
+
+        // reset_message_counts zeroes the registry counters themselves,
+        // not a shadow copy.
+        s.reset_message_counts();
+        let snap = s.obs().snapshot();
+        for i in 0..3 {
+            assert_eq!(snap.counter(&format!("suite.member.{i}.msgs")), 0);
+            assert_eq!(snap.counter(&format!("suite.member.{i}.pings")), 0);
+        }
     }
 
     #[test]

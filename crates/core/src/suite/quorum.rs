@@ -12,11 +12,15 @@
 //! * [`FixedPolicy`] always prefers the same ordering (a degenerate sticky
 //!   policy — a true primary-copy-like assignment);
 //! * [`LocalityPolicy`] reproduces Figure 16: transactions pick quorums near
-//!   their key range so reads are local and remote writes spread evenly.
+//!   their key range so reads are local and remote writes spread evenly;
+//! * [`LatencyPolicy`] closes the loop with the obs subsystem: it orders
+//!   members by their measured reply-time EWMA, so a read quorum costs the
+//!   R-th *fastest* member's latency instead of a random draw's.
 
 use crate::error::QuorumKind;
 use crate::key::Key;
 use crate::rng::SplitMix64;
+use repdir_obs::Ewma;
 
 /// Chooses the order in which representatives are asked to join a quorum.
 ///
@@ -191,6 +195,53 @@ impl QuorumPolicy for LocalityPolicy {
     }
 }
 
+/// Latency-aware quorum selection, driven by the suite's per-member
+/// reply-time EWMAs (see `DirSuite::latency_policy`).
+///
+/// Members the policy has never seen a sample for sort *first*: they get
+/// pinged, earn a sample, and from then on compete on measured latency.
+/// After a few operations every member has been probed and quorums settle
+/// on the R (or W) lowest-EWMA members — the fan-out wave then costs the
+/// R-th fastest member's reply time. Samples keep flowing from the quorums
+/// the policy itself selects, so a member that degrades is re-ranked and a
+/// recovered member is re-discovered the next time the ranking probes it.
+#[derive(Clone, Debug)]
+pub struct LatencyPolicy {
+    ewmas: Vec<Ewma>,
+}
+
+impl LatencyPolicy {
+    /// Creates a policy over per-member EWMA handles (member `i` is ranked
+    /// by `ewmas[i]`). Clone the handles out of the suite with
+    /// `DirSuite::member_reply_ewmas`, or construct synthetic ones in
+    /// tests.
+    pub fn new(ewmas: Vec<Ewma>) -> Self {
+        LatencyPolicy { ewmas }
+    }
+
+    /// The ranking key: unsampled members sort before every sampled one.
+    fn key(&self, i: usize) -> f64 {
+        self.ewmas
+            .get(i)
+            .and_then(Ewma::value_us)
+            .unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+impl QuorumPolicy for LatencyPolicy {
+    fn candidates(&mut self, _kind: QuorumKind, n: usize, _hint: Option<&Key>) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Stable sort: ties (and the unsampled) keep index order, so the
+        // ranking is deterministic.
+        order.sort_by(|&a, &b| {
+            self.key(a)
+                .partial_cmp(&self.key(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -291,6 +342,44 @@ mod tests {
         assert_ne!(w1[2], w2[2]);
         assert!([2, 3].contains(&w1[2]));
         assert!([2, 3].contains(&w2[2]));
+    }
+
+    #[test]
+    fn latency_policy_orders_by_ewma_ascending() {
+        let ewmas: Vec<Ewma> = (0..4).map(|_| Ewma::new(0.5)).collect();
+        ewmas[0].record_us(300.0);
+        ewmas[1].record_us(50.0);
+        ewmas[2].record_us(9000.0);
+        ewmas[3].record_us(120.0);
+        let mut p = LatencyPolicy::new(ewmas);
+        assert_eq!(p.candidates(QuorumKind::Read, 4, None), vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn latency_policy_probes_unsampled_members_first() {
+        let ewmas: Vec<Ewma> = (0..4).map(|_| Ewma::new(0.5)).collect();
+        ewmas[0].record_us(10.0);
+        ewmas[2].record_us(20.0);
+        let mut p = LatencyPolicy::new(ewmas);
+        // 1 and 3 have no samples: they lead (in index order) so the suite
+        // pings them and they earn one.
+        assert_eq!(p.candidates(QuorumKind::Read, 4, None), vec![1, 3, 0, 2]);
+        // Once sampled, ranking is purely by measured latency.
+        p.ewmas[1].record_us(15.0);
+        p.ewmas[3].record_us(5.0);
+        assert_eq!(p.candidates(QuorumKind::Read, 4, None), vec![3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn latency_policy_tracks_ewma_updates() {
+        let ewmas: Vec<Ewma> = (0..2).map(|_| Ewma::new(1.0)).collect();
+        ewmas[0].record_us(10.0);
+        ewmas[1].record_us(20.0);
+        let mut p = LatencyPolicy::new(ewmas);
+        assert_eq!(p.candidates(QuorumKind::Write, 2, None), vec![0, 1]);
+        // Member 0 degrades: the very next selection re-ranks.
+        p.ewmas[0].record_us(500.0);
+        assert_eq!(p.candidates(QuorumKind::Write, 2, None), vec![1, 0]);
     }
 
     #[test]

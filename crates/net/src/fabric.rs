@@ -9,6 +9,7 @@ use std::time::{Duration, Instant};
 use repdir_core::channel::{unbounded, Receiver, Sender};
 use repdir_core::rng::StdRng;
 use repdir_core::sync::{Condvar, Mutex, MutexGuard};
+use repdir_obs::Counter;
 
 /// Identifies one node on the simulated network.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -134,11 +135,39 @@ impl Ord for Scheduled {
     }
 }
 
+/// Fabric counters mirrored into the process-wide obs registry (`net.*`),
+/// resolved once per network. [`NetStats`] stays the per-network exact
+/// record; these aggregate across every network in the process.
+struct FabricObs {
+    sent: Counter,
+    delivered: Counter,
+    dropped: Counter,
+    partitioned: Counter,
+    duplicated: Counter,
+}
+
+impl FabricObs {
+    fn new() -> Self {
+        let g = repdir_obs::global();
+        FabricObs {
+            sent: g.counter("net.sent"),
+            delivered: g.counter("net.delivered"),
+            dropped: g.counter("net.dropped"),
+            partitioned: g.counter("net.partitioned"),
+            duplicated: g.counter("net.duplicated"),
+        }
+    }
+}
+
 struct Shared {
     mailboxes: Mutex<HashMap<NodeId, Sender<Envelope>>>,
     /// Pairs of nodes that cannot currently exchange messages.
     blocked: Mutex<HashSet<(NodeId, NodeId)>>,
     plan: Mutex<FaultPlan>,
+    /// Per-destination latency overrides (skewed fabrics): messages *to*
+    /// these nodes ignore the plan's latency.
+    node_latency: Mutex<HashMap<NodeId, LatencyModel>>,
+    obs: FabricObs,
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
     queue: Mutex<BinaryHeap<Scheduled>>,
@@ -181,6 +210,8 @@ impl Network {
             mailboxes: Mutex::new(HashMap::new()),
             blocked: Mutex::new(HashSet::new()),
             plan: Mutex::new(FaultPlan::default()),
+            node_latency: Mutex::new(HashMap::new()),
+            obs: FabricObs::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stats: Mutex::new(NetStats::default()),
             queue: Mutex::new(BinaryHeap::new()),
@@ -207,6 +238,20 @@ impl Network {
     /// Replaces the fault plan.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         *self.shared.plan.lock() = plan;
+    }
+
+    /// Overrides delivery latency for messages *destined to* `node`,
+    /// modelling a slow or distant replica on an otherwise uniform fabric
+    /// (the plan's drop/duplicate probabilities still apply). The
+    /// `latency_policy` bench builds its skewed fabric from this.
+    pub fn set_node_latency(&self, node: NodeId, latency: LatencyModel) {
+        self.shared.node_latency.lock().insert(node, latency);
+    }
+
+    /// Removes a per-node latency override; `node` reverts to the plan's
+    /// latency.
+    pub fn clear_node_latency(&self, node: NodeId) {
+        self.shared.node_latency.lock().remove(&node);
     }
 
     /// Blocks all traffic between `a` and `b` (both directions).
@@ -245,31 +290,40 @@ impl Network {
     pub fn send(&self, src: NodeId, dst: NodeId, kind: MsgKind, payload: Vec<u8>) -> bool {
         let shared = &self.shared;
         shared.stats.lock().sent += 1;
+        shared.obs.sent.inc();
         if shared.blocked.lock().contains(&(src, dst)) {
             shared.stats.lock().partitioned += 1;
+            shared.obs.partitioned.inc();
             return true; // silently eaten, like a real partition
         }
         let plan = shared.plan.lock().clone();
+        let latency = shared
+            .node_latency
+            .lock()
+            .get(&dst)
+            .copied()
+            .unwrap_or(plan.latency);
         let (dropped, duplicate, delay) = {
             let mut rng = shared.rng.lock();
             let dropped = plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob.clamp(0.0, 1.0));
             let duplicate =
                 plan.duplicate_prob > 0.0 && rng.gen_bool(plan.duplicate_prob.clamp(0.0, 1.0));
-            let delay = if plan.latency.is_zero() {
+            let delay = if latency.is_zero() {
                 Duration::ZERO
             } else {
-                let jitter_ns = plan.latency.jitter.as_nanos() as u64;
+                let jitter_ns = latency.jitter.as_nanos() as u64;
                 let extra = if jitter_ns == 0 {
                     0
                 } else {
                     rng.gen_range(0..=jitter_ns)
                 };
-                plan.latency.base + Duration::from_nanos(extra)
+                latency.base + Duration::from_nanos(extra)
             };
             (dropped, duplicate, delay)
         };
         if dropped {
             shared.stats.lock().dropped += 1;
+            shared.obs.dropped.inc();
             return true;
         }
         let env = Envelope {
@@ -280,6 +334,7 @@ impl Network {
         };
         let copies = if duplicate {
             shared.stats.lock().duplicated += 1;
+            shared.obs.duplicated.inc();
             2
         } else {
             1
@@ -329,6 +384,7 @@ fn deliver_now(shared: &Shared, env: Envelope) -> bool {
     match tx {
         Some(tx) if tx.send(env).is_ok() => {
             shared.stats.lock().delivered += 1;
+            shared.obs.delivered.inc();
             true
         }
         _ => false,
@@ -427,6 +483,31 @@ mod tests {
         let env = b.recv_timeout(TICK).unwrap();
         assert!(sent_at.elapsed() >= Duration::from_millis(25));
         assert_eq!(env.payload, vec![9]);
+    }
+
+    #[test]
+    fn node_latency_override_delays_only_that_destination() {
+        let net = Network::new(7);
+        let _a = net.register(NodeId(0));
+        let fast = net.register(NodeId(1));
+        let slow = net.register(NodeId(2));
+        net.set_node_latency(NodeId(2), LatencyModel::fixed(Duration::from_millis(40)));
+
+        let sent_at = Instant::now();
+        net.send(NodeId(0), NodeId(1), MsgKind::Request(1), vec![1]);
+        net.send(NodeId(0), NodeId(2), MsgKind::Request(2), vec![2]);
+        fast.recv_timeout(TICK).unwrap();
+        let fast_elapsed = sent_at.elapsed();
+        slow.recv_timeout(TICK).unwrap();
+        let slow_elapsed = sent_at.elapsed();
+        assert!(fast_elapsed < Duration::from_millis(40), "fast member saw the override");
+        assert!(slow_elapsed >= Duration::from_millis(35));
+
+        net.clear_node_latency(NodeId(2));
+        let sent_at = Instant::now();
+        net.send(NodeId(0), NodeId(2), MsgKind::Request(3), vec![3]);
+        slow.recv_timeout(TICK).unwrap();
+        assert!(sent_at.elapsed() < Duration::from_millis(40));
     }
 
     #[test]

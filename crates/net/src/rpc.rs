@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use repdir_core::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use repdir_core::sync::Mutex;
+use repdir_obs::{Counter, Histogram};
 
 use crate::fabric::{Endpoint, MsgKind, Network, NodeId};
 
@@ -58,12 +59,43 @@ struct PendingSlot {
     tx: Sender<(usize, Vec<u8>)>,
 }
 
+/// Client-side RPC counters mirrored into the process-wide obs registry
+/// (`rpc.*`), shared by every call/scatter handle of one client.
+#[derive(Debug)]
+struct RpcObs {
+    calls: Counter,
+    replies: Counter,
+    timeouts: Counter,
+    unreachable: Counter,
+    reply_us: Histogram,
+}
+
+impl RpcObs {
+    fn new() -> Self {
+        let g = repdir_obs::global();
+        RpcObs {
+            calls: g.counter("rpc.calls"),
+            replies: g.counter("rpc.replies"),
+            timeouts: g.counter("rpc.timeouts"),
+            unreachable: g.counter("rpc.unreachable"),
+            reply_us: g.histogram("rpc.reply_us"),
+        }
+    }
+
+    /// Send-time stamp for reply-latency samples, taken only while the
+    /// global registry has timing armed (counters stay live either way).
+    fn start(&self) -> Option<Instant> {
+        repdir_obs::global().timing_armed().then(Instant::now)
+    }
+}
+
 /// State shared between the client handle, its router thread, and
 /// outstanding [`PendingReply`]/[`Scatter`] handles.
 #[derive(Debug)]
 struct ClientShared {
     pending: Mutex<HashMap<u64, PendingSlot>>,
     shutdown: AtomicBool,
+    obs: RpcObs,
 }
 
 impl ClientShared {
@@ -95,6 +127,7 @@ impl RpcClient {
         let shared = Arc::new(ClientShared {
             pending: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
+            obs: RpcObs::new(),
         });
         let router = Arc::clone(&shared);
         std::thread::Builder::new()
@@ -143,14 +176,18 @@ impl RpcClient {
     pub fn call_async(&self, dst: NodeId, payload: Vec<u8>) -> Result<PendingReply, RpcError> {
         let (tx, rx) = unbounded();
         let id = self.register(0, tx);
+        self.shared.obs.calls.inc();
+        let started = self.shared.obs.start();
         if !self.net.send(self.node, dst, MsgKind::Request(id), payload) {
             self.shared.unregister(id);
+            self.shared.obs.unreachable.inc();
             return Err(RpcError::Unreachable(dst));
         }
         Ok(PendingReply {
             id,
             rx,
             shared: Arc::clone(&self.shared),
+            started,
         })
     }
 
@@ -163,12 +200,15 @@ impl RpcClient {
         let (tx, rx) = unbounded();
         let mut by_id = HashMap::with_capacity(requests.len());
         let mut immediate = Vec::new();
+        let started = self.shared.obs.start();
         for (index, (dst, payload)) in requests.into_iter().enumerate() {
             let id = self.register(index, tx.clone());
+            self.shared.obs.calls.inc();
             if self.net.send(self.node, dst, MsgKind::Request(id), payload) {
                 by_id.insert(id, index);
             } else {
                 self.shared.unregister(id);
+                self.shared.obs.unreachable.inc();
                 immediate.push((index, Err(RpcError::Unreachable(dst))));
             }
         }
@@ -179,6 +219,7 @@ impl RpcClient {
             by_id,
             rx,
             immediate,
+            started,
         }
     }
 
@@ -238,6 +279,8 @@ pub struct PendingReply {
     id: u64,
     rx: Receiver<(usize, Vec<u8>)>,
     shared: Arc<ClientShared>,
+    /// Send-time stamp; `None` when the global registry has timing off.
+    started: Option<Instant>,
 }
 
 impl PendingReply {
@@ -249,17 +292,28 @@ impl PendingReply {
     /// unregistered; a later reply will be discarded).
     pub fn wait(&self, timeout: Duration) -> Result<Vec<u8>, RpcError> {
         match self.rx.recv_timeout(timeout) {
-            Ok((_, payload)) => Ok(payload),
+            Ok((_, payload)) => Ok(self.settled(payload)),
             Err(_) => {
                 self.shared.unregister(self.id);
                 // A response routed between the timeout and the
                 // unregister above still counts as delivered.
                 match self.rx.try_recv() {
-                    Ok((_, payload)) => Ok(payload),
-                    Err(_) => Err(RpcError::Timeout),
+                    Ok((_, payload)) => Ok(self.settled(payload)),
+                    Err(_) => {
+                        self.shared.obs.timeouts.inc();
+                        Err(RpcError::Timeout)
+                    }
                 }
             }
         }
+    }
+
+    fn settled(&self, payload: Vec<u8>) -> Vec<u8> {
+        self.shared.obs.replies.inc();
+        if let Some(started) = self.started {
+            self.shared.obs.reply_us.record(started.elapsed());
+        }
+        payload
     }
 }
 
@@ -278,6 +332,8 @@ pub struct Scatter {
     rx: Receiver<(usize, Vec<u8>)>,
     /// Send-time failures, yielded (lowest index first) before any reply.
     immediate: Vec<(usize, Result<Vec<u8>, RpcError>)>,
+    /// Scatter-time stamp shared by the wave; `None` with timing off.
+    started: Option<Instant>,
 }
 
 impl Scatter {
@@ -304,6 +360,10 @@ impl Scatter {
         match self.rx.recv_timeout(timeout) {
             Ok((index, payload)) => {
                 self.by_id.retain(|_, v| *v != index);
+                self.shared.obs.replies.inc();
+                if let Some(started) = self.started {
+                    self.shared.obs.reply_us.record(started.elapsed());
+                }
                 Some((index, Ok(payload)))
             }
             Err(_) => {
@@ -314,6 +374,7 @@ impl Scatter {
                     .expect("outstanding nonempty");
                 self.by_id.remove(&id);
                 self.shared.unregister(id);
+                self.shared.obs.timeouts.inc();
                 Some((index, Err(RpcError::Timeout)))
             }
         }
@@ -374,6 +435,7 @@ where
     let endpoint = net.register(node);
     let stop = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&stop);
+    let served = repdir_obs::global().counter("rpc.served");
     std::thread::Builder::new()
         .name(format!("repdir-rpc-{node}"))
         .spawn(move || loop {
@@ -383,6 +445,7 @@ where
             match endpoint.recv_timeout(Duration::from_millis(25)) {
                 Ok(env) => {
                     if let MsgKind::Request(id) = env.kind {
+                        served.inc();
                         let reply = handler(&env.payload);
                         net.send(node, env.src, MsgKind::Response(id), reply);
                     }

@@ -1,0 +1,299 @@
+//! The span ring buffer: a fixed-capacity, lock-free-ish trace of scoped
+//! timer events.
+//!
+//! Writers claim a position with one `fetch_add` on a global sequence
+//! number, then take the slot with a seqlock-style CAS (odd version = write
+//! in progress) and publish their fields. A writer that finds its slot held
+//! by a straggler a full ring behind *drops* its event instead of blocking —
+//! tracing is best-effort by design; the metrics counters are the exact
+//! record. Readers ([`SpanRing::events`]) re-check the slot version after
+//! reading and skip anything torn, so every event returned is internally
+//! consistent.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Tag value meaning "no tag".
+pub(crate) const NO_TAG: u64 = u64::MAX;
+
+#[derive(Default)]
+struct Slot {
+    /// Seqlock version: even = stable, odd = write in progress. Starts 0.
+    ver: AtomicU64,
+    /// 1-based global sequence number of the event stored here; 0 = never
+    /// written.
+    seq: AtomicU64,
+    name_id: AtomicU64,
+    tag: AtomicU64,
+    start_ns: AtomicU64,
+    dur_ns: AtomicU64,
+}
+
+struct RingInner {
+    slots: Vec<Slot>,
+    next: AtomicU64,
+    dropped: AtomicU64,
+    names: RwLock<Vec<String>>,
+}
+
+/// A shared handle to the ring. Cloning is an `Arc` clone.
+#[derive(Clone)]
+pub struct SpanRing(Arc<RingInner>);
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.0.slots.len())
+            .field("recorded", &self.0.next.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// A ring retaining the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "span ring capacity must be positive");
+        SpanRing(Arc::new(RingInner {
+            slots: (0..capacity).map(|_| Slot::default()).collect(),
+            next: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            names: RwLock::new(Vec::new()),
+        }))
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.0.slots.len()
+    }
+
+    /// Total events ever recorded (monotonic, not capped at capacity).
+    pub fn recorded(&self) -> u64 {
+        self.0.next.load(Ordering::Relaxed)
+    }
+
+    /// Events dropped because their slot was held by a concurrent writer
+    /// (requires a writer lagging a full ring behind — effectively zero at
+    /// real capacities).
+    pub fn dropped(&self) -> u64 {
+        self.0.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Interns a span name, returning a stable id. Called once per
+    /// instrumentation site (span guards cache the id), so the write lock
+    /// here is off the hot path.
+    pub fn intern(&self, name: &str) -> u64 {
+        {
+            let names = self.0.names.read().expect("span name lock");
+            if let Some(id) = names.iter().position(|n| n == name) {
+                return id as u64;
+            }
+        }
+        let mut names = self.0.names.write().expect("span name lock");
+        if let Some(id) = names.iter().position(|n| n == name) {
+            return id as u64;
+        }
+        names.push(name.to_string());
+        (names.len() - 1) as u64
+    }
+
+    /// Records one finished span. `tag` is [`NO_TAG`] for untagged spans.
+    pub(crate) fn push(&self, name_id: u64, tag: u64, start_ns: u64, dur_ns: u64) {
+        let seq = self.0.next.fetch_add(1, Ordering::Relaxed) + 1;
+        let slot = &self.0.slots[((seq - 1) % self.0.slots.len() as u64) as usize];
+        let ver = slot.ver.load(Ordering::Relaxed);
+        if ver & 1 == 1
+            || slot
+                .ver
+                .compare_exchange(ver, ver + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
+            // Another writer holds this slot (it must be a full ring behind
+            // or ahead of us). Never block the instrumented path: drop.
+            self.0.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        slot.seq.store(seq, Ordering::Relaxed);
+        slot.name_id.store(name_id, Ordering::Relaxed);
+        slot.tag.store(tag, Ordering::Relaxed);
+        slot.start_ns.store(start_ns, Ordering::Relaxed);
+        slot.dur_ns.store(dur_ns, Ordering::Relaxed);
+        slot.ver.store(ver + 2, Ordering::Release);
+    }
+
+    /// The retained events in recording order (oldest first). Slots caught
+    /// mid-overwrite are skipped, so every returned event is consistent.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let names = self.0.names.read().expect("span name lock");
+        let mut out = Vec::new();
+        for slot in &self.0.slots {
+            let v1 = slot.ver.load(Ordering::Acquire);
+            if v1 & 1 == 1 {
+                continue; // write in progress
+            }
+            let seq = slot.seq.load(Ordering::Relaxed);
+            let name_id = slot.name_id.load(Ordering::Relaxed);
+            let tag = slot.tag.load(Ordering::Relaxed);
+            let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
+            fence(Ordering::Acquire);
+            if slot.ver.load(Ordering::Relaxed) != v1 || seq == 0 {
+                continue; // overwritten while reading (or never written)
+            }
+            let Some(name) = names.get(name_id as usize) else {
+                continue;
+            };
+            out.push(SpanEvent {
+                seq,
+                name: name.clone(),
+                tag: (tag != NO_TAG).then_some(tag),
+                start_ns,
+                dur_ns,
+            });
+        }
+        out.sort_by_key(|e| e.seq);
+        out
+    }
+}
+
+/// One finished scoped timer, as read back from the ring.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// 1-based global sequence number (total order of span completion).
+    pub seq: u64,
+    /// The span name (e.g. `"quorum.collect"`).
+    pub name: String,
+    /// Optional tag — by convention the member index for per-member spans.
+    pub tag: Option<u64>,
+    /// Start time, nanoseconds since the owning registry's epoch
+    /// (monotonic clock).
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// RAII scoped timer returned by [`Registry::span`](crate::Registry::span);
+/// records into the ring (and the same-named histogram) on drop. A disarmed
+/// registry returns an inert guard that skips the clock entirely.
+pub struct SpanGuard {
+    pub(crate) armed: Option<ArmedSpan>,
+}
+
+pub(crate) struct ArmedSpan {
+    pub(crate) ring: SpanRing,
+    pub(crate) hist: crate::Histogram,
+    pub(crate) name_id: u64,
+    pub(crate) tag: u64,
+    pub(crate) start: std::time::Instant,
+    pub(crate) start_ns: u64,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(arm) = self.armed.take() {
+            let dur = arm.start.elapsed();
+            arm.ring
+                .push(arm.name_id, arm.tag, arm.start_ns, dur.as_nanos() as u64);
+            arm.hist.record(dur);
+        }
+    }
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanGuard")
+            .field("armed", &self.armed.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_retains_most_recent_events_after_wraparound() {
+        let ring = SpanRing::new(4);
+        let id = ring.intern("t");
+        for i in 0..10u64 {
+            ring.push(id, NO_TAG, i, i);
+        }
+        let events = ring.events();
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(ring.dropped(), 0, "single writer never contends");
+        assert_eq!(events.len(), 4);
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9, 10], "oldest six were overwritten");
+    }
+
+    #[test]
+    fn intern_is_idempotent_and_ids_are_stable() {
+        let ring = SpanRing::new(2);
+        let a = ring.intern("alpha");
+        let b = ring.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(ring.intern("alpha"), a);
+        ring.push(b, 7, 1, 2);
+        let ev = &ring.events()[0];
+        assert_eq!(ev.name, "beta");
+        assert_eq!(ev.tag, Some(7));
+    }
+
+    #[test]
+    fn wraparound_under_concurrent_writers_yields_consistent_events() {
+        // Many writers hammer a tiny ring while a reader snapshots it: every
+        // event the reader surfaces must be internally consistent. Each
+        // write encodes its (writer, iteration) identity redundantly in
+        // tag, start_ns, and dur_ns, so a torn mix of two writes is
+        // detectable.
+        let ring = SpanRing::new(8);
+        let ids: Vec<u64> = (0..4).map(|w| ring.intern(&format!("writer{w}"))).collect();
+        let writers = 4u64;
+        let per_writer = 2000u64;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let ring = ring.clone();
+                let id = ids[w as usize];
+                s.spawn(move || {
+                    for i in 0..per_writer {
+                        ring.push(id, w * per_writer + i, w, i);
+                    }
+                });
+            }
+            let reader = {
+                let ring = ring.clone();
+                s.spawn(move || {
+                    let mut observed = 0usize;
+                    for _ in 0..50 {
+                        for ev in ring.events() {
+                            observed += 1;
+                            let w = ev.start_ns;
+                            let i = ev.dur_ns;
+                            assert!(w < writers, "torn writer index {w}");
+                            assert_eq!(
+                                ev.tag,
+                                Some(w * per_writer + i),
+                                "fields from different writes surfaced together"
+                            );
+                            assert_eq!(ev.name, format!("writer{w}"));
+                        }
+                    }
+                    observed
+                })
+            };
+            assert!(reader.join().unwrap() > 0, "reader observed nothing");
+        });
+        let total = writers * per_writer;
+        assert_eq!(ring.recorded(), total);
+        let events = ring.events();
+        assert_eq!(events.len(), 8, "every slot holds a committed event");
+        // Sequence numbers are distinct, valid, and (since every writer has
+        // quiesced) stable across reads. Exact recency is pinned by the
+        // single-writer test; here contention may drop writes, so only
+        // distinctness is guaranteed.
+        let mut seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), 8);
+        assert!(*seqs.last().unwrap() <= total);
+        assert_eq!(ring.events(), events, "quiet ring reads are stable");
+    }
+}

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use repdir_core::sync::{Condvar, Mutex};
+use repdir_obs::{Counter, Histogram};
 
 use crate::range::{compatible, KeyRange, LockMode};
 
@@ -78,6 +79,30 @@ pub struct LockStats {
     pub deadlocks: u64,
     /// Acquisitions refused with [`LockError::Timeout`].
     pub timeouts: u64,
+}
+
+/// Lock-table counters mirrored into the process-wide obs registry
+/// (`lock.*`). [`LockStats`] stays the per-table exact record; these
+/// aggregate across every table in the process.
+struct LockObs {
+    granted: Counter,
+    waited: Counter,
+    deadlocks: Counter,
+    timeouts: Counter,
+    wait_us: Histogram,
+}
+
+impl LockObs {
+    fn new() -> Self {
+        let g = repdir_obs::global();
+        LockObs {
+            granted: g.counter("lock.granted"),
+            waited: g.counter("lock.waited"),
+            deadlocks: g.counter("lock.deadlocks"),
+            timeouts: g.counter("lock.timeouts"),
+            wait_us: g.histogram("lock.wait_us"),
+        }
+    }
 }
 
 /// How often a waiter attached to a [`DeadlockDomain`] wakes to re-check the
@@ -156,6 +181,7 @@ impl DeadlockDomain {
                         return true;
                     }
                     st.wounded.insert(victim);
+                    repdir_obs::global().counter("lock.wounds").inc();
                     return false;
                 }
                 Some(next) => {
@@ -232,6 +258,7 @@ pub struct RangeLockTable {
     state: Mutex<State>,
     released: Condvar,
     domain: Mutex<Option<Arc<DeadlockDomain>>>,
+    obs: LockObs,
 }
 
 static NEXT_TABLE_ID: AtomicU64 = AtomicU64::new(0);
@@ -250,6 +277,7 @@ impl RangeLockTable {
             state: Mutex::new(State::default()),
             released: Condvar::new(),
             domain: Mutex::new(None),
+            obs: LockObs::new(),
         }
     }
 
@@ -278,6 +306,7 @@ impl RangeLockTable {
         if conflicts.is_empty() {
             st.granted.push(Granted { owner, mode, range });
             st.stats.granted += 1;
+            self.obs.granted.inc();
             Ok(())
         } else {
             Err(conflicts)
@@ -321,8 +350,15 @@ impl RangeLockTable {
                 }
                 st.granted.push(Granted { owner, mode, range });
                 st.stats.granted += 1;
+                self.obs.granted.inc();
                 if waited {
                     st.stats.waited += 1;
+                    self.obs.waited.inc();
+                    if repdir_obs::global().timing_armed() {
+                        // `deadline` was `entry + timeout`, so this is the
+                        // total time spent blocked on conflicting holders.
+                        self.obs.wait_us.record((deadline - timeout).elapsed());
+                    }
                 }
                 return Ok(());
             }
@@ -340,6 +376,7 @@ impl RangeLockTable {
                         d.clear_waits(self.id, owner);
                     }
                     st.stats.deadlocks += 1;
+                    self.obs.deadlocks.inc();
                     return Err(LockError::Deadlock);
                 }
                 // Another participant is younger; it will be refused when it
@@ -351,6 +388,7 @@ impl RangeLockTable {
                     st.waiting.remove(&owner);
                     d.clear_waits(self.id, owner);
                     st.stats.deadlocks += 1;
+                    self.obs.deadlocks.inc();
                     return Err(LockError::Deadlock);
                 }
             }
@@ -369,6 +407,7 @@ impl RangeLockTable {
                     d.clear_waits(self.id, owner);
                 }
                 st.stats.timeouts += 1;
+                self.obs.timeouts.inc();
                 return Err(LockError::Timeout);
             }
         }

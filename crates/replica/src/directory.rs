@@ -282,15 +282,26 @@ impl DirTxn<'_> {
 
     /// Commits at every representative (write-ahead-log sync per member)
     /// and releases locks.
+    ///
+    /// The per-member commits — each a WAL sync — run concurrently, so
+    /// commit latency is the *slowest* member's sync, not the sum of all
+    /// of them (the same scatter-gather shape the suite uses for its RPC
+    /// waves).
     pub fn commit(mut self) {
         self.finished = true;
-        for rep in &self.dir.reps {
-            // A representative that failed mid-transaction cannot commit;
-            // it never saw the transaction's writes (the suite routed
-            // around it), so skipping is sound.
-            let _ = rep.commit(self.id);
-        }
-        let _ = self.dir.txns.commit(self.id);
+        let id = self.id;
+        let _span = repdir_obs::global().span("txn.commit");
+        std::thread::scope(|scope| {
+            for rep in &self.dir.reps {
+                // A representative that failed mid-transaction cannot
+                // commit; it never saw the transaction's writes (the suite
+                // routed around it), so skipping is sound.
+                scope.spawn(move || {
+                    let _ = rep.commit(id);
+                });
+            }
+        });
+        let _ = self.dir.txns.commit(id);
     }
 
     /// Aborts at every representative and releases locks.
@@ -300,11 +311,17 @@ impl DirTxn<'_> {
     }
 
     fn rollback(&self) {
-        for rep in &self.dir.reps {
-            rep.abort(self.id);
-        }
-        if self.dir.txns.is_active(self.id) {
-            let _ = self.dir.txns.abort(self.id);
+        let id = self.id;
+        let _span = repdir_obs::global().span("txn.abort");
+        std::thread::scope(|scope| {
+            for rep in &self.dir.reps {
+                scope.spawn(move || {
+                    rep.abort(id);
+                });
+            }
+        });
+        if self.dir.txns.is_active(id) {
+            let _ = self.dir.txns.abort(id);
         }
     }
 }
@@ -395,6 +412,45 @@ mod tests {
         txn.abort();
         assert_eq!(dir.lookup(&k("keep")).unwrap().value, Some(val("K")));
         assert!(!dir.lookup(&k("temp")).unwrap().present);
+    }
+
+    #[test]
+    fn commit_fanout_applies_at_every_rep_and_records_obs() {
+        // The per-rep commit fan-out must leave every write-quorum member
+        // durably committed, bump the global txn counters, and record the
+        // txn.commit span. Counters are process-global and tests run in
+        // parallel, so assertions are monotone (>= before + delta).
+        let g = repdir_obs::global();
+        let committed_before = g.counter("txn.committed").get();
+        let aborted_before = g.counter("txn.aborted").get();
+
+        let dir = dir_322(7);
+        let mut txn = dir.begin_with_policy(Box::new(FixedPolicy::new()));
+        txn.suite_mut().insert(&k("fan"), &val("F")).unwrap();
+        let out = txn.suite_mut().lookup(&k("fan")).unwrap();
+        let id = txn.id();
+        txn.commit();
+
+        assert_eq!(dir.txn_manager().status(id), Some(TxnStatus::Committed));
+        // Each quorum member saw the write and must have applied it after
+        // the concurrent commit wave completed.
+        for rep_id in out.quorum {
+            let rep = &dir.reps()[rep_id.0 as usize];
+            assert!(
+                rep.snapshot().lookup(&k("fan")).is_present(),
+                "rep {rep_id:?} lost the committed entry"
+            );
+        }
+        assert!(g.counter("txn.committed").get() >= committed_before + 1);
+        assert!(g.spans().iter().any(|e| e.name == "txn.commit"));
+
+        // The abort fan-out mirrors it.
+        let mut txn = dir.begin();
+        txn.suite_mut().insert(&k("doomed"), &val("D")).unwrap();
+        txn.abort();
+        assert!(!dir.lookup(&k("doomed")).unwrap().present);
+        assert!(g.counter("txn.aborted").get() >= aborted_before + 1);
+        assert!(g.spans().iter().any(|e| e.name == "txn.abort"));
     }
 
     #[test]

@@ -17,7 +17,11 @@ use crate::server::TransactionalRep;
 /// Runs a [`TransactionalRep`] as an RPC server at `node`. Returns the
 /// handle that stops the serving thread.
 pub fn serve_rep(net: Arc<Network>, node: NodeId, rep: Arc<TransactionalRep>) -> ServerHandle {
+    let obs = repdir_obs::global();
+    let requests = obs.counter("rep.requests");
     serve(net, node, move |payload| {
+        requests.inc();
+        let _span = obs.span("rep.handle");
         let response = match decode_request(payload) {
             Err(e) => Response::Err(RepError::Storage(format!("bad request: {e}"))),
             Ok(req) => dispatch(&rep, req),

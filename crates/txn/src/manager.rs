@@ -54,6 +54,26 @@ struct TxnRecord {
 pub struct TxnManager {
     next: AtomicU64,
     txns: Mutex<HashMap<TxnId, TxnRecord>>,
+    obs: TxnObs,
+}
+
+/// Lifecycle counters mirrored into the process-wide obs registry
+/// (`txn.*`), aggregated across every manager in the process.
+struct TxnObs {
+    begun: repdir_obs::Counter,
+    committed: repdir_obs::Counter,
+    aborted: repdir_obs::Counter,
+}
+
+impl TxnObs {
+    fn new() -> Self {
+        let g = repdir_obs::global();
+        TxnObs {
+            begun: g.counter("txn.begun"),
+            committed: g.counter("txn.committed"),
+            aborted: g.counter("txn.aborted"),
+        }
+    }
 }
 
 impl Default for TxnManager {
@@ -68,12 +88,14 @@ impl TxnManager {
         TxnManager {
             next: AtomicU64::new(1),
             txns: Mutex::new(HashMap::new()),
+            obs: TxnObs::new(),
         }
     }
 
     /// Starts a new transaction and returns its id.
     pub fn begin(&self) -> TxnId {
         let id = TxnId(self.next.fetch_add(1, Ordering::Relaxed));
+        self.obs.begun.inc();
         self.txns.lock().insert(
             id,
             TxnRecord {
@@ -125,6 +147,7 @@ impl TxnManager {
             Some(rec) if rec.status == TxnStatus::Active => {
                 rec.status = TxnStatus::Committed;
                 rec.undo.clear();
+                self.obs.committed.inc();
                 Ok(())
             }
             _ => Err(RepError::TransactionAborted),
@@ -139,6 +162,7 @@ impl TxnManager {
         match txns.get_mut(&id) {
             Some(rec) if rec.status == TxnStatus::Active => {
                 rec.status = TxnStatus::Aborted;
+                self.obs.aborted.inc();
                 let mut undo = std::mem::take(&mut rec.undo);
                 undo.reverse();
                 undo

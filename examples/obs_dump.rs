@@ -1,0 +1,50 @@
+//! Metrics dump: what the obs subsystem sees during a short workload.
+//!
+//! Runs a handful of operations against a 3-2-2 suite, then prints the
+//! suite's own registry (per-member message/ping counters, reply-time
+//! EWMAs, quorum wave counts, operation spans) followed by the
+//! process-global registry the subsystem crates (net, rangelock, storage,
+//! txn, replica) record into.
+//!
+//! ```text
+//! cargo run --example obs_dump            # human-readable text
+//! cargo run --example obs_dump -- --json  # machine-readable JSON
+//! ```
+
+use repdir::core::suite::{DirSuite, SuiteConfig};
+use repdir::core::{Key, Value};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json = std::env::args().any(|a| a == "--json");
+
+    let mut dir = DirSuite::in_process(SuiteConfig::symmetric(3, 2, 2)?, 42)?;
+    for name in ["passwd", "motd", "hosts", "group"] {
+        dir.insert(&Key::from(name), &Value::from(format!("inode {name}").as_str()))?;
+    }
+    dir.update(&Key::from("motd"), &Value::from("inode 99"))?;
+    for _ in 0..8 {
+        dir.lookup(&Key::from("passwd"))?;
+    }
+    dir.delete(&Key::from("hosts"))?;
+
+    // Per-suite registry: everything the coordinator recorded. The same
+    // numbers back `message_counts()` / `ping_counts()` /
+    // `member_reply_ewmas()`.
+    let suite_obs = dir.obs();
+    // Process-global registry: what the subsystem crates recorded. An
+    // in-process suite skips the network, so this mostly shows txn/lock
+    // activity here; a networked fixture fills in net.* and rpc.* too.
+    let global = repdir::obs::global();
+
+    if json {
+        println!(
+            "{{\"suite\": {}, \"global\": {}}}",
+            suite_obs.render_json(),
+            global.render_json()
+        );
+    } else {
+        println!("== suite registry ==\n{}", suite_obs.render_text());
+        println!("== global registry ==\n{}", global.render_text());
+    }
+    Ok(())
+}

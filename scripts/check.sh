@@ -6,7 +6,12 @@
 # 2. Builds the whole workspace offline (release, all targets).
 # 3. Runs the full test suite offline.
 # 4. Runs the suite_latency bench in quick mode, which fails unless quorum
-#    fan-out beats the sequential baseline by >= 1.5x median latency.
+#    fan-out beats the sequential baseline by >= 1.5x median latency AND the
+#    obs-instrumented build (timing armed) stays within 5% of the disarmed
+#    baseline.
+# 5. Runs the latency_policy bench in quick mode, which fails unless the
+#    EWMA-driven LatencyPolicy reads from the fast members only and beats
+#    RandomPolicy by >= 2x median on a skewed fabric.
 #
 # Exits non-zero on the first violation or failure.
 
@@ -47,7 +52,10 @@ cargo test -q --offline --workspace
 echo "==> cargo build --offline --examples"
 cargo build --offline --examples
 
-echo "==> suite_latency --quick --check (fan-out must beat sequential >= 1.5x)"
+echo "==> suite_latency --quick --check (fan-out >= 1.5x; obs overhead <= 5%)"
 cargo run --release --offline -p repdir-bench --bin suite_latency -- --quick --check
+
+echo "==> latency_policy --quick --check (EWMA policy must avoid slow members, >= 2x)"
+cargo run --release --offline -p repdir-bench --bin latency_policy -- --quick --check
 
 echo "ALL CHECKS PASSED"

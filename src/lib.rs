@@ -10,6 +10,7 @@
 //!
 //! | module | contents |
 //! |--------|----------|
+//! | [`obs`] | zero-dependency metrics and tracing: counters, histograms, EWMAs, spans |
 //! | [`core`] | keys/versions/values, the gap-versioned map, the suite algorithm |
 //! | [`rangelock`] | Figure-7 range locking, two-phase locking, deadlock detection |
 //! | [`txn`] | transaction ids, lifecycle, undo |
@@ -34,6 +35,7 @@
 pub use repdir_baselines as baselines;
 pub use repdir_core as core;
 pub use repdir_net as net;
+pub use repdir_obs as obs;
 pub use repdir_rangelock as rangelock;
 pub use repdir_replica as replica;
 pub use repdir_storage as storage;
