@@ -83,7 +83,7 @@ pub use gapmap::{
     CoalesceOutcome, GapInfo, GapMap, InsertOutcome, LookupReply, NeighborReply, RemovedEntry,
 };
 pub use key::{Key, UserKey};
-pub use rep::{LocalRep, RepClient, RepId, RepResult};
-pub use suite::{DirSuite, SuiteConfig};
+pub use rep::{BatchReply, BatchRequest, LocalRep, RepClient, RepId, RepResult};
+pub use suite::{DirSuite, QuorumSession, SuiteConfig};
 pub use value::Value;
 pub use version::Version;

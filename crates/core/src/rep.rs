@@ -56,6 +56,29 @@ impl fmt::Display for RepId {
 /// Result alias for representative operations.
 pub type RepResult<T> = Result<T, RepError>;
 
+/// One read-side sub-request inside a batched scatter envelope
+/// ([`RepClient::batch`]). Only the operations the suite packs together on
+/// its bulk-walk hot path are representable: a point lookup plus the §4
+/// neighbor chains.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchRequest {
+    /// `DirRepLookup(x)`.
+    Lookup(Key),
+    /// Up to `limit` successive `DirRepPredecessor` results from the key.
+    PredecessorChain(Key, usize),
+    /// Up to `limit` successive `DirRepSuccessor` results from the key.
+    SuccessorChain(Key, usize),
+}
+
+/// The reply to one [`BatchRequest`], in request order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BatchReply {
+    /// Reply to [`BatchRequest::Lookup`].
+    Lookup(LookupReply),
+    /// Reply to either chain request.
+    Chain(Vec<NeighborReply>),
+}
+
 /// The remote-procedure-call surface of a directory representative
 /// (paper Fig. 6).
 ///
@@ -146,6 +169,35 @@ pub trait RepClient: Send + Sync {
     /// `DirRepCoalesce(l, h, v)` — delete entries strictly inside `(l, h)`
     /// and give the resulting gap version `v`. Sets `RepModify(l, h)`.
     fn coalesce(&self, low: &Key, high: &Key, version: Version) -> RepResult<CoalesceOutcome>;
+
+    /// Executes several read-side requests as one envelope, returning the
+    /// replies in request order. The default runs them sequentially —
+    /// correct for in-process representatives, where a "message" is a
+    /// method call — while networked implementations override it to pack
+    /// the whole batch into a single RPC frame, so a suite wave costs one
+    /// round trip regardless of how many probes it carries.
+    ///
+    /// The first failing sub-request fails the whole envelope: callers
+    /// treat an envelope like any other member RPC.
+    ///
+    /// # Errors
+    ///
+    /// As the corresponding single-request methods.
+    fn batch(&self, reqs: &[BatchRequest]) -> RepResult<Vec<BatchReply>> {
+        reqs.iter()
+            .map(|req| {
+                Ok(match req {
+                    BatchRequest::Lookup(key) => BatchReply::Lookup(self.lookup(key)?),
+                    BatchRequest::PredecessorChain(key, limit) => {
+                        BatchReply::Chain(self.predecessor_chain(key, *limit)?)
+                    }
+                    BatchRequest::SuccessorChain(key, limit) => {
+                        BatchReply::Chain(self.successor_chain(key, *limit)?)
+                    }
+                })
+            })
+            .collect()
+    }
 }
 
 /// Blanket implementation so `&C`, `Arc<C>`, `Box<C>`, … are themselves
@@ -178,6 +230,9 @@ impl<T: RepClient + ?Sized> RepClient for &T {
     fn coalesce(&self, low: &Key, high: &Key, version: Version) -> RepResult<CoalesceOutcome> {
         (**self).coalesce(low, high, version)
     }
+    fn batch(&self, reqs: &[BatchRequest]) -> RepResult<Vec<BatchReply>> {
+        (**self).batch(reqs)
+    }
 }
 
 impl<T: RepClient + ?Sized> RepClient for Arc<T> {
@@ -207,6 +262,9 @@ impl<T: RepClient + ?Sized> RepClient for Arc<T> {
     }
     fn coalesce(&self, low: &Key, high: &Key, version: Version) -> RepResult<CoalesceOutcome> {
         (**self).coalesce(low, high, version)
+    }
+    fn batch(&self, reqs: &[BatchRequest]) -> RepResult<Vec<BatchReply>> {
+        (**self).batch(reqs)
     }
 }
 
@@ -453,6 +511,42 @@ mod tests {
         exercise(&rep);
         exercise(Arc::new(rep.clone()));
         exercise(rep);
+    }
+
+    #[test]
+    fn default_batch_matches_individual_calls() {
+        let rep = LocalRep::new(RepId(0));
+        rep.insert(&k("a"), Version::new(1), &Value::from("A"))
+            .unwrap();
+        rep.insert(&k("c"), Version::new(2), &Value::from("C"))
+            .unwrap();
+        let replies = rep
+            .batch(&[
+                BatchRequest::Lookup(k("a")),
+                BatchRequest::SuccessorChain(Key::Low, 3),
+                BatchRequest::PredecessorChain(Key::High, 2),
+                BatchRequest::Lookup(k("b")),
+            ])
+            .unwrap();
+        assert_eq!(replies.len(), 4);
+        assert_eq!(replies[0], BatchReply::Lookup(rep.lookup(&k("a")).unwrap()));
+        assert_eq!(
+            replies[1],
+            BatchReply::Chain(rep.successor_chain(&Key::Low, 3).unwrap())
+        );
+        assert_eq!(
+            replies[2],
+            BatchReply::Chain(rep.predecessor_chain(&Key::High, 2).unwrap())
+        );
+        assert_eq!(replies[3], BatchReply::Lookup(rep.lookup(&k("b")).unwrap()));
+        // An empty envelope is a no-op.
+        assert_eq!(rep.batch(&[]).unwrap(), vec![]);
+        // The first failing sub-request fails the envelope.
+        rep.set_available(false);
+        assert_eq!(
+            rep.batch(&[BatchRequest::Lookup(k("a"))]),
+            Err(RepError::Unavailable)
+        );
     }
 
     #[test]

@@ -20,10 +20,10 @@ pub use quorum::{
 };
 pub use set::DirSet;
 
-use crate::error::{ConfigError, QuorumKind, SuiteError};
+use crate::error::{ConfigError, QuorumKind, RepError, SuiteError};
 use crate::gapmap::LookupReply;
 use crate::key::Key;
-use crate::rep::{LocalRep, RepClient, RepId, RepResult};
+use crate::rep::{BatchReply, BatchRequest, LocalRep, RepClient, RepId, RepResult};
 use crate::value::Value;
 use crate::version::Version;
 use repdir_obs::{Counter, Ewma, Registry};
@@ -134,6 +134,14 @@ struct SuiteObs {
     /// (`suite.quorum.sticky_miss`): for a sticky policy this is exactly
     /// "a remembered member stopped responding", forcing fresh collection.
     sticky_miss: Counter,
+    /// Quorum collections answered from a held session without pinging
+    /// (`suite.session.reuse`): each increment is one ping wave a bulk
+    /// operation did not pay.
+    session_reuse: Counter,
+    /// Session re-validations (`suite.session.revalidate`): a held member
+    /// failed mid-walk, so the session was rebuilt with one ping wave over
+    /// the prior members plus re-collection of only the failed votes.
+    session_revalidate: Counter,
 }
 
 impl SuiteObs {
@@ -145,9 +153,32 @@ impl SuiteObs {
             reply: (0..n).map(|i| registry.ewma(&handle("reply_us", i))).collect(),
             waves: registry.counter("suite.quorum.waves"),
             sticky_miss: registry.counter("suite.quorum.sticky_miss"),
+            session_reuse: registry.counter("suite.session.reuse"),
+            session_revalidate: registry.counter("suite.session.revalidate"),
             registry,
         }
     }
+}
+
+/// A quorum held across the hops of one bulk operation (scan, the deletes'
+/// copy+coalesce chain) instead of being re-collected per hop.
+///
+/// Safety rests on the paper's §3.1 intersection argument: *which* read
+/// quorum answers never affects correctness — every read quorum intersects
+/// every write quorum, so re-asking the same members each hop returns data
+/// at least as fresh as any other quorum would. The only thing per-hop
+/// collection buys is failure detection, and the session keeps that by
+/// re-validating (one ping wave over the prior members, re-collecting only
+/// the failed votes) the moment a held member returns
+/// [`RepError::Unavailable`] or times out mid-walk.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuorumSession {
+    /// Member indices forming the quorum, in preference order.
+    pub members: Vec<usize>,
+    /// Whether the session holds a read or a write quorum.
+    pub kind: QuorumKind,
+    /// Bumped on every re-validation; 0 for a freshly collected session.
+    pub epoch: u64,
 }
 
 /// A replicated directory: Gifford-style weighted voting over gap-versioned
@@ -184,6 +215,15 @@ pub struct DirSuite<C: RepClient> {
     /// over scoped threads) or serialized. Concurrent is the default; the
     /// sequential mode is kept as the counter/latency baseline.
     fanout: bool,
+    /// The read ([`QuorumKind::Read`] = slot 0) and write (slot 1) session
+    /// quorums currently held by an in-flight bulk operation.
+    sessions: [Option<QuorumSession>; 2],
+    /// Nesting depth of bulk-operation scopes; sessions are dropped when it
+    /// returns to zero so no quorum outlives the operation that pinned it.
+    session_depth: u32,
+    /// Whether bulk operations hold session quorums (default) or collect a
+    /// fresh quorum per hop (the pre-session baseline).
+    session_reuse: bool,
     obs: SuiteObs,
 }
 
@@ -222,6 +262,9 @@ impl<C: RepClient> DirSuite<C> {
             write_through_weak: false,
             neighbor_batch: 1,
             fanout: true,
+            sessions: [None, None],
+            session_depth: 0,
+            session_reuse: true,
             obs: SuiteObs::new(Registry::new(), n),
         })
     }
@@ -286,6 +329,94 @@ impl<C: RepClient> DirSuite<C> {
     /// Whether member RPC waves are issued concurrently.
     pub fn fanout_enabled(&self) -> bool {
         self.fanout
+    }
+
+    /// Enables or disables session quorums for bulk operations (enabled by
+    /// default).
+    ///
+    /// Enabled, a scan / neighbor search / delete collects its quorum once
+    /// and holds it across every hop ([`QuorumSession`]), re-validating only
+    /// when a held member fails; scans additionally pack each hop's probes
+    /// into one batched envelope per member. Disabled, every hop collects a
+    /// fresh quorum and scans take the unbatched per-hop path — the
+    /// pre-session baseline the equivalence tests and `scan_bench` compare
+    /// against.
+    pub fn set_session_reuse(&mut self, enabled: bool) {
+        self.session_reuse = enabled;
+        if !enabled {
+            self.sessions = [None, None];
+        }
+    }
+
+    /// Whether bulk operations hold session quorums across hops.
+    pub fn session_reuse_enabled(&self) -> bool {
+        self.session_reuse
+    }
+
+    /// The session quorum currently held for `kind`, if a bulk operation is
+    /// in flight. `None` between operations: sessions never outlive the
+    /// operation that pinned them.
+    pub fn session(&self, kind: QuorumKind) -> Option<&QuorumSession> {
+        self.sessions[Self::kind_idx(kind)].as_ref()
+    }
+
+    fn kind_idx(kind: QuorumKind) -> usize {
+        match kind {
+            QuorumKind::Read => 0,
+            QuorumKind::Write => 1,
+        }
+    }
+
+    /// Opens a bulk-operation scope: quorums collected while at least one
+    /// scope is open are pinned as sessions and answered from cache on
+    /// re-collection. Scopes nest (delete's searches run inside delete's
+    /// scope); the sessions drop when the outermost scope closes.
+    fn session_begin(&mut self) {
+        self.session_depth += 1;
+    }
+
+    fn session_end(&mut self) {
+        self.session_depth -= 1;
+        if self.session_depth == 0 {
+            self.sessions = [None, None];
+        }
+    }
+
+    fn take_session(&mut self, kind: QuorumKind) -> Option<QuorumSession> {
+        self.sessions[Self::kind_idx(kind)].take()
+    }
+
+    fn store_session(&mut self, kind: QuorumKind, members: Vec<usize>, epoch: u64) {
+        if self.session_reuse && self.session_depth > 0 {
+            self.sessions[Self::kind_idx(kind)] = Some(QuorumSession {
+                members,
+                kind,
+                epoch,
+            });
+        }
+    }
+
+    /// Runs a read-only multi-hop body, re-validating the session and
+    /// restarting it when a held member fails mid-walk. Restarts are safe
+    /// because the body only reads; the budget bounds the member failures
+    /// tolerated before the error surfaces.
+    fn with_session_retries<R>(
+        &mut self,
+        kind: QuorumKind,
+        mut body: impl FnMut(&mut Self) -> Result<R, SuiteError>,
+    ) -> Result<R, SuiteError> {
+        let mut budget = self.members.len() + 1;
+        loop {
+            match body(self) {
+                Err(SuiteError::Rep(RepError::Unavailable))
+                    if budget > 0 && self.session(kind).is_some() =>
+                {
+                    budget -= 1;
+                    self.revalidate_session(kind)?;
+                }
+                out => return out,
+            }
+        }
     }
 
     /// Data RPCs sent to each representative since the last reset (pings
@@ -455,14 +586,19 @@ impl<C: RepClient> DirSuite<C> {
         dir: Direction,
     ) -> Result<NeighborSearch, SuiteError> {
         let _span = self.obs.registry.span("suite.neighbor");
+        self.session_begin();
+        let out = self.with_session_retries(QuorumKind::Read, |s| s.neighbor_walk(key, dir));
+        self.session_end();
+        out
+    }
+
+    /// One attempt at the Fig. 12 walk: collects (or reuses) the read
+    /// quorum, then hops until the candidate answers present. Chain
+    /// bookkeeping lives in [`NeighborChains`], shared with the scan walk.
+    fn neighbor_walk(&mut self, key: &Key, dir: Direction) -> Result<NeighborSearch, SuiteError> {
         let quorum = self.collect_quorum(QuorumKind::Read, Some(key))?;
         let batch = self.neighbor_batch;
-        let terminal = dir.terminal();
-        // Per quorum member: buffered chain elements (keys strictly
-        // monotonic toward the terminal) and the key to continue from.
-        let mut chains: Vec<std::collections::VecDeque<crate::gapmap::NeighborReply>> =
-            vec![std::collections::VecDeque::new(); quorum.len()];
-        let mut next_probe: Vec<Key> = vec![key.clone(); quorum.len()];
+        let mut walk = NeighborChains::new(dir, key, quorum.len());
 
         let mut probe = key.clone();
         let mut max_gap_version = Version::ZERO;
@@ -470,16 +606,11 @@ impl<C: RepClient> DirSuite<C> {
         let mut rpc_calls = 0u32;
         loop {
             steps += 1;
-            // Drop buffered elements the walk has already passed, then find
-            // every member whose chain is exhausted but can still go
-            // further: those refill together in one concurrent wave.
-            let mut refills: Vec<(usize, Key)> = Vec::new();
-            for qi in 0..quorum.len() {
-                discard_passed(&mut chains[qi], dir, &probe, &mut max_gap_version);
-                if chains[qi].front().is_none() && next_probe[qi] != terminal {
-                    refills.push((qi, next_probe[qi].clone()));
-                }
-            }
+            // Drop buffered elements the walk has already passed, then
+            // refill every exhausted-but-advanceable chain together in one
+            // concurrent wave.
+            walk.discard_passed(&probe, &mut max_gap_version);
+            let refills = walk.refills();
             if !refills.is_empty() {
                 rpc_calls += refills.len() as u32;
                 let targets: Vec<usize> = refills.iter().map(|&(qi, _)| quorum[qi]).collect();
@@ -492,35 +623,10 @@ impl<C: RepClient> DirSuite<C> {
                     }
                 });
                 for (slot, wave) in waves.into_iter().enumerate() {
-                    let chain = wave?;
-                    let qi = refills[slot].0;
-                    if let Some(last) = chain.last() {
-                        next_probe[qi] = last.key.clone();
-                    } else {
-                        next_probe[qi] = terminal.clone();
-                    }
-                    chains[qi].extend(chain);
-                    // Re-discard passed elements from the fresh data.
-                    discard_passed(&mut chains[qi], dir, &probe, &mut max_gap_version);
+                    walk.integrate(refills[slot].0, wave?, &probe, &mut max_gap_version);
                 }
             }
-            // Each member's answer for the current probe; the candidate is
-            // the closest answer across the quorum.
-            let mut candidate = terminal.clone();
-            for chain in &chains {
-                let answer = match chain.front() {
-                    Some(front) => front.clone(),
-                    None => crate::gapmap::NeighborReply {
-                        key: terminal.clone(),
-                        entry_version: Version::ZERO,
-                        gap_version: Version::ZERO,
-                    },
-                };
-                max_gap_version = max_gap_version.max(answer.gap_version);
-                if dir.closer(&answer.key, &candidate) {
-                    candidate = answer.key;
-                }
-            }
+            let candidate = walk.candidate(&mut max_gap_version);
             let looked = self.lookup(&candidate)?;
             if looked.present {
                 return Ok(NeighborSearch {
@@ -549,6 +655,17 @@ impl<C: RepClient> DirSuite<C> {
     pub fn delete(&mut self, key: &Key) -> Result<DeleteOutcome, SuiteError> {
         self.require_user_key(key)?;
         let _span = self.obs.registry.span("suite.delete");
+        // The whole copy+coalesce chain runs under one session scope: the
+        // read quorum pinned by the opening lookup serves both neighbor
+        // searches and their inner lookups, and the write quorum is pinned
+        // for the probe/copy/coalesce waves.
+        self.session_begin();
+        let out = self.delete_locked(key);
+        self.session_end();
+        out
+    }
+
+    fn delete_locked(&mut self, key: &Key) -> Result<DeleteOutcome, SuiteError> {
         // Fig. 13 folds DirSuiteLookup(x) into `ver` mid-flow; checking it
         // up front additionally rejects deletes of absent keys before any
         // mutation.
@@ -655,6 +772,21 @@ impl<C: RepClient> DirSuite<C> {
     ///
     /// Quorum and representative failures.
     pub fn scan(&mut self) -> Result<Vec<(crate::key::UserKey, Value)>, SuiteError> {
+        let _span = self.obs.registry.span("suite.scan");
+        if !self.session_reuse {
+            return self.scan_per_hop();
+        }
+        self.session_begin();
+        let out = self.with_session_retries(QuorumKind::Read, |s| s.scan_walk());
+        self.session_end();
+        out
+    }
+
+    /// The pre-session scan: one full `real_successor` search — fresh
+    /// quorum, fresh chains, separate lookup hop — per entry. Kept verbatim
+    /// as the baseline the equivalence tests and `scan_bench` compare the
+    /// session walk against.
+    fn scan_per_hop(&mut self) -> Result<Vec<(crate::key::UserKey, Value)>, SuiteError> {
         let mut out = Vec::new();
         let mut probe = Key::Low;
         loop {
@@ -668,6 +800,94 @@ impl<C: RepClient> DirSuite<C> {
                 }
                 Key::Low => unreachable!("a successor is never LOW"),
             }
+        }
+    }
+
+    /// One session-quorum sweep from `LOW` to `HIGH`. The quorum is
+    /// collected once and held ([`QuorumSession`]); every hop costs one
+    /// batched envelope per member carrying the candidate's lookup plus,
+    /// for members whose chain the hop drains, the next chain refill — so a
+    /// failure-free scan pays one quorum collection and roughly one RPC
+    /// round-trip per entry instead of the per-hop baseline's three-plus.
+    fn scan_walk(&mut self) -> Result<Vec<(crate::key::UserKey, Value)>, SuiteError> {
+        let batch = self.neighbor_batch;
+        let dir = Direction::Succ;
+        let quorum = self.collect_quorum(QuorumKind::Read, None)?;
+        let mut walk = NeighborChains::new(dir, &Key::Low, quorum.len());
+        let mut out = Vec::new();
+        let mut probe = Key::Low;
+        // The scan reports logical contents only, but gap versions fold the
+        // same way the searches fold them, keeping the chain bookkeeping
+        // identical.
+        let mut max_gap_version = Version::ZERO;
+        loop {
+            // Re-assert the session each hop: a cached, no-RPC check while
+            // the session holds. `suite.session.reuse` counts the ping
+            // waves this saved over per-hop collection.
+            let hop_quorum = self.collect_quorum(QuorumKind::Read, None)?;
+            debug_assert_eq!(hop_quorum, quorum, "session quorum changed mid-walk");
+            walk.discard_passed(&probe, &mut max_gap_version);
+            let refills = walk.refills();
+            if !refills.is_empty() {
+                let targets: Vec<usize> = refills.iter().map(|&(qi, _)| quorum[qi]).collect();
+                let refills_ref = &refills;
+                let waves =
+                    self.scatter(&targets, |slot, c| c.successor_chain(&refills_ref[slot].1, batch));
+                for (slot, wave) in waves.into_iter().enumerate() {
+                    walk.integrate(refills[slot].0, wave?, &probe, &mut max_gap_version);
+                }
+            }
+            let candidate = match walk.candidate(&mut max_gap_version) {
+                // The HIGH sentinel is unconditionally present at every
+                // representative, so unlike the searches the scan skips its
+                // closing lookup: it carries no information.
+                Key::High => return Ok(out),
+                other => other,
+            };
+            // One envelope per member: the candidate's lookup, plus a chain
+            // prefetch for members this hop leaves dry so the next hop
+            // needs no separate refill wave.
+            let envelopes: Vec<Vec<BatchRequest>> = (0..quorum.len())
+                .map(|qi| {
+                    let mut reqs = vec![BatchRequest::Lookup(candidate.clone())];
+                    if let Some(from) = walk.prefetch_from(qi, &candidate) {
+                        reqs.push(BatchRequest::SuccessorChain(from, batch));
+                    }
+                    reqs
+                })
+                .collect();
+            let envelopes_ref = &envelopes;
+            let waves = self.scatter(&quorum, |slot, c| c.batch(&envelopes_ref[slot]));
+            // Every member's lookup participates in the merge — ghost
+            // detection needs the full quorum's votes, exactly as
+            // `DirSuiteLookup` merges them.
+            let mut best: Option<LookupReply> = None;
+            for (qi, wave) in waves.into_iter().enumerate() {
+                let mut parts = wave?.into_iter();
+                match parts.next() {
+                    Some(BatchReply::Lookup(reply)) => {
+                        best = Some(match best {
+                            None => reply,
+                            Some(cur) => pick_reply(cur, reply),
+                        });
+                    }
+                    _ => return Err(protocol_violation("batch envelope missing lookup reply")),
+                }
+                if envelopes[qi].len() > 1 {
+                    match parts.next() {
+                        Some(BatchReply::Chain(chain)) => {
+                            walk.integrate(qi, chain, &probe, &mut max_gap_version);
+                        }
+                        _ => return Err(protocol_violation("batch envelope missing chain reply")),
+                    }
+                }
+            }
+            if let LookupReply::Present { value, .. } = best.expect("quorum is never empty") {
+                if let Key::User(u) = &candidate {
+                    out.push((u.clone(), value));
+                }
+            }
+            probe = candidate;
         }
     }
 
@@ -720,6 +940,45 @@ impl<C: RepClient> DirSuite<C> {
         kind: QuorumKind,
         hint: Option<&Key>,
     ) -> Result<Vec<usize>, SuiteError> {
+        // Session fast path: a bulk operation already collected this quorum
+        // and no member has failed since — answer from cache, no pings.
+        if let Some(session) = self.session(kind) {
+            let members = session.members.clone();
+            self.obs.session_reuse.inc();
+            return Ok(members);
+        }
+        let n = self.members.len();
+        let order = self.policy.candidates(kind, n, hint);
+        let chosen = self.collect_quorum_ordered(kind, order)?;
+        self.store_session(kind, chosen.clone(), 0);
+        Ok(chosen)
+    }
+
+    /// Rebuilds the session quorum for `kind` after a held member failed
+    /// mid-walk: one ping wave over the prior members re-confirms the
+    /// survivors (they head the candidate order, so the first wave is
+    /// exactly them), and only the votes that fail are re-collected from
+    /// the policy's further candidates. A dead majority surfaces
+    /// [`SuiteError::QuorumUnavailable`] — the walk fails rather than
+    /// hanging.
+    fn revalidate_session(&mut self, kind: QuorumKind) -> Result<Vec<usize>, SuiteError> {
+        self.obs.session_revalidate.inc();
+        let (mut order, epoch) = match self.take_session(kind) {
+            Some(prior) => (prior.members, prior.epoch + 1),
+            None => (Vec::new(), 1),
+        };
+        let n = self.members.len();
+        order.extend(self.policy.candidates(kind, n, None));
+        let chosen = self.collect_quorum_ordered(kind, order)?;
+        self.store_session(kind, chosen.clone(), epoch);
+        Ok(chosen)
+    }
+
+    fn collect_quorum_ordered(
+        &mut self,
+        kind: QuorumKind,
+        mut order: Vec<usize>,
+    ) -> Result<Vec<usize>, SuiteError> {
         let n = self.members.len();
         let needed = match kind {
             QuorumKind::Read => self.config.read_quorum(),
@@ -729,8 +988,7 @@ impl<C: RepClient> DirSuite<C> {
             QuorumKind::Read => "quorum.collect.read",
             QuorumKind::Write => "quorum.collect.write",
         });
-        let mut order = self.policy.candidates(kind, n, hint);
-        // Fall back to index order for members the policy did not mention,
+        // Fall back to index order for members the caller did not mention,
         // and drop duplicates/out-of-range indices defensively.
         let mut mentioned = vec![false; n];
         order.retain(|&i| i < n && !std::mem::replace(&mut mentioned[i], true));
@@ -1015,6 +1273,108 @@ fn discard_passed(
         }
         let consumed = chain.pop_front().expect("front exists");
         *max_gap_version = (*max_gap_version).max(consumed.gap_version);
+    }
+}
+
+fn protocol_violation(what: &str) -> SuiteError {
+    SuiteError::Rep(RepError::Storage(format!("protocol violation: {what}")))
+}
+
+/// The per-member chain buffers a Fig. 12 walk holds: for each quorum slot,
+/// successive [`NeighborReply`](crate::gapmap::NeighborReply)s not yet
+/// consumed (keys strictly monotonic toward the terminal) plus the key the
+/// member's next chain RPC continues from. Shared by the neighbor searches
+/// and the session scan so the discard/refill bookkeeping lives in one
+/// place.
+struct NeighborChains {
+    dir: Direction,
+    chains: Vec<std::collections::VecDeque<crate::gapmap::NeighborReply>>,
+    next_probe: Vec<Key>,
+}
+
+impl NeighborChains {
+    fn new(dir: Direction, start: &Key, slots: usize) -> Self {
+        NeighborChains {
+            dir,
+            chains: vec![std::collections::VecDeque::new(); slots],
+            next_probe: vec![start.clone(); slots],
+        }
+    }
+
+    /// Applies [`discard_passed`] to every slot.
+    fn discard_passed(&mut self, probe: &Key, max_gap_version: &mut Version) {
+        for chain in &mut self.chains {
+            discard_passed(chain, self.dir, probe, max_gap_version);
+        }
+    }
+
+    /// Slots whose buffer ran dry but whose member can still advance:
+    /// `(slot, continue-from key)` pairs, ready for one refill wave.
+    fn refills(&self) -> Vec<(usize, Key)> {
+        let terminal = self.dir.terminal();
+        (0..self.chains.len())
+            .filter(|&qi| self.chains[qi].front().is_none() && self.next_probe[qi] != terminal)
+            .map(|qi| (qi, self.next_probe[qi].clone()))
+            .collect()
+    }
+
+    /// Folds one refill (or prefetch) result into `slot`: advances the
+    /// continue-from key — an empty chain means the member is exhausted —
+    /// then re-discards elements the walk has already passed.
+    fn integrate(
+        &mut self,
+        slot: usize,
+        chain: Vec<crate::gapmap::NeighborReply>,
+        probe: &Key,
+        max_gap_version: &mut Version,
+    ) {
+        self.next_probe[slot] = match chain.last() {
+            Some(last) => last.key.clone(),
+            None => self.dir.terminal(),
+        };
+        self.chains[slot].extend(chain);
+        discard_passed(&mut self.chains[slot], self.dir, probe, max_gap_version);
+    }
+
+    /// Each slot's answer for the current probe — the terminal with version
+    /// zero for an exhausted member — folded into the closest answer across
+    /// the quorum, with every answer's gap version folded into
+    /// `max_gap_version`.
+    fn candidate(&self, max_gap_version: &mut Version) -> Key {
+        let terminal = self.dir.terminal();
+        let mut candidate = terminal.clone();
+        for chain in &self.chains {
+            let answer = match chain.front() {
+                Some(front) => front.clone(),
+                None => crate::gapmap::NeighborReply {
+                    key: terminal.clone(),
+                    entry_version: Version::ZERO,
+                    gap_version: Version::ZERO,
+                },
+            };
+            *max_gap_version = (*max_gap_version).max(answer.gap_version);
+            if self.dir.closer(&answer.key, &candidate) {
+                candidate = answer.key;
+            }
+        }
+        candidate
+    }
+
+    /// Where `slot`'s next refill would continue from, iff consuming
+    /// `candidate` leaves its buffer dry while the member can still
+    /// advance. The scan walk piggybacks that refill onto the candidate's
+    /// lookup envelope, sparing the next hop a separate refill wave.
+    fn prefetch_from(&self, slot: usize, candidate: &Key) -> Option<Key> {
+        if self.next_probe[slot] == self.dir.terminal() {
+            return None;
+        }
+        let chain = &self.chains[slot];
+        let consuming = chain.front().is_some_and(|front| front.key == *candidate);
+        if chain.len() <= usize::from(consuming) {
+            Some(self.next_probe[slot].clone())
+        } else {
+            None
+        }
     }
 }
 
@@ -1659,6 +2019,254 @@ mod tests {
     fn zero_neighbor_batch_rejected() {
         let mut s = suite_322(0);
         s.set_neighbor_batch(0);
+    }
+
+    #[test]
+    fn scan_session_pays_one_quorum_collection() {
+        // The tentpole claim: a failure-free session scan collects its read
+        // quorum exactly once — one ping wave, one ping per quorum member —
+        // no matter how many entries it walks; every per-hop re-assert is
+        // answered from the session cache.
+        let mut s = suite_322(31);
+        s.set_policy(fixed(&[0, 1, 2]));
+        for key in ["a", "b", "c", "d", "e"] {
+            s.insert(&k(key), &val(key)).unwrap();
+        }
+        s.reset_message_counts();
+        let before = s.obs().snapshot();
+        let listed = s.scan().unwrap();
+        assert_eq!(listed.len(), 5);
+        let after = s.obs().snapshot();
+        assert_eq!(
+            after.counter("suite.quorum.waves") - before.counter("suite.quorum.waves"),
+            1,
+            "failure-free scan must collect exactly one quorum"
+        );
+        assert_eq!(
+            s.ping_counts(),
+            vec![1, 1, 0],
+            "one ping per read-quorum member, none elsewhere"
+        );
+        assert!(
+            after.counter("suite.session.reuse") > before.counter("suite.session.reuse"),
+            "per-hop re-asserts must come from the session"
+        );
+        assert_eq!(
+            after.counter("suite.session.revalidate"),
+            before.counter("suite.session.revalidate"),
+            "no failure, no re-validation"
+        );
+        // Sessions never outlive the operation that pinned them.
+        assert!(s.session(QuorumKind::Read).is_none());
+        assert!(s.session(QuorumKind::Write).is_none());
+    }
+
+    #[test]
+    fn scan_baseline_matches_session_output_with_more_traffic() {
+        // `set_session_reuse(false)` restores the per-hop baseline: same
+        // listing, strictly more quorum collections, pings, and data RPCs.
+        let run = |reuse: bool| {
+            let mut s = suite_322(32);
+            s.set_policy(fixed(&[0, 1, 2]));
+            s.set_session_reuse(reuse);
+            for key in ["a", "b", "c", "d"] {
+                s.insert(&k(key), &val(key)).unwrap();
+            }
+            s.reset_message_counts();
+            let waves_before = s.obs().snapshot().counter("suite.quorum.waves");
+            let listed = s.scan().unwrap();
+            let waves = s.obs().snapshot().counter("suite.quorum.waves") - waves_before;
+            let msgs: u64 = s.message_counts().iter().sum();
+            let pings: u64 = s.ping_counts().iter().sum();
+            (listed, waves, msgs, pings)
+        };
+        let (session, s_waves, s_msgs, s_pings) = run(true);
+        let (baseline, b_waves, b_msgs, b_pings) = run(false);
+        assert_eq!(session, baseline, "both modes list the same contents");
+        assert_eq!(s_waves, 1);
+        assert!(b_waves > 1, "baseline re-collects per hop");
+        assert!(s_pings < b_pings);
+        assert!(
+            s_msgs < b_msgs,
+            "session+batched scan must send fewer data RPCs ({s_msgs} vs {b_msgs})"
+        );
+    }
+
+    #[test]
+    fn delete_session_collects_one_read_and_one_write_quorum() {
+        // Delete's copy+coalesce chain under a session: the opening lookup
+        // pins the read quorum both neighbor searches then reuse, and the
+        // write quorum is collected exactly once.
+        let mut s = suite_322(33);
+        s.set_policy(fixed(&[0, 1, 2]));
+        for key in ["a", "b", "c"] {
+            s.insert(&k(key), &val(key)).unwrap();
+        }
+        s.reset_message_counts();
+        let before = s.obs().snapshot();
+        s.delete(&k("b")).unwrap();
+        let after = s.obs().snapshot();
+        assert_eq!(
+            after.counter("suite.quorum.waves") - before.counter("suite.quorum.waves"),
+            2,
+            "one read + one write collection for the whole delete"
+        );
+        assert_eq!(s.ping_counts(), vec![2, 2, 0]);
+        assert!(
+            after.counter("suite.session.reuse") - before.counter("suite.session.reuse") >= 2,
+            "both searches must reuse the pinned read session"
+        );
+        assert!(s.session(QuorumKind::Write).is_none());
+    }
+
+    #[test]
+    fn neighbor_chains_ghost_skip_reaches_high() {
+        // The chain helper at the keyspace's edge: one member still buffers
+        // a trailing ghost, the other is exhausted. The ghost is the
+        // candidate (closer than HIGH); once the walk passes it every chain
+        // is dry, the candidate is HIGH, and the ghost's gap version stays
+        // folded — never lost.
+        let reply = |key: &Key, ev: u64, gv: u64| crate::gapmap::NeighborReply {
+            key: key.clone(),
+            entry_version: Version::from(ev),
+            gap_version: Version::from(gv),
+        };
+        let mut walk = NeighborChains::new(Direction::Succ, &k("w"), 2);
+        let mut max_gap = Version::ZERO;
+        walk.integrate(0, vec![reply(&k("z"), 3, 5)], &k("w"), &mut max_gap);
+        walk.integrate(1, vec![], &k("w"), &mut max_gap);
+        assert_eq!(walk.candidate(&mut max_gap), k("z"));
+        // Consuming the ghost leaves slot 0 dry with chain left to fetch;
+        // slot 1 is exhausted at HIGH and must not prefetch.
+        assert_eq!(walk.prefetch_from(0, &k("z")), Some(k("z")));
+        assert_eq!(walk.prefetch_from(1, &k("z")), None);
+        walk.discard_passed(&k("z"), &mut max_gap);
+        walk.integrate(0, vec![], &k("z"), &mut max_gap);
+        assert_eq!(walk.candidate(&mut max_gap), Key::High);
+        assert!(walk.refills().is_empty(), "no member can advance past HIGH");
+        assert_eq!(max_gap, Version::from(5));
+    }
+
+    /// Forwards to a [`LocalRep`] but kills the rep once a shared fuse
+    /// counts down to zero across data RPCs — the mid-walk failure window
+    /// session re-validation exists for. Pings never tick the fuse, so the
+    /// fixture controls exactly how deep into a walk the member dies.
+    struct DiesAfterCalls {
+        inner: LocalRep,
+        fuse: std::sync::Arc<std::sync::atomic::AtomicI64>,
+    }
+
+    impl DiesAfterCalls {
+        fn tick(&self) {
+            if self.fuse.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) == 1 {
+                self.inner.set_available(false);
+            }
+        }
+    }
+
+    impl RepClient for DiesAfterCalls {
+        fn id(&self) -> RepId {
+            self.inner.id()
+        }
+        fn ping(&self) -> RepResult<()> {
+            self.inner.ping()
+        }
+        fn lookup(&self, key: &Key) -> RepResult<LookupReply> {
+            self.tick();
+            self.inner.lookup(key)
+        }
+        fn predecessor(&self, key: &Key) -> RepResult<crate::gapmap::NeighborReply> {
+            self.tick();
+            self.inner.predecessor(key)
+        }
+        fn successor(&self, key: &Key) -> RepResult<crate::gapmap::NeighborReply> {
+            self.tick();
+            self.inner.successor(key)
+        }
+        fn insert(
+            &self,
+            key: &Key,
+            version: Version,
+            value: &Value,
+        ) -> RepResult<crate::gapmap::InsertOutcome> {
+            self.inner.insert(key, version, value)
+        }
+        fn coalesce(
+            &self,
+            low: &Key,
+            high: &Key,
+            version: Version,
+        ) -> RepResult<crate::gapmap::CoalesceOutcome> {
+            self.inner.coalesce(low, high, version)
+        }
+    }
+
+    fn fused_suite() -> (
+        DirSuite<DiesAfterCalls>,
+        Vec<std::sync::Arc<std::sync::atomic::AtomicI64>>,
+    ) {
+        // Fuses start deeply negative: effectively disarmed through setup.
+        let fuses: Vec<std::sync::Arc<std::sync::atomic::AtomicI64>> = (0..3)
+            .map(|_| std::sync::Arc::new(std::sync::atomic::AtomicI64::new(i64::MIN / 2)))
+            .collect();
+        let clients: Vec<DiesAfterCalls> = fuses
+            .iter()
+            .enumerate()
+            .map(|(i, fuse)| DiesAfterCalls {
+                inner: LocalRep::new(RepId(i as u32)),
+                fuse: fuse.clone(),
+            })
+            .collect();
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        let mut s = DirSuite::new(clients, cfg, fixed(&[0, 1, 2])).unwrap();
+        for key in ["a", "b", "c", "d", "e", "f"] {
+            s.insert(&k(key), &val(key)).unwrap();
+        }
+        (s, fuses)
+    }
+
+    #[test]
+    fn mid_scan_member_failure_revalidates_once_and_completes() {
+        use std::sync::atomic::Ordering;
+        let (mut s, fuses) = fused_suite();
+        // Member 0 dies three data RPCs into the scan: after the session
+        // quorum {0, 1} was collected and already used for a hop or two.
+        fuses[0].store(3, Ordering::SeqCst);
+        let listed = s.scan().unwrap();
+        assert_eq!(
+            listed.iter().map(|(u, _)| u.to_string()).collect::<Vec<_>>(),
+            vec!["a", "b", "c", "d", "e", "f"],
+            "scan must complete correctly through the failure"
+        );
+        let snap = s.obs().snapshot();
+        assert_eq!(
+            snap.counter("suite.session.revalidate"),
+            1,
+            "exactly one re-validation for one member failure"
+        );
+        assert!(s.session(QuorumKind::Read).is_none());
+    }
+
+    #[test]
+    fn dead_majority_mid_scan_surfaces_quorum_unavailable() {
+        use std::sync::atomic::Ordering;
+        let (mut s, fuses) = fused_suite();
+        // Members 0 and 1 both die early in the scan: re-validation finds
+        // only member 2 alive (one vote of the two needed) and the scan
+        // must fail with QuorumUnavailable rather than hang or loop.
+        fuses[0].store(2, Ordering::SeqCst);
+        fuses[1].store(2, Ordering::SeqCst);
+        let err = s.scan().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SuiteError::QuorumUnavailable {
+                    kind: QuorumKind::Read,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
     }
 
     #[test]

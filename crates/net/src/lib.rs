@@ -30,4 +30,6 @@ mod fabric;
 mod rpc;
 
 pub use fabric::{Endpoint, Envelope, FaultPlan, LatencyModel, MsgKind, NetStats, Network, NodeId};
-pub use rpc::{serve, PendingReply, RpcClient, RpcError, Scatter, ServerHandle};
+pub use rpc::{
+    pack_parts, serve, unpack_parts, PendingReply, RpcClient, RpcError, Scatter, ServerHandle,
+};

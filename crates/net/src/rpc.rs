@@ -457,6 +457,52 @@ where
     ServerHandle { stop }
 }
 
+/// Frames several payloads into one envelope body:
+/// `count:u32le | (len:u32le | bytes)*`. The rpc layer is payload-agnostic,
+/// so batched scatter envelopes share this framing and typed codecs embed
+/// it under their own envelope tag. Inverse of [`unpack_parts`].
+pub fn pack_parts(parts: &[Vec<u8>]) -> Vec<u8> {
+    let body: usize = parts.iter().map(|p| 4 + p.len()).sum();
+    let mut out = Vec::with_capacity(4 + body);
+    out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+    for part in parts {
+        out.extend_from_slice(&(part.len() as u32).to_le_bytes());
+        out.extend_from_slice(part);
+    }
+    out
+}
+
+/// Splits an envelope body produced by [`pack_parts`] back into its
+/// payloads. Returns `None` on malformed input: truncated lengths, short
+/// parts, or trailing bytes beyond the declared count.
+pub fn unpack_parts(mut bytes: &[u8]) -> Option<Vec<Vec<u8>>> {
+    let take_u32 = |b: &mut &[u8]| -> Option<u32> {
+        let (head, rest) = b.split_first_chunk::<4>()?;
+        *b = rest;
+        Some(u32::from_le_bytes(*head))
+    };
+    let count = take_u32(&mut bytes)? as usize;
+    // Each part costs at least its 4-byte length prefix: a count larger
+    // than the remaining bytes can support is rejected before allocating.
+    if count > bytes.len() / 4 {
+        return None;
+    }
+    let mut parts = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = take_u32(&mut bytes)? as usize;
+        if bytes.len() < len {
+            return None;
+        }
+        let (part, rest) = bytes.split_at(len);
+        parts.push(part.to_vec());
+        bytes = rest;
+    }
+    if !bytes.is_empty() {
+        return None;
+    }
+    Some(parts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -676,5 +722,37 @@ mod tests {
         assert_send_sync::<RpcClient>();
         assert_send::<PendingReply>();
         assert_send::<Scatter>();
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let cases: Vec<Vec<Vec<u8>>> = vec![
+            vec![],
+            vec![vec![]],
+            vec![vec![1, 2, 3]],
+            vec![vec![0xff; 300], vec![], vec![7]],
+        ];
+        for parts in cases {
+            let packed = pack_parts(&parts);
+            assert_eq!(unpack_parts(&packed), Some(parts));
+        }
+    }
+
+    #[test]
+    fn malformed_part_framing_rejected() {
+        let packed = pack_parts(&[vec![1, 2], vec![3]]);
+        // Every strict prefix is truncated somewhere: part count, a length,
+        // or part bytes.
+        for cut in 0..packed.len() {
+            assert_eq!(unpack_parts(&packed[..cut]), None, "prefix {cut}");
+        }
+        // Trailing junk beyond the declared count is rejected too.
+        let mut long = packed.clone();
+        long.push(0);
+        assert_eq!(unpack_parts(&long), None);
+        // A count the body cannot possibly satisfy is rejected before any
+        // allocation.
+        let absurd = u32::MAX.to_le_bytes().to_vec();
+        assert_eq!(unpack_parts(&absurd), None);
     }
 }

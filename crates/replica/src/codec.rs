@@ -38,6 +38,10 @@ pub enum Request {
     Commit(TxnId),
     /// Abort the transaction, roll back, release its locks.
     Abort(TxnId),
+    /// A batched scatter envelope: several requests in one message, answered
+    /// by a [`Response::Batch`] with replies in request order. Envelopes do
+    /// not nest.
+    Batch(Vec<Request>),
 }
 
 /// A response from a representative server.
@@ -57,6 +61,8 @@ pub enum Response {
     Coalesce(CoalesceOutcome),
     /// The operation failed.
     Err(RepError),
+    /// Replies to a [`Request::Batch`], in request order.
+    Batch(Vec<Response>),
 }
 
 /// Decoding failure: the peer sent bytes this codec cannot parse.
@@ -184,6 +190,7 @@ const RQ_COMMIT: u8 = 7;
 const RQ_ABORT: u8 = 8;
 const RQ_PRED_CHAIN: u8 = 9;
 const RQ_SUCC_CHAIN: u8 = 10;
+const RQ_BATCH: u8 = 11;
 
 /// Encodes a request.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -243,6 +250,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             b.put_u8(RQ_ABORT);
             b.put_u64_le(t.0);
         }
+        Request::Batch(reqs) => {
+            b.put_u8(RQ_BATCH);
+            let parts: Vec<Vec<u8>> = reqs.iter().map(encode_request).collect();
+            b.put_slice(&repdir_net::pack_parts(&parts));
+        }
     }
     b
 }
@@ -284,6 +296,20 @@ pub fn decode_request(mut b: &[u8]) -> DecodeResult<Request> {
         )),
         RQ_COMMIT => Ok(Request::Commit(TxnId(get_u64(b)?))),
         RQ_ABORT => Ok(Request::Abort(TxnId(get_u64(b)?))),
+        RQ_BATCH => {
+            let parts = match repdir_net::unpack_parts(*b) {
+                Some(parts) => parts,
+                None => return err("bad batch framing"),
+            };
+            let reqs = parts
+                .iter()
+                .map(|part| decode_request(part))
+                .collect::<DecodeResult<Vec<Request>>>()?;
+            if reqs.iter().any(|r| matches!(r, Request::Batch(_))) {
+                return err("nested batch request");
+            }
+            Ok(Request::Batch(reqs))
+        }
         _ => err("unknown request tag"),
     }
 }
@@ -299,6 +325,7 @@ const RS_INSERT_UPDATED: u8 = 5;
 const RS_COALESCE: u8 = 6;
 const RS_ERR: u8 = 7;
 const RS_CHAIN: u8 = 8;
+const RS_BATCH: u8 = 9;
 
 const ERR_NO_BOUNDARY: u8 = 0;
 const ERR_SENTINEL: u8 = 1;
@@ -434,6 +461,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             b.put_u8(RS_ERR);
             put_rep_error(&mut b, e);
         }
+        Response::Batch(resps) => {
+            b.put_u8(RS_BATCH);
+            let parts: Vec<Vec<u8>> = resps.iter().map(encode_response).collect();
+            b.put_slice(&repdir_net::pack_parts(&parts));
+        }
     }
     b
 }
@@ -496,6 +528,20 @@ pub fn decode_response(mut b: &[u8]) -> DecodeResult<Response> {
             }))
         }
         RS_ERR => Ok(Response::Err(get_rep_error(b)?)),
+        RS_BATCH => {
+            let parts = match repdir_net::unpack_parts(*b) {
+                Some(parts) => parts,
+                None => return err("bad batch framing"),
+            };
+            let resps = parts
+                .iter()
+                .map(|part| decode_response(part))
+                .collect::<DecodeResult<Vec<Response>>>()?;
+            if resps.iter().any(|r| matches!(r, Response::Batch(_))) {
+                return err("nested batch response");
+            }
+            Ok(Response::Batch(resps))
+        }
         _ => err("unknown response tag"),
     }
 }
@@ -526,6 +572,11 @@ mod tests {
             Request::Coalesce(TxnId(5), k("a"), k("z"), v(3)),
             Request::Commit(TxnId(6)),
             Request::Abort(TxnId(6)),
+            Request::Batch(vec![]),
+            Request::Batch(vec![
+                Request::Lookup(TxnId(8), k("q")),
+                Request::SuccessorChain(TxnId(8), k("q"), 4),
+            ]),
         ]
     }
 
@@ -598,6 +649,16 @@ mod tests {
             Response::Err(RepError::Deadlock),
             Response::Err(RepError::TransactionAborted),
             Response::Err(RepError::Storage("disk on fire".into())),
+            Response::Batch(vec![]),
+            Response::Batch(vec![
+                Response::Lookup(LookupReply::Absent { gap_version: v(1) }),
+                Response::Chain(vec![NeighborReply {
+                    key: Key::High,
+                    entry_version: v(0),
+                    gap_version: v(6),
+                }]),
+                Response::Err(RepError::Unavailable),
+            ]),
         ]
     }
 
@@ -645,6 +706,23 @@ mod tests {
         assert!(decode_response(&[200]).is_err());
         assert!(decode_request(&[]).is_err());
         assert!(decode_response(&[]).is_err());
+    }
+
+    #[test]
+    fn nested_batch_rejected() {
+        let req = Request::Batch(vec![Request::Batch(vec![Request::Ping])]);
+        let err = decode_request(&encode_request(&req)).unwrap_err();
+        assert!(err.0.contains("nested"), "{err}");
+        let resp = Response::Batch(vec![Response::Batch(vec![Response::Ok])]);
+        let err = decode_response(&encode_response(&resp)).unwrap_err();
+        assert!(err.0.contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn batch_with_trailing_junk_rejected() {
+        let mut bytes = encode_request(&Request::Batch(vec![Request::Ping]));
+        bytes.push(0);
+        assert!(decode_request(&bytes).is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, SuiteConfig};
 use repdir_core::suite::LookupOutcome;
-use repdir_core::{ConfigError, Key, RepError, RepId, SuiteError, Value};
+use repdir_core::{ConfigError, Key, RepError, RepId, SuiteError, UserKey, Value};
 use repdir_txn::TxnManager;
 
 use crate::client::SessionClient;
@@ -245,6 +245,18 @@ impl ReplicatedDirectory {
     /// As [`DirSuite::delete`], after retries.
     pub fn delete(&self, key: &Key) -> Result<(), SuiteError> {
         self.run(|suite| suite.delete(key).map(drop))
+    }
+
+    /// Lists every entry in key order, in its own transaction. The suite
+    /// walks under a session quorum with batched envelopes (one quorum
+    /// collection for the whole scan); the transaction's range locks make
+    /// the listing a consistent snapshot.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::scan`], after retries.
+    pub fn scan(&self) -> Result<Vec<(UserKey, Value)>, SuiteError> {
+        self.run(|suite| suite.scan())
     }
 }
 

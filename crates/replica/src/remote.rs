@@ -5,8 +5,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use repdir_core::{
-    CoalesceOutcome, InsertOutcome, Key, LookupReply, NeighborReply, RepClient, RepError, RepId,
-    RepResult, Value, Version,
+    BatchReply, BatchRequest, CoalesceOutcome, InsertOutcome, Key, LookupReply, NeighborReply,
+    RepClient, RepError, RepId, RepResult, Value, Version,
 };
 use repdir_net::{serve, Network, NodeId, RpcClient, ServerHandle};
 use repdir_txn::TxnId;
@@ -19,12 +19,20 @@ use crate::server::TransactionalRep;
 pub fn serve_rep(net: Arc<Network>, node: NodeId, rep: Arc<TransactionalRep>) -> ServerHandle {
     let obs = repdir_obs::global();
     let requests = obs.counter("rep.requests");
+    let batch_served = obs.counter("rpc.batch.served");
+    let batch_parts = obs.counter("rpc.batch.served_parts");
     serve(net, node, move |payload| {
         requests.inc();
         let _span = obs.span("rep.handle");
         let response = match decode_request(payload) {
             Err(e) => Response::Err(RepError::Storage(format!("bad request: {e}"))),
-            Ok(req) => dispatch(&rep, req),
+            Ok(req) => {
+                if let Request::Batch(parts) = &req {
+                    batch_served.inc();
+                    batch_parts.add(parts.len() as u64);
+                }
+                dispatch(&rep, req)
+            }
         };
         encode_response(&response)
     })
@@ -55,6 +63,12 @@ fn dispatch(rep: &TransactionalRep, req: Request) -> Response {
         Request::Abort(t) => {
             rep.abort(t);
             Response::Ok
+        }
+        // Sub-requests are dispatched in order; a failing sub-request
+        // becomes a `Response::Err` part, and the client fails the whole
+        // envelope on the first one it finds.
+        Request::Batch(reqs) => {
+            Response::Batch(reqs.into_iter().map(|r| dispatch(rep, r)).collect())
         }
     }
 }
@@ -210,6 +224,53 @@ impl RepClient for RemoteSessionClient {
             other => Err(unexpected(other)),
         }
     }
+
+    /// Packs the whole batch into one `Request::Batch` envelope — one
+    /// message and one round trip regardless of how many probes it carries,
+    /// which is the point of batched scatter envelopes.
+    fn batch(&self, reqs: &[BatchRequest]) -> RepResult<Vec<BatchReply>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let wire: Vec<Request> = reqs
+            .iter()
+            .map(|r| match r {
+                BatchRequest::Lookup(k) => Request::Lookup(self.txn, k.clone()),
+                BatchRequest::PredecessorChain(k, limit) => {
+                    Request::PredecessorChain(self.txn, k.clone(), *limit as u32)
+                }
+                BatchRequest::SuccessorChain(k, limit) => {
+                    Request::SuccessorChain(self.txn, k.clone(), *limit as u32)
+                }
+            })
+            .collect();
+        let obs = repdir_obs::global();
+        obs.counter("rpc.batch.calls").inc();
+        obs.counter("rpc.batch.parts").add(reqs.len() as u64);
+        let parts = match self.call(Request::Batch(wire))? {
+            Response::Batch(parts) => parts,
+            other => return Err(unexpected(other)),
+        };
+        if parts.len() != reqs.len() {
+            return Err(RepError::Storage(format!(
+                "protocol violation: batch arity {} != {}",
+                parts.len(),
+                reqs.len()
+            )));
+        }
+        reqs.iter()
+            .zip(parts)
+            .map(|(req, part)| match (req, part) {
+                (BatchRequest::Lookup(_), Response::Lookup(r)) => Ok(BatchReply::Lookup(r)),
+                (
+                    BatchRequest::PredecessorChain(..) | BatchRequest::SuccessorChain(..),
+                    Response::Chain(c),
+                ) => Ok(BatchReply::Chain(c)),
+                (_, Response::Err(e)) => Err(e),
+                (_, other) => Err(unexpected(other)),
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -285,6 +346,48 @@ mod tests {
             .unwrap();
         client.abort();
         assert_eq!(rep.len(), 0);
+    }
+
+    #[test]
+    fn batch_envelope_is_one_message_with_ordered_replies() {
+        let (net, _rep, _handle, rpc) = setup();
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.begin().unwrap();
+        client
+            .insert(&k("a"), Version::new(1), &Value::from("A"))
+            .unwrap();
+        client
+            .insert(&k("c"), Version::new(1), &Value::from("C"))
+            .unwrap();
+        let before = net.stats().sent;
+        let replies = client
+            .batch(&[
+                BatchRequest::Lookup(k("a")),
+                BatchRequest::SuccessorChain(k("a"), 2),
+                BatchRequest::PredecessorChain(Key::High, 1),
+            ])
+            .unwrap();
+        // One request plus one response on the fabric for three probes.
+        assert_eq!(net.stats().sent - before, 2);
+        assert_eq!(replies.len(), 3);
+        assert_eq!(
+            replies[0],
+            BatchReply::Lookup(client.lookup(&k("a")).unwrap())
+        );
+        assert_eq!(
+            replies[1],
+            BatchReply::Chain(client.successor_chain(&k("a"), 2).unwrap())
+        );
+        assert_eq!(
+            replies[2],
+            BatchReply::Chain(client.predecessor_chain(&Key::High, 1).unwrap())
+        );
+        // A failing sub-request fails the envelope with its own error.
+        let err = client
+            .batch(&[BatchRequest::SuccessorChain(Key::High, 1)])
+            .unwrap_err();
+        assert!(matches!(err, RepError::SentinelViolation { .. }), "{err:?}");
+        client.abort();
     }
 
     #[test]

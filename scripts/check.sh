@@ -12,6 +12,9 @@
 # 5. Runs the latency_policy bench in quick mode, which fails unless the
 #    EWMA-driven LatencyPolicy reads from the fast members only and beats
 #    RandomPolicy by >= 2x median on a skewed fabric.
+# 6. Runs the scan_bench in quick mode, which fails unless the session-quorum
+#    + batched-envelope scan beats the per-hop baseline by >= 2x median at
+#    N=64 entries, R=2 with zero re-validations on the failure-free fabric.
 #
 # Exits non-zero on the first violation or failure.
 
@@ -57,5 +60,8 @@ cargo run --release --offline -p repdir-bench --bin suite_latency -- --quick --c
 
 echo "==> latency_policy --quick --check (EWMA policy must avoid slow members, >= 2x)"
 cargo run --release --offline -p repdir-bench --bin latency_policy -- --quick --check
+
+echo "==> scan_bench --quick --check (session + batched scan >= 2x per-hop at N=64, R=2)"
+cargo run --release --offline -p repdir-bench --bin scan_bench -- --quick --check
 
 echo "ALL CHECKS PASSED"

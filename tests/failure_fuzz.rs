@@ -26,7 +26,7 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
         let value = Value::from(vec![v]);
         let in_model = model.contains_key(&k);
 
-        let result: Result<(), SuiteError> = match rng.gen_range(0..4u8) {
+        let result: Result<(), SuiteError> = match rng.gen_range(0..5u8) {
             0 if !in_model => dir.insert(&key, &value).map(|_| {
                 model.insert(k, v);
             }),
@@ -35,6 +35,16 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
             }),
             2 if in_model => dir.delete(&key).map(|_| {
                 model.remove(&k);
+            }),
+            3 => dir.scan().map(|listed| {
+                // A scan that succeeds through flapping members (session
+                // re-validation routing around the dead) must still list
+                // exactly the model's contents, in order.
+                let expect: Vec<(UserKey, Value)> = model
+                    .iter()
+                    .map(|(mk, mv)| (UserKey::from_u64(*mk as u64), Value::from(vec![*mv])))
+                    .collect();
+                assert_eq!(listed, expect, "step {step}: scan disagreed with the model");
             }),
             _ => dir.lookup(&key).map(|out| {
                 assert_eq!(
@@ -75,6 +85,8 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
         let out = dir.lookup(&key).expect("final lookup");
         assert_eq!(out.present, model.contains_key(&k), "final audit of {k}");
     }
+    let listed = dir.scan().expect("final scan with all up");
+    assert_eq!(listed.len(), model.len(), "final scan audit");
     // Sanity on the mix: with p=0.8 both outcomes should appear.
     if rep_up_prob < 0.95 {
         assert!(succeeded > 0, "nothing succeeded");
