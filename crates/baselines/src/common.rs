@@ -36,6 +36,37 @@ pub trait DirectoryOps {
     ///
     /// [`BaselineError::NotFound`] plus strategy-specific failures.
     fn delete(&mut self, key: &Key) -> Result<(), BaselineError>;
+
+    /// Creates a batch of entries. The default is the obvious per-key loop;
+    /// strategies with a cheaper bulk path (one quorum for the whole batch)
+    /// override it. Per-key loop semantics are the contract: on error, every
+    /// entry before the offending one is applied.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirectoryOps::insert`], at the first failing entry.
+    fn insert_many(
+        &mut self,
+        entries: &[(Key, repdir_core::Value)],
+    ) -> Result<(), BaselineError> {
+        for (key, value) in entries {
+            self.insert(key, value)?;
+        }
+        Ok(())
+    }
+
+    /// Removes a batch of entries, with the same per-key-loop contract as
+    /// [`DirectoryOps::insert_many`].
+    ///
+    /// # Errors
+    ///
+    /// As [`DirectoryOps::delete`], at the first failing key.
+    fn delete_many(&mut self, keys: &[Key]) -> Result<(), BaselineError> {
+        for key in keys {
+            self.delete(key)?;
+        }
+        Ok(())
+    }
 }
 
 /// Failure modes across baseline strategies.

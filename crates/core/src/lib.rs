@@ -84,6 +84,6 @@ pub use gapmap::{
 };
 pub use key::{Key, UserKey};
 pub use rep::{BatchReply, BatchRequest, LocalRep, RepClient, RepId, RepResult};
-pub use suite::{DirSuite, QuorumSession, SuiteConfig};
+pub use suite::{BulkWriteOutcome, DirSuite, QuorumSession, SuiteConfig};
 pub use value::Value;
 pub use version::Version;

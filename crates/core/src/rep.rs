@@ -56,10 +56,10 @@ impl fmt::Display for RepId {
 /// Result alias for representative operations.
 pub type RepResult<T> = Result<T, RepError>;
 
-/// One read-side sub-request inside a batched scatter envelope
+/// One sub-request inside a batched scatter envelope
 /// ([`RepClient::batch`]). Only the operations the suite packs together on
-/// its bulk-walk hot path are representable: a point lookup plus the §4
-/// neighbor chains.
+/// its bulk-walk hot paths are representable: a point lookup, the §4
+/// neighbor chains, and the versioned insert that bulk ingest scatters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BatchRequest {
     /// `DirRepLookup(x)`.
@@ -68,6 +68,10 @@ pub enum BatchRequest {
     PredecessorChain(Key, usize),
     /// Up to `limit` successive `DirRepSuccessor` results from the key.
     SuccessorChain(Key, usize),
+    /// `DirRepInsert(x, v, z)` — the write half of bulk ingest. Carries the
+    /// explicit version the suite assigned, so replaying the same envelope
+    /// after a session re-validation overwrites idempotently.
+    Insert(Key, Version, Value),
 }
 
 /// The reply to one [`BatchRequest`], in request order.
@@ -77,6 +81,8 @@ pub enum BatchReply {
     Lookup(LookupReply),
     /// Reply to either chain request.
     Chain(Vec<NeighborReply>),
+    /// Reply to [`BatchRequest::Insert`].
+    Insert(InsertOutcome),
 }
 
 /// The remote-procedure-call surface of a directory representative
@@ -170,7 +176,7 @@ pub trait RepClient: Send + Sync {
     /// and give the resulting gap version `v`. Sets `RepModify(l, h)`.
     fn coalesce(&self, low: &Key, high: &Key, version: Version) -> RepResult<CoalesceOutcome>;
 
-    /// Executes several read-side requests as one envelope, returning the
+    /// Executes several requests as one envelope, returning the
     /// replies in request order. The default runs them sequentially —
     /// correct for in-process representatives, where a "message" is a
     /// method call — while networked implementations override it to pack
@@ -193,6 +199,9 @@ pub trait RepClient: Send + Sync {
                     }
                     BatchRequest::SuccessorChain(key, limit) => {
                         BatchReply::Chain(self.successor_chain(key, *limit)?)
+                    }
+                    BatchRequest::Insert(key, version, value) => {
+                        BatchReply::Insert(self.insert(key, *version, value)?)
                     }
                 })
             })
@@ -539,6 +548,23 @@ mod tests {
             BatchReply::Chain(rep.predecessor_chain(&Key::High, 2).unwrap())
         );
         assert_eq!(replies[3], BatchReply::Lookup(rep.lookup(&k("b")).unwrap()));
+        // Write sub-requests apply through the same dispatch.
+        let replies = rep
+            .batch(&[BatchRequest::Insert(
+                k("b"),
+                Version::new(3),
+                Value::from("B"),
+            )])
+            .unwrap();
+        assert_eq!(
+            replies,
+            vec![BatchReply::Insert(InsertOutcome::Created {
+                split_gap_version: Version::ZERO,
+            })]
+        );
+        let b = rep.lookup(&k("b")).unwrap();
+        assert!(b.is_present());
+        assert_eq!(b.version(), Version::new(3));
         // An empty envelope is a no-op.
         assert_eq!(rep.batch(&[]).unwrap(), vec![]);
         // The first failing sub-request fails the envelope.

@@ -52,6 +52,14 @@ pub struct WriteOutcome {
     pub quorum: Vec<RepId>,
 }
 
+/// Result of [`DirSuite::insert_many`] / [`DirSuite::delete_many`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BulkWriteOutcome {
+    /// Per key, in input order: the version assigned to the written entry
+    /// (for inserts) or to the coalesced gap (for deletes).
+    pub versions: Vec<Version>,
+}
+
 /// Result of [`DirSuite::real_predecessor`] / [`DirSuite::real_successor`]
 /// (Fig. 12).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,7 +150,25 @@ struct SuiteObs {
     /// failed mid-walk, so the session was rebuilt with one ping wave over
     /// the prior members plus re-collection of only the failed votes.
     session_revalidate: Counter,
+    /// Bulk write operations started (`suite.bulk.ops`).
+    bulk_ops: Counter,
+    /// Keys carried by bulk write operations (`suite.bulk.keys`).
+    bulk_keys: Counter,
+    /// Bulk write bodies that restarted after a mid-batch re-validation and
+    /// resumed from their first unacknowledged key (`suite.bulk.resumed`).
+    bulk_resumed: Counter,
 }
+
+/// Sample recorded into a member's reply-time EWMA when an RPC to it fails.
+///
+/// A dead member often fails *fast* (a refused connection returns quicker
+/// than a healthy reply), so the measured duration of a failed call says
+/// nothing about the member's health — left alone it keeps a stale-fast
+/// EWMA attractive and [`LatencyPolicy`] keeps routing quorums at a corpse.
+/// Recording a large penalty instead demotes the member until real
+/// successes decay it back. (Resetting the EWMA would be worse: unsampled
+/// members sort *first* in [`LatencyPolicy`]'s order.)
+const FAILED_RPC_PENALTY: std::time::Duration = std::time::Duration::from_secs(1);
 
 impl SuiteObs {
     fn new(registry: Registry, n: usize) -> Self {
@@ -155,8 +181,16 @@ impl SuiteObs {
             sticky_miss: registry.counter("suite.quorum.sticky_miss"),
             session_reuse: registry.counter("suite.session.reuse"),
             session_revalidate: registry.counter("suite.session.revalidate"),
+            bulk_ops: registry.counter("suite.bulk.ops"),
+            bulk_keys: registry.counter("suite.bulk.keys"),
+            bulk_resumed: registry.counter("suite.bulk.resumed"),
             registry,
         }
+    }
+
+    /// Records [`FAILED_RPC_PENALTY`] into member `i`'s reply-time EWMA.
+    fn penalize(&self, i: usize) {
+        self.reply[i].record(FAILED_RPC_PENALTY);
     }
 }
 
@@ -211,6 +245,9 @@ pub struct DirSuite<C: RepClient> {
     /// How many successive neighbor results each chain RPC requests
     /// (§4 batching; 1 = the unbatched Fig. 12 algorithm).
     neighbor_batch: usize,
+    /// How many keys each bulk-write envelope carries
+    /// ([`insert_many`](DirSuite::insert_many) chunking).
+    bulk_chunk: usize,
     /// Whether member RPC waves are issued concurrently (scatter-gather
     /// over scoped threads) or serialized. Concurrent is the default; the
     /// sequential mode is kept as the counter/latency baseline.
@@ -261,6 +298,7 @@ impl<C: RepClient> DirSuite<C> {
             policy,
             write_through_weak: false,
             neighbor_batch: 1,
+            bulk_chunk: 16,
             fanout: true,
             sessions: [None, None],
             session_depth: 0,
@@ -312,6 +350,20 @@ impl<C: RepClient> DirSuite<C> {
     pub fn set_neighbor_batch(&mut self, batch: usize) {
         assert!(batch > 0, "neighbor batch must be at least 1");
         self.neighbor_batch = batch;
+    }
+
+    /// Sets how many keys each bulk-write envelope carries (default 16):
+    /// [`insert_many`](DirSuite::insert_many) packs its batch into
+    /// per-member envelopes of at most this many sub-requests. Smaller
+    /// chunks bound envelope size and retry granularity; larger chunks save
+    /// round trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is zero.
+    pub fn set_bulk_chunk(&mut self, chunk: usize) {
+        assert!(chunk > 0, "bulk chunk must be at least 1");
+        self.bulk_chunk = chunk;
     }
 
     /// Enables or disables concurrent scatter-gather for member RPC waves.
@@ -367,19 +419,31 @@ impl<C: RepClient> DirSuite<C> {
         }
     }
 
-    /// Opens a bulk-operation scope: quorums collected while at least one
-    /// scope is open are pinned as sessions and answered from cache on
-    /// re-collection. Scopes nest (delete's searches run inside delete's
-    /// scope); the sessions drop when the outermost scope closes.
-    fn session_begin(&mut self) {
-        self.session_depth += 1;
-    }
-
-    fn session_end(&mut self) {
-        self.session_depth -= 1;
-        if self.session_depth == 0 {
-            self.sessions = [None, None];
+    /// Runs `body` inside a bulk-operation scope: quorums collected while at
+    /// least one scope is open are pinned as sessions and answered from
+    /// cache on re-collection. Scopes nest (delete's searches run inside
+    /// delete's scope); the sessions drop when the outermost scope closes.
+    ///
+    /// The scope is an RAII guard, not a begin/end pair: a panicking body
+    /// (a poisoned client, a bug in a walk) unwinds through the guard, so
+    /// the depth never leaks and no stale session outlives the operation
+    /// that pinned it. The old manual pair left a panicked suite with
+    /// `session_depth > 0` forever, silently answering every later quorum
+    /// collection from a session that should have died — and underflowed if
+    /// ever unbalanced.
+    fn with_session_scope<R>(&mut self, body: impl FnOnce(&mut Self) -> R) -> R {
+        struct Scope<'a, C: RepClient>(&'a mut DirSuite<C>);
+        impl<C: RepClient> Drop for Scope<'_, C> {
+            fn drop(&mut self) {
+                self.0.session_depth -= 1;
+                if self.0.session_depth == 0 {
+                    self.0.sessions = [None, None];
+                }
+            }
         }
+        self.session_depth += 1;
+        let scope = Scope(self);
+        body(scope.0)
     }
 
     fn take_session(&mut self, kind: QuorumKind) -> Option<QuorumSession> {
@@ -396,23 +460,35 @@ impl<C: RepClient> DirSuite<C> {
         }
     }
 
-    /// Runs a read-only multi-hop body, re-validating the session and
-    /// restarting it when a held member fails mid-walk. Restarts are safe
-    /// because the body only reads; the budget bounds the member failures
-    /// tolerated before the error surfaces.
+    /// Runs a multi-hop body, re-validating every held session and
+    /// restarting the body when a held member fails mid-walk. The budget
+    /// bounds the member failures tolerated before the error surfaces.
+    ///
+    /// Restarts are trivially safe for read-only bodies. Write bodies (the
+    /// bulk ingest walks) are restart-safe because they resume from their
+    /// first unacknowledged key and replay any half-acknowledged work at
+    /// the *same* explicit version the first attempt assigned — the Fig. 9
+    /// version discipline makes such a replay an idempotent overwrite, so
+    /// an acknowledged write is never re-applied at a new version
+    /// (DESIGN.md §11).
     fn with_session_retries<R>(
         &mut self,
-        kind: QuorumKind,
         mut body: impl FnMut(&mut Self) -> Result<R, SuiteError>,
     ) -> Result<R, SuiteError> {
         let mut budget = self.members.len() + 1;
         loop {
             match body(self) {
                 Err(SuiteError::Rep(RepError::Unavailable))
-                    if budget > 0 && self.session(kind).is_some() =>
+                    if budget > 0 && self.sessions.iter().any(Option::is_some) =>
                 {
                     budget -= 1;
-                    self.revalidate_session(kind)?;
+                    // The failure does not say which held quorum the dead
+                    // member belonged to, so re-confirm both.
+                    for kind in [QuorumKind::Read, QuorumKind::Write] {
+                        if self.session(kind).is_some() {
+                            self.revalidate_session(kind)?;
+                        }
+                    }
                 }
                 out => return out,
             }
@@ -546,6 +622,268 @@ impl<C: RepClient> DirSuite<C> {
         self.write_entry(key, looked.version.next(), value)
     }
 
+    /// Bulk insert: the Fig. 9 flow for every key in `entries`, paid for
+    /// like one operation. One read quorum answers a batched lookup
+    /// envelope per [`set_bulk_chunk`](DirSuite::set_bulk_chunk) keys to
+    /// discover versions, and one write quorum takes the matching envelope
+    /// of versioned inserts — so ingesting N keys costs one read- and one
+    /// write-quorum collection plus `O(N / chunk)` envelopes per member,
+    /// instead of N collections and ~3N round trips.
+    ///
+    /// The semantics are exactly a sequential per-key loop of
+    /// [`insert`](DirSuite::insert): keys apply in input order, and the
+    /// first failing key surfaces its error with every earlier key applied.
+    /// With session reuse disabled the call *is* that loop (the baseline
+    /// the equivalence tests compare against).
+    ///
+    /// If a held member fails mid-batch, the session is re-validated and
+    /// the walk resumes from the first unacknowledged key. Keys whose
+    /// version was already assigned replay at that same version — an
+    /// idempotent overwrite under the paper's version discipline — so an
+    /// acknowledged write is never re-applied at a new version
+    /// (DESIGN.md §11).
+    ///
+    /// # Errors
+    ///
+    /// As [`insert`](DirSuite::insert), for the first offending key. A
+    /// duplicate key within the batch fails its later occurrence with
+    /// [`SuiteError::AlreadyExists`], exactly as the loop would.
+    pub fn insert_many(
+        &mut self,
+        entries: &[(Key, Value)],
+    ) -> Result<BulkWriteOutcome, SuiteError> {
+        let _span = self.obs.registry.span("suite.insert_many");
+        self.obs.bulk_ops.inc();
+        self.obs.bulk_keys.add(entries.len() as u64);
+        if !self.session_reuse {
+            let mut versions = Vec::with_capacity(entries.len());
+            for (key, value) in entries {
+                versions.push(self.insert(key, value)?.version);
+            }
+            return Ok(BulkWriteOutcome { versions });
+        }
+        // Both survive body restarts: `done` is the acknowledged prefix
+        // (every write-quorum member confirmed those envelopes), `assigned`
+        // pins each key's version from its first discovery.
+        let mut done = 0usize;
+        let mut assigned: Vec<Option<Version>> = vec![None; entries.len()];
+        let mut attempts = 0u32;
+        self.with_session_scope(|s| {
+            s.with_session_retries(|s| {
+                attempts += 1;
+                if attempts > 1 {
+                    s.obs.bulk_resumed.inc();
+                }
+                s.insert_many_walk(entries, &mut done, &mut assigned)
+            })
+        })?;
+        Ok(BulkWriteOutcome {
+            versions: assigned
+                .into_iter()
+                .map(|v| v.expect("every key is assigned on success"))
+                .collect(),
+        })
+    }
+
+    /// One attempt at the bulk-insert walk, resuming at `entries[*done]`.
+    fn insert_many_walk(
+        &mut self,
+        entries: &[(Key, Value)],
+        done: &mut usize,
+        assigned: &mut [Option<Version>],
+    ) -> Result<(), SuiteError> {
+        while *done < entries.len() {
+            let lo = *done;
+            let hi = (lo + self.bulk_chunk).min(entries.len());
+
+            // Version discovery: one batched lookup envelope over the read
+            // quorum for the chunk's unassigned keys. Keys assigned by a
+            // prior (failed) attempt skip discovery — replaying them at the
+            // version already assigned is what makes the retry idempotent.
+            let need: Vec<usize> = (lo..hi).filter(|&i| assigned[i].is_none()).collect();
+            let mut discovered: Vec<Option<LookupReply>> = vec![None; need.len()];
+            if !need.is_empty() {
+                let read_q = self.collect_quorum(QuorumKind::Read, None)?;
+                let env: Vec<BatchRequest> = need
+                    .iter()
+                    .map(|&i| BatchRequest::Lookup(entries[i].0.clone()))
+                    .collect();
+                let env_ref = &env;
+                for wave in self.scatter(&read_q, |_, c| c.batch(env_ref)) {
+                    let parts = wave?;
+                    if parts.len() != env.len() {
+                        return Err(protocol_violation("bulk lookup envelope arity"));
+                    }
+                    for (j, part) in parts.into_iter().enumerate() {
+                        match part {
+                            BatchReply::Lookup(reply) => {
+                                discovered[j] = Some(match discovered[j].take() {
+                                    None => reply,
+                                    Some(cur) => pick_reply(cur, reply),
+                                });
+                            }
+                            _ => {
+                                return Err(protocol_violation(
+                                    "bulk envelope missing lookup reply",
+                                ))
+                            }
+                        }
+                    }
+                }
+            }
+            let mut chunk_replies: Vec<Option<LookupReply>> = vec![None; hi - lo];
+            for (j, &i) in need.iter().enumerate() {
+                chunk_replies[i - lo] = discovered[j].take();
+            }
+
+            // Walk the chunk in input order, exactly as the per-key loop
+            // would: the first offending key truncates the chunk there, the
+            // truncated prefix still applies, and its error surfaces after.
+            let mut writes: Vec<BatchRequest> = Vec::new();
+            let mut stop = hi;
+            let mut pending_err = None;
+            let mut seen_in_chunk: std::collections::BTreeSet<&Key> = Default::default();
+            for i in lo..hi {
+                let (key, value) = &entries[i];
+                let reply = chunk_replies[i - lo].take();
+                if key.is_sentinel() {
+                    pending_err = Some(SuiteError::SentinelKey { key: key.clone() });
+                    stop = i;
+                    break;
+                }
+                if !seen_in_chunk.insert(key) {
+                    // A later duplicate would have found its earlier
+                    // occurrence already written; same error, one envelope.
+                    pending_err = Some(SuiteError::AlreadyExists { key: key.clone() });
+                    stop = i;
+                    break;
+                }
+                let version = match assigned[i] {
+                    Some(v) => v,
+                    None => {
+                        let reply = reply.expect("quorum is never empty");
+                        if reply.is_present() {
+                            pending_err =
+                                Some(SuiteError::AlreadyExists { key: key.clone() });
+                            stop = i;
+                            break;
+                        }
+                        let v = reply.version().next();
+                        assigned[i] = Some(v);
+                        v
+                    }
+                };
+                writes.push(BatchRequest::Insert(key.clone(), version, value.clone()));
+            }
+
+            if !writes.is_empty() {
+                let write_q = self.collect_quorum(QuorumKind::Write, None)?;
+                let writes_ref = &writes;
+                for wave in self.scatter(&write_q, |_, c| c.batch(writes_ref)) {
+                    let parts = wave?;
+                    if parts.len() != writes.len() {
+                        return Err(protocol_violation("bulk insert envelope arity"));
+                    }
+                    for part in parts {
+                        if !matches!(part, BatchReply::Insert(_)) {
+                            return Err(protocol_violation(
+                                "bulk envelope missing insert reply",
+                            ));
+                        }
+                    }
+                }
+                if self.write_through_weak {
+                    let weak: Vec<usize> = (0..self.members.len())
+                        .filter(|&i| self.members[i].votes == 0)
+                        .collect();
+                    if !weak.is_empty() {
+                        // Weak representatives are hints: ignore failures.
+                        let _ = self.scatter(&weak, |_, c| c.batch(writes_ref));
+                    }
+                }
+            }
+            // Every write-quorum member acknowledged the whole envelope:
+            // the chunk (up to any truncation) is durably applied.
+            *done = stop;
+            if let Some(e) = pending_err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
+    /// Bulk delete: the Fig. 13 flow for every key in `keys`, sharing one
+    /// session scope so the whole batch pays one read- and one write-quorum
+    /// collection (each delete's copy+coalesce waves are inherently
+    /// multi-wave, so unlike [`insert_many`](DirSuite::insert_many) the
+    /// per-key work is not packed into envelopes).
+    ///
+    /// Semantics are exactly a sequential per-key loop of
+    /// [`delete`](DirSuite::delete); the first failing key surfaces its
+    /// error with every earlier key deleted. On a mid-batch member failure
+    /// the session is re-validated and the walk resumes at the first
+    /// unfinished key; a half-coalesced key is re-driven through the
+    /// mutation phase, whose coalesce removes whatever remains of the entry
+    /// (DESIGN.md §11), so the resume never reports a key deleted that is
+    /// not.
+    ///
+    /// # Errors
+    ///
+    /// As [`delete`](DirSuite::delete), for the first offending key.
+    pub fn delete_many(&mut self, keys: &[Key]) -> Result<BulkWriteOutcome, SuiteError> {
+        let _span = self.obs.registry.span("suite.delete_many");
+        self.obs.bulk_ops.inc();
+        self.obs.bulk_keys.add(keys.len() as u64);
+        if !self.session_reuse {
+            let mut versions = Vec::with_capacity(keys.len());
+            for key in keys {
+                versions.push(self.delete(key)?.gap_version);
+            }
+            return Ok(BulkWriteOutcome { versions });
+        }
+        let mut versions = Vec::with_capacity(keys.len());
+        let mut attempted = vec![false; keys.len()];
+        let mut attempts = 0u32;
+        self.with_session_scope(|s| {
+            s.with_session_retries(|s| {
+                attempts += 1;
+                if attempts > 1 {
+                    s.obs.bulk_resumed.inc();
+                }
+                s.delete_many_walk(keys, &mut versions, &mut attempted)
+            })
+        })?;
+        Ok(BulkWriteOutcome { versions })
+    }
+
+    /// One attempt at the bulk-delete walk, resuming at the first key whose
+    /// gap version has not been recorded yet.
+    fn delete_many_walk(
+        &mut self,
+        keys: &[Key],
+        versions: &mut Vec<Version>,
+        attempted: &mut [bool],
+    ) -> Result<(), SuiteError> {
+        while versions.len() < keys.len() {
+            let i = versions.len();
+            let key = &keys[i];
+            self.require_user_key(key)?;
+            let target = self.lookup(key)?;
+            if !target.present && !attempted[i] {
+                return Err(SuiteError::NotFound { key: key.clone() });
+            }
+            // A key this batch already started deleting may be
+            // half-coalesced: some members hold the new gap, others still
+            // the entry, so the merged lookup is unreliable. Re-drive the
+            // mutation phase regardless — its coalesce removes whatever
+            // remains of the entry either way.
+            attempted[i] = true;
+            let out = self.delete_apply(key, target.version)?;
+            versions.push(out.gap_version);
+        }
+        Ok(())
+    }
+
     /// `RealPredecessor(x)` (Fig. 12): finds the entry with the largest key
     /// below `x` that is *present in the suite* (skipping ghosts), returning
     /// it together with the largest gap version seen while searching.
@@ -586,10 +924,9 @@ impl<C: RepClient> DirSuite<C> {
         dir: Direction,
     ) -> Result<NeighborSearch, SuiteError> {
         let _span = self.obs.registry.span("suite.neighbor");
-        self.session_begin();
-        let out = self.with_session_retries(QuorumKind::Read, |s| s.neighbor_walk(key, dir));
-        self.session_end();
-        out
+        self.with_session_scope(|s| {
+            s.with_session_retries(|s| s.neighbor_walk(key, dir))
+        })
     }
 
     /// One attempt at the Fig. 12 walk: collects (or reuses) the read
@@ -659,10 +996,7 @@ impl<C: RepClient> DirSuite<C> {
         // read quorum pinned by the opening lookup serves both neighbor
         // searches and their inner lookups, and the write quorum is pinned
         // for the probe/copy/coalesce waves.
-        self.session_begin();
-        let out = self.delete_locked(key);
-        self.session_end();
-        out
+        self.with_session_scope(|s| s.delete_locked(key))
     }
 
     fn delete_locked(&mut self, key: &Key) -> Result<DeleteOutcome, SuiteError> {
@@ -673,7 +1007,18 @@ impl<C: RepClient> DirSuite<C> {
         if !target.present {
             return Err(SuiteError::NotFound { key: key.clone() });
         }
+        self.delete_apply(key, target.version)
+    }
 
+    /// The mutation phase of Fig. 13: neighbor searches, copies, coalesce.
+    /// Deliberately presence-agnostic — [`delete_many`](DirSuite::delete_many)
+    /// re-drives it for a half-coalesced key, where the merged lookup may
+    /// already answer absent, and the coalesce removes whatever remains.
+    fn delete_apply(
+        &mut self,
+        key: &Key,
+        target_version: Version,
+    ) -> Result<DeleteOutcome, SuiteError> {
         let write_quorum = self.collect_quorum(QuorumKind::Write, Some(key))?;
         let succ = self.real_successor(key)?;
         let pred = self.real_predecessor(key)?;
@@ -683,7 +1028,7 @@ impl<C: RepClient> DirSuite<C> {
         let ver = succ
             .max_gap_version
             .max(pred.max_gap_version)
-            .max(target.version);
+            .max(target_version);
 
         // "Make sure the predecessor and successor exist in every member of
         // the quorum." Sentinels are always present, so they are never
@@ -776,10 +1121,7 @@ impl<C: RepClient> DirSuite<C> {
         if !self.session_reuse {
             return self.scan_per_hop();
         }
-        self.session_begin();
-        let out = self.with_session_retries(QuorumKind::Read, |s| s.scan_walk());
-        self.session_end();
-        out
+        self.with_session_scope(|s| s.with_session_retries(|s| s.scan_walk()))
     }
 
     /// The pre-session scan: one full `real_successor` search — fresh
@@ -1054,6 +1396,7 @@ impl<C: RepClient> DirSuite<C> {
                     // for a sticky policy this is a remembered member that
                     // stopped responding, forcing fresh collection.
                     self.obs.sticky_miss.inc();
+                    self.obs.penalize(wave[slot]);
                 }
             }
         }
@@ -1078,10 +1421,16 @@ impl<C: RepClient> DirSuite<C> {
             self.obs.msgs[i].inc();
         }
         let obs = &self.obs;
-        fan_out(&self.members, targets, self.fanout, |slot, c| {
+        let results = fan_out(&self.members, targets, self.fanout, |slot, c| {
             obs.registry
                 .time(|d| obs.reply[targets[slot]].record(d), || f(slot, c))
-        })
+        });
+        for (slot, result) in results.iter().enumerate() {
+            if result.is_err() {
+                self.obs.penalize(targets[slot]);
+            }
+        }
+        results
     }
 
     fn ids_of(&self, indices: &[usize]) -> Vec<RepId> {
@@ -2189,6 +2538,7 @@ mod tests {
             version: Version,
             value: &Value,
         ) -> RepResult<crate::gapmap::InsertOutcome> {
+            self.tick();
             self.inner.insert(key, version, value)
         }
         fn coalesce(
@@ -2197,6 +2547,7 @@ mod tests {
             high: &Key,
             version: Version,
         ) -> RepResult<crate::gapmap::CoalesceOutcome> {
+            self.tick();
             self.inner.coalesce(low, high, version)
         }
     }
@@ -2266,6 +2617,302 @@ mod tests {
                 }
             ),
             "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn bulk_insert_pays_one_quorum_pair_and_batched_envelopes() {
+        let mut s = suite_322(60);
+        s.set_policy(fixed(&[0, 1, 2]));
+        s.reset_message_counts();
+        let before = s.obs().snapshot();
+        let entries: Vec<(Key, Value)> = (0..8)
+            .map(|i| (k(&format!("k{i}")), val("v")))
+            .collect();
+        let out = s.insert_many(&entries).unwrap();
+        let after = s.obs().snapshot();
+        assert_eq!(out.versions, vec![Version::new(1); 8]);
+        assert_eq!(
+            after.counter("suite.quorum.waves") - before.counter("suite.quorum.waves"),
+            2,
+            "one read + one write collection for the whole batch"
+        );
+        assert_eq!(s.ping_counts(), vec![2, 2, 0]);
+        // One discovery envelope and one write envelope per quorum member.
+        assert_eq!(s.message_counts(), vec![2, 2, 0]);
+        assert_eq!(after.counter("suite.bulk.ops") - before.counter("suite.bulk.ops"), 1);
+        assert_eq!(
+            after.counter("suite.bulk.keys") - before.counter("suite.bulk.keys"),
+            8
+        );
+        assert_eq!(
+            after.counter("suite.bulk.resumed"),
+            before.counter("suite.bulk.resumed")
+        );
+        // Sessions never outlive the batch.
+        assert!(s.session(QuorumKind::Read).is_none());
+        assert!(s.session(QuorumKind::Write).is_none());
+        for (key, _) in &entries {
+            assert!(s.lookup(key).unwrap().present);
+        }
+    }
+
+    #[test]
+    fn bulk_insert_matches_the_per_key_baseline() {
+        let run = |reuse: bool| {
+            let mut s = suite_322(61);
+            s.set_policy(fixed(&[0, 1, 2]));
+            s.set_session_reuse(reuse);
+            let entries: Vec<(Key, Value)> = (0..20)
+                .map(|i| (k(&format!("e{i:02}")), val(&format!("v{i}"))))
+                .collect();
+            let out = s.insert_many(&entries).unwrap();
+            (out, s.scan().unwrap())
+        };
+        let (bulk, bulk_scan) = run(true);
+        let (base, base_scan) = run(false);
+        assert_eq!(bulk, base, "bulk assigns the versions the loop would");
+        assert_eq!(bulk_scan, base_scan);
+    }
+
+    #[test]
+    fn bulk_insert_applies_the_exact_prefix_before_the_offending_key() {
+        let mut s = suite_322(62);
+        s.insert(&k("dup"), &val("old")).unwrap();
+        // Pre-existing key mid-batch: its error surfaces, the prefix is
+        // applied, the tail is not — exactly the per-key loop's outcome.
+        let batch = vec![
+            (k("p0"), val("v")),
+            (k("p1"), val("v")),
+            (k("dup"), val("v")),
+            (k("p2"), val("v")),
+        ];
+        assert_eq!(
+            s.insert_many(&batch),
+            Err(SuiteError::AlreadyExists { key: k("dup") })
+        );
+        assert!(s.lookup(&k("p0")).unwrap().present);
+        assert!(s.lookup(&k("p1")).unwrap().present);
+        assert!(!s.lookup(&k("p2")).unwrap().present);
+        assert_eq!(s.lookup(&k("dup")).unwrap().value, Some(val("old")));
+        // An in-batch duplicate offends at its later occurrence.
+        let batch = vec![(k("q0"), val("v")), (k("q0"), val("v"))];
+        assert_eq!(
+            s.insert_many(&batch),
+            Err(SuiteError::AlreadyExists { key: k("q0") })
+        );
+        assert!(s.lookup(&k("q0")).unwrap().present, "first occurrence applied");
+        // Sentinels are rejected in position, not up front.
+        let batch = vec![(k("r0"), val("v")), (Key::High, val("v"))];
+        assert!(matches!(
+            s.insert_many(&batch),
+            Err(SuiteError::SentinelKey { .. })
+        ));
+        assert!(s.lookup(&k("r0")).unwrap().present);
+        // Empty batches are no-ops.
+        assert_eq!(s.insert_many(&[]).unwrap().versions, Vec::<Version>::new());
+        assert_eq!(s.delete_many(&[]).unwrap().versions, Vec::<Version>::new());
+    }
+
+    #[test]
+    fn bulk_delete_matches_the_per_key_baseline() {
+        let run = |reuse: bool| {
+            let mut s = suite_322(63);
+            s.set_policy(fixed(&[0, 1, 2]));
+            let entries: Vec<(Key, Value)> = (0..10)
+                .map(|i| (k(&format!("d{i}")), val("v")))
+                .collect();
+            s.insert_many(&entries).unwrap();
+            s.set_session_reuse(reuse);
+            let keys: Vec<Key> = entries.iter().map(|(key, _)| key.clone()).collect();
+            let out = s.delete_many(&keys).unwrap();
+            (out, s.scan().unwrap())
+        };
+        let (bulk, bulk_scan) = run(true);
+        let (base, base_scan) = run(false);
+        assert_eq!(bulk, base, "bulk coalesces at the versions the loop would");
+        assert!(bulk_scan.is_empty());
+        assert_eq!(bulk_scan, base_scan);
+        // NotFound mid-batch stops with the prefix deleted.
+        let mut s = suite_322(64);
+        s.insert_many(&[(k("x"), val("v")), (k("y"), val("v"))]).unwrap();
+        assert_eq!(
+            s.delete_many(&[k("x"), k("ghost"), k("y")]),
+            Err(SuiteError::NotFound { key: k("ghost") })
+        );
+        assert!(!s.lookup(&k("x")).unwrap().present);
+        assert!(s.lookup(&k("y")).unwrap().present);
+    }
+
+    #[test]
+    fn mid_batch_insert_failure_resumes_at_the_same_versions() {
+        use std::sync::atomic::Ordering;
+        let (mut s, fuses) = fused_suite();
+        // Member 0 dies inside the write envelope: the chunk's 8 discovery
+        // lookups tick first, so a fuse of 10 fires on its second insert —
+        // after the versions were assigned and after member 1 (fanned out
+        // concurrently) may have applied the whole envelope.
+        fuses[0].store(10, Ordering::SeqCst);
+        let entries: Vec<(Key, Value)> = (0..8)
+            .map(|i| (k(&format!("n{i}")), val("v")))
+            .collect();
+        let out = s.insert_many(&entries).unwrap();
+        // Every key landed exactly once, at the version assigned before the
+        // failure — a write re-applied from a fresh discovery would show
+        // version 2 (its lookup would now find the entry present).
+        assert_eq!(out.versions, vec![Version::new(1); 8]);
+        for (key, _) in &entries {
+            let got = s.lookup(key).unwrap();
+            assert!(got.present, "{key:?} lost");
+            assert_eq!(got.version, Version::new(1), "{key:?} double-applied");
+        }
+        let snap = s.obs().snapshot();
+        assert!(snap.counter("suite.session.revalidate") >= 1);
+        assert_eq!(snap.counter("suite.bulk.resumed"), 1);
+    }
+
+    #[test]
+    fn mid_batch_delete_failure_resumes_without_false_not_found() {
+        use std::sync::atomic::Ordering;
+        let (mut s, fuses) = fused_suite();
+        // Member 0 dies a few data RPCs into the batch — inside some key's
+        // lookup/search/copy/coalesce chain, possibly leaving that key
+        // half-coalesced at the surviving members.
+        fuses[0].store(6, Ordering::SeqCst);
+        let keys = [k("a"), k("b"), k("c")];
+        s.delete_many(&keys).unwrap();
+        for key in &keys {
+            assert!(!s.lookup(key).unwrap().present, "{key:?} survived");
+        }
+        let listed = s.scan().unwrap();
+        assert_eq!(
+            listed.iter().map(|(u, _)| u.to_string()).collect::<Vec<_>>(),
+            vec!["d", "e", "f"],
+            "only the batch was deleted"
+        );
+        let snap = s.obs().snapshot();
+        assert!(snap.counter("suite.session.revalidate") >= 1);
+        assert!(snap.counter("suite.bulk.resumed") >= 1);
+    }
+
+    /// Forwards to a [`LocalRep`] but panics on the first data RPC after
+    /// being armed — the fault-injection client for the session-scope
+    /// unwind-safety regression test.
+    struct PanicsOnLookup {
+        inner: LocalRep,
+        armed: std::sync::atomic::AtomicBool,
+    }
+
+    impl PanicsOnLookup {
+        fn arm(&self) {
+            self.armed.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl RepClient for PanicsOnLookup {
+        fn id(&self) -> RepId {
+            self.inner.id()
+        }
+        fn ping(&self) -> RepResult<()> {
+            self.inner.ping()
+        }
+        fn lookup(&self, key: &Key) -> RepResult<LookupReply> {
+            if self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                panic!("injected fault: representative panicked mid-lookup");
+            }
+            self.inner.lookup(key)
+        }
+        fn predecessor(&self, key: &Key) -> RepResult<crate::gapmap::NeighborReply> {
+            self.inner.predecessor(key)
+        }
+        fn successor(&self, key: &Key) -> RepResult<crate::gapmap::NeighborReply> {
+            self.inner.successor(key)
+        }
+        fn insert(
+            &self,
+            key: &Key,
+            version: Version,
+            value: &Value,
+        ) -> RepResult<crate::gapmap::InsertOutcome> {
+            self.inner.insert(key, version, value)
+        }
+        fn coalesce(
+            &self,
+            low: &Key,
+            high: &Key,
+            version: Version,
+        ) -> RepResult<crate::gapmap::CoalesceOutcome> {
+            self.inner.coalesce(low, high, version)
+        }
+    }
+
+    #[test]
+    fn panicking_body_does_not_leak_the_session_scope() {
+        // Regression: the old session_begin/session_end pair leaked
+        // session_depth when the body unwound, pinning a stale quorum
+        // session for the suite's lifetime. The RAII scope guard must
+        // restore depth and clear sessions on panic.
+        let clients: Vec<PanicsOnLookup> = (0..3)
+            .map(|i| PanicsOnLookup {
+                inner: LocalRep::new(RepId(i)),
+                armed: std::sync::atomic::AtomicBool::new(false),
+            })
+            .collect();
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        let mut s = DirSuite::new(clients, cfg, fixed(&[0, 1, 2])).unwrap();
+        // Inline scatter, so the injected panic unwinds through the suite's
+        // own frames rather than a scoped worker thread.
+        s.set_fanout(false);
+        s.insert(&k("a"), &val("A")).unwrap();
+        s.member(0).arm();
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = s.scan();
+        }))
+        .is_err();
+        assert!(unwound, "the armed client must have panicked");
+        assert!(s.session(QuorumKind::Read).is_none());
+        assert!(s.session(QuorumKind::Write).is_none());
+        // A leaked depth would make this ordinary lookup pin its quorum as
+        // a session; a balanced scope leaves nothing behind.
+        s.lookup(&k("a")).unwrap();
+        assert!(
+            s.session(QuorumKind::Read).is_none(),
+            "session depth leaked through the unwind"
+        );
+        // And the suite still answers correctly afterwards.
+        let listed = s.scan().unwrap();
+        assert_eq!(listed.len(), 1);
+    }
+
+    #[test]
+    fn failed_member_ewma_is_penalized_so_latency_policy_demotes_it() {
+        // Regression: a dead member kept its stale fast reply-time EWMA, so
+        // LatencyPolicy kept ordering it first and every collection burned a
+        // ping on the corpse. A failed RPC (or ping miss) now records a
+        // penalty sample, demoting the member below any live one.
+        let mut s = suite_322(77);
+        let policy = s.latency_policy();
+        s.set_policy(Box::new(policy));
+        s.insert(&k("a"), &val("A")).unwrap();
+        // Unsampled members sort first, so a few lookups sample all three.
+        for _ in 0..6 {
+            s.lookup(&k("a")).unwrap();
+        }
+        let favorite = s.lookup(&k("a")).unwrap().quorum[0];
+        let dead = favorite.0 as usize;
+        s.member(dead).set_available(false);
+        // Discovery: the stale-fast favorite is pinged once more, misses,
+        // and its EWMA takes the failure penalty.
+        s.lookup(&k("a")).unwrap();
+        let pings_after_discovery = s.ping_counts()[dead];
+        for _ in 0..8 {
+            assert!(s.lookup(&k("a")).unwrap().present);
+        }
+        assert_eq!(
+            s.ping_counts()[dead],
+            pings_after_discovery,
+            "a penalized member must sort behind the live ones and not be \
+             pinged on every collection"
         );
     }
 

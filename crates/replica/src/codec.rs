@@ -546,6 +546,33 @@ pub fn decode_response(mut b: &[u8]) -> DecodeResult<Response> {
     }
 }
 
+/// Decodes the reply to a [`Request::Batch`] of `expect` sub-requests.
+///
+/// Accepts exactly a [`Response::Batch`] whose arity matches the request,
+/// or a top-level [`Response::Err`] (the server refusing the envelope as a
+/// whole). Anything else — wrong arity, a nested batch (rejected by
+/// [`decode_response`]), a non-batch reply — is a [`DecodeError`], never a
+/// panic or a silent truncation: a short reply zipped against the request
+/// list would quietly drop the tail sub-requests' outcomes.
+///
+/// # Errors
+///
+/// [`DecodeError`] on malformed input or a reply shape that cannot answer
+/// a batch of `expect` sub-requests.
+pub fn decode_batch_response(bytes: &[u8], expect: usize) -> DecodeResult<Response> {
+    let resp = decode_response(bytes)?;
+    match &resp {
+        Response::Batch(parts) if parts.len() == expect => Ok(resp),
+        Response::Batch(parts) => Err(DecodeError(format!(
+            "batch arity mismatch: {} replies to {} requests",
+            parts.len(),
+            expect
+        ))),
+        Response::Err(_) => Ok(resp),
+        _ => err("non-batch reply to a batch request"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -576,6 +603,10 @@ mod tests {
             Request::Batch(vec![
                 Request::Lookup(TxnId(8), k("q")),
                 Request::SuccessorChain(TxnId(8), k("q"), 4),
+            ]),
+            Request::Batch(vec![
+                Request::Insert(TxnId(9), k("bulk"), v(2), Value::from("B")),
+                Request::Lookup(TxnId(9), k("bulk")),
             ]),
         ]
     }
@@ -652,6 +683,9 @@ mod tests {
             Response::Batch(vec![]),
             Response::Batch(vec![
                 Response::Lookup(LookupReply::Absent { gap_version: v(1) }),
+                Response::Insert(InsertOutcome::Created {
+                    split_gap_version: v(4),
+                }),
                 Response::Chain(vec![NeighborReply {
                     key: Key::High,
                     entry_version: v(0),
@@ -723,6 +757,41 @@ mod tests {
         let mut bytes = encode_request(&Request::Batch(vec![Request::Ping]));
         bytes.push(0);
         assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn batch_reply_arity_mismatch_is_a_decode_error() {
+        // A reply carrying one part for a two-request envelope must not zip
+        // silently — the dropped tail would read as "request had no outcome".
+        let short = encode_response(&Response::Batch(vec![Response::Ok]));
+        let err = decode_batch_response(&short, 2).unwrap_err();
+        assert!(err.0.contains("arity"), "{err}");
+        // Extra parts are just as malformed.
+        let long = encode_response(&Response::Batch(vec![Response::Ok, Response::Ok]));
+        let err = decode_batch_response(&long, 1).unwrap_err();
+        assert!(err.0.contains("arity"), "{err}");
+        // The matching arity decodes, as does a whole-envelope refusal.
+        assert_eq!(
+            decode_batch_response(&long, 2).unwrap(),
+            Response::Batch(vec![Response::Ok, Response::Ok])
+        );
+        let refusal = encode_response(&Response::Err(RepError::Unavailable));
+        assert_eq!(
+            decode_batch_response(&refusal, 3).unwrap(),
+            Response::Err(RepError::Unavailable)
+        );
+    }
+
+    #[test]
+    fn batch_reply_wrong_shape_is_a_decode_error() {
+        // A nested batch is rejected by the inner decode...
+        let nested = encode_response(&Response::Batch(vec![Response::Batch(vec![])]));
+        let err = decode_batch_response(&nested, 1).unwrap_err();
+        assert!(err.0.contains("nested"), "{err}");
+        // ...and a non-batch reply cannot answer a batch request at all.
+        let plain = encode_response(&Response::Ok);
+        let err = decode_batch_response(&plain, 1).unwrap_err();
+        assert!(err.0.contains("non-batch"), "{err}");
     }
 
     #[test]

@@ -247,6 +247,29 @@ impl ReplicatedDirectory {
         self.run(|suite| suite.delete(key).map(drop))
     }
 
+    /// Inserts a batch of entries in one transaction, paying one write
+    /// quorum for the whole batch (see [`DirSuite::insert_many`]). The
+    /// transaction makes the batch atomic at this layer: a retryable
+    /// mid-batch failure aborts, rolls every applied prefix entry back, and
+    /// retries the whole batch under a fresh transaction.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::insert_many`], after retries.
+    pub fn insert_many(&self, entries: &[(Key, Value)]) -> Result<(), SuiteError> {
+        self.run(|suite| suite.insert_many(entries).map(drop))
+    }
+
+    /// Deletes a batch of keys in one transaction, paying one write quorum
+    /// for the whole batch (see [`DirSuite::delete_many`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::delete_many`], after retries.
+    pub fn delete_many(&self, keys: &[Key]) -> Result<(), SuiteError> {
+        self.run(|suite| suite.delete_many(keys).map(drop))
+    }
+
     /// Lists every entry in key order, in its own transaction. The suite
     /// walks under a session quorum with batched envelopes (one quorum
     /// collection for the whole scan); the transaction's range locks make
@@ -290,6 +313,32 @@ impl DirTxn<'_> {
     /// transaction's locks.
     pub fn suite_mut(&mut self) -> &mut DirSuite<SessionClient> {
         &mut self.suite
+    }
+
+    /// Inserts a batch of entries under this transaction's locks, one write
+    /// quorum for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::insert_many`].
+    pub fn insert_many(
+        &mut self,
+        entries: &[(Key, Value)],
+    ) -> Result<repdir_core::BulkWriteOutcome, SuiteError> {
+        self.suite.insert_many(entries)
+    }
+
+    /// Deletes a batch of keys under this transaction's locks, one write
+    /// quorum for the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// As [`DirSuite::delete_many`].
+    pub fn delete_many(
+        &mut self,
+        keys: &[Key],
+    ) -> Result<repdir_core::BulkWriteOutcome, SuiteError> {
+        self.suite.delete_many(keys)
     }
 
     /// Commits at every representative (write-ahead-log sync per member)
@@ -463,6 +512,44 @@ mod tests {
         assert!(!dir.lookup(&k("doomed")).unwrap().present);
         assert!(g.counter("txn.aborted").get() >= aborted_before + 1);
         assert!(g.spans().iter().any(|e| e.name == "txn.abort"));
+    }
+
+    #[test]
+    fn bulk_ops_commit_atomically_and_roll_back_on_error() {
+        let dir = dir_322(11);
+        let entries: Vec<(Key, Value)> = (0..8)
+            .map(|i| (Key::from(format!("bulk{i:02}").as_str()), val("v")))
+            .collect();
+        dir.insert_many(&entries).unwrap();
+        for (key, _) in &entries {
+            assert!(dir.lookup(key).unwrap().present, "{key:?}");
+        }
+        // A batch with a mid-batch duplicate fails; the transaction wrapper
+        // rolls the applied prefix back, so the directory sees none of it.
+        let bad = vec![
+            (k("p0"), val("v")),
+            (k("p1"), val("v")),
+            (k("bulk03"), val("v")),
+            (k("p2"), val("v")),
+        ];
+        let err = dir.insert_many(&bad).unwrap_err();
+        assert!(matches!(err, SuiteError::AlreadyExists { .. }), "{err:?}");
+        assert!(!dir.lookup(&k("p0")).unwrap().present, "prefix rolled back");
+        assert!(!dir.lookup(&k("p1")).unwrap().present, "prefix rolled back");
+        // Bulk delete removes the batch in one transaction.
+        let keys: Vec<Key> = entries.iter().map(|(key, _)| key.clone()).collect();
+        dir.delete_many(&keys).unwrap();
+        for key in &keys {
+            assert!(!dir.lookup(key).unwrap().present, "{key:?}");
+        }
+        // DirTxn exposes the same ops under an explicit transaction.
+        let mut txn = dir.begin();
+        txn.insert_many(&[(k("t0"), val("T")), (k("t1"), val("T"))])
+            .unwrap();
+        txn.delete_many(&[k("t0")]).unwrap();
+        txn.commit();
+        assert!(!dir.lookup(&k("t0")).unwrap().present);
+        assert!(dir.lookup(&k("t1")).unwrap().present);
     }
 
     #[test]

@@ -11,7 +11,10 @@ use repdir_core::{
 use repdir_net::{serve, Network, NodeId, RpcClient, ServerHandle};
 use repdir_txn::TxnId;
 
-use crate::codec::{decode_request, decode_response, encode_request, encode_response, Request, Response};
+use crate::codec::{
+    decode_batch_response, decode_request, decode_response, encode_request, encode_response,
+    Request, Response,
+};
 use crate::server::TransactionalRep;
 
 /// Runs a [`TransactionalRep`] as an RPC server at `node`. Returns the
@@ -242,26 +245,37 @@ impl RepClient for RemoteSessionClient {
                 BatchRequest::SuccessorChain(k, limit) => {
                     Request::SuccessorChain(self.txn, k.clone(), *limit as u32)
                 }
+                BatchRequest::Insert(k, v, val) => {
+                    Request::Insert(self.txn, k.clone(), *v, val.clone())
+                }
             })
             .collect();
         let obs = repdir_obs::global();
         obs.counter("rpc.batch.calls").inc();
         obs.counter("rpc.batch.parts").add(reqs.len() as u64);
-        let parts = match self.call(Request::Batch(wire))? {
+        // Decode through the arity-checking helper: a reply that cannot
+        // answer exactly this envelope is a protocol violation, never a
+        // silent truncation of the tail sub-requests.
+        let reply = self
+            .rpc
+            .call(
+                self.server,
+                encode_request(&Request::Batch(wire)),
+                self.timeout,
+            )
+            .map_err(|_| RepError::Unavailable)?;
+        let parts = match decode_batch_response(&reply, reqs.len())
+            .map_err(|e| RepError::Storage(format!("bad response: {e}")))?
+        {
             Response::Batch(parts) => parts,
+            Response::Err(e) => return Err(e),
             other => return Err(unexpected(other)),
         };
-        if parts.len() != reqs.len() {
-            return Err(RepError::Storage(format!(
-                "protocol violation: batch arity {} != {}",
-                parts.len(),
-                reqs.len()
-            )));
-        }
         reqs.iter()
             .zip(parts)
             .map(|(req, part)| match (req, part) {
                 (BatchRequest::Lookup(_), Response::Lookup(r)) => Ok(BatchReply::Lookup(r)),
+                (BatchRequest::Insert(..), Response::Insert(r)) => Ok(BatchReply::Insert(r)),
                 (
                     BatchRequest::PredecessorChain(..) | BatchRequest::SuccessorChain(..),
                     Response::Chain(c),
@@ -388,6 +402,58 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RepError::SentinelViolation { .. }), "{err:?}");
         client.abort();
+    }
+
+    #[test]
+    fn batch_envelope_carries_inserts() {
+        let (net, rep, _handle, rpc) = setup();
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        client.begin().unwrap();
+        let before = net.stats().sent;
+        let replies = client
+            .batch(&[
+                BatchRequest::Insert(k("a"), Version::new(1), Value::from("A")),
+                BatchRequest::Insert(k("b"), Version::new(2), Value::from("B")),
+                BatchRequest::Lookup(k("a")),
+            ])
+            .unwrap();
+        // Two writes and a probe still ride one request/response pair.
+        assert_eq!(net.stats().sent - before, 2);
+        assert_eq!(replies.len(), 3);
+        assert!(matches!(replies[0], BatchReply::Insert(InsertOutcome::Created { .. })));
+        assert!(matches!(replies[1], BatchReply::Insert(InsertOutcome::Created { .. })));
+        match &replies[2] {
+            BatchReply::Lookup(r) => {
+                assert!(r.is_present());
+                assert_eq!(r.version(), Version::new(1));
+            }
+            other => panic!("expected lookup reply, got {other:?}"),
+        }
+        client.commit().unwrap();
+        assert_eq!(rep.len(), 2);
+    }
+
+    #[test]
+    fn short_batch_reply_is_a_protocol_error_not_a_truncation() {
+        // A rigged server answers every batch with a single-part reply; the
+        // client must refuse to zip it against a longer request list.
+        let net = Arc::new(Network::new(13));
+        let _handle = serve(Arc::clone(&net), NodeId(10), move |payload| {
+            let resp = match decode_request(payload) {
+                Ok(Request::Batch(_)) => Response::Batch(vec![Response::Ok]),
+                _ => Response::Ok,
+            };
+            encode_response(&resp)
+        });
+        let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+        let client = RemoteSessionClient::new(rpc, NodeId(10), RepId(0), TxnId(1));
+        let err = client
+            .batch(&[BatchRequest::Lookup(k("a")), BatchRequest::Lookup(k("b"))])
+            .unwrap_err();
+        match err {
+            RepError::Storage(msg) => assert!(msg.contains("arity"), "{msg}"),
+            other => panic!("expected storage error, got {other:?}"),
+        }
     }
 
     #[test]

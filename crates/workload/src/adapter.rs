@@ -76,6 +76,19 @@ impl DirectoryOps for SuiteDirectory {
     fn delete(&mut self, key: &Key) -> Result<(), BaselineError> {
         self.suite.delete(key).map(drop).map_err(convert)
     }
+
+    // The bulk overrides route to the suite's session-quorum batch path —
+    // one write-quorum collection per batch instead of one per key — while
+    // keeping the trait's per-key-loop error contract (the suite's bulk ops
+    // apply the exact prefix before the offending key).
+
+    fn insert_many(&mut self, entries: &[(Key, Value)]) -> Result<(), BaselineError> {
+        self.suite.insert_many(entries).map(drop).map_err(convert)
+    }
+
+    fn delete_many(&mut self, keys: &[Key]) -> Result<(), BaselineError> {
+        self.suite.delete_many(keys).map(drop).map_err(convert)
+    }
 }
 
 /// Outcome counts from an [`empirical_availability`] trial.
@@ -170,6 +183,37 @@ mod tests {
             d.delete(&k),
             Err(BaselineError::NotFound { key: k.clone() })
         );
+    }
+
+    #[test]
+    fn bulk_ops_match_the_per_key_contract() {
+        let mut d = SuiteDirectory::new(cfg_322(), 5);
+        let entries: Vec<(Key, Value)> = (0..6)
+            .map(|i| (Key::from(format!("w{i}").as_str()), Value::from("v")))
+            .collect();
+        d.insert_many(&entries).unwrap();
+        for (k, _) in &entries {
+            assert_eq!(d.lookup(k).unwrap(), Some(Value::from("v")));
+        }
+        // A failing batch applies the exact prefix, like a per-key loop.
+        let bad = vec![
+            (Key::from("x0"), Value::from("v")),
+            (Key::from("w3"), Value::from("v")),
+            (Key::from("x1"), Value::from("v")),
+        ];
+        assert_eq!(
+            d.insert_many(&bad),
+            Err(BaselineError::AlreadyExists {
+                key: Key::from("w3")
+            })
+        );
+        assert_eq!(d.lookup(&Key::from("x0")).unwrap(), Some(Value::from("v")));
+        assert_eq!(d.lookup(&Key::from("x1")).unwrap(), None);
+        let keys: Vec<Key> = entries.iter().map(|(k, _)| k.clone()).collect();
+        d.delete_many(&keys).unwrap();
+        for k in &keys {
+            assert_eq!(d.lookup(k).unwrap(), None);
+        }
     }
 
     #[test]

@@ -15,13 +15,27 @@
 # 6. Runs the scan_bench in quick mode, which fails unless the session-quorum
 #    + batched-envelope scan beats the per-hop baseline by >= 2x median at
 #    N=64 entries, R=2 with zero re-validations on the failure-free fabric.
+# 7. Runs the ingest_bench in quick mode, which fails unless bulk insert_many
+#    beats the per-key baseline by >= 2x median AND >= 2x fewer fabric
+#    messages for a 64-key ingest at R=2/W=2, zero re-validations.
 #
-# Exits non-zero on the first violation or failure.
+# Each gate prints its wall-clock duration so a slow regression is
+# attributable to the gate that grew. Exits non-zero on the first violation
+# or failure.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> dependency policy: only repdir-* path crates allowed"
+gate_start=0
+gate() {
+    gate_start=$SECONDS
+    echo "==> $*"
+}
+gate_done() {
+    echo "    [gate took $((SECONDS - gate_start))s]"
+}
+
+gate "dependency policy: only repdir-* path crates allowed"
 violations=0
 for manifest in Cargo.toml crates/*/Cargo.toml; do
     # Examine dependency-table bodies only: lines "name = ..." or "name.workspace = ..."
@@ -45,23 +59,34 @@ if [ "$violations" -ne 0 ]; then
     exit 1
 fi
 echo "    ok: no external dependencies declared"
+gate_done
 
-echo "==> cargo build --release --offline --workspace --all-targets"
+gate "cargo build --release --offline --workspace --all-targets"
 cargo build --release --offline --workspace --all-targets
+gate_done
 
-echo "==> cargo test -q --offline --workspace"
+gate "cargo test -q --offline --workspace"
 cargo test -q --offline --workspace
+gate_done
 
-echo "==> cargo build --offline --examples"
+gate "cargo build --offline --examples"
 cargo build --offline --examples
+gate_done
 
-echo "==> suite_latency --quick --check (fan-out >= 1.5x; obs overhead <= 5%)"
+gate "suite_latency --quick --check (fan-out >= 1.5x; obs overhead <= 5%)"
 cargo run --release --offline -p repdir-bench --bin suite_latency -- --quick --check
+gate_done
 
-echo "==> latency_policy --quick --check (EWMA policy must avoid slow members, >= 2x)"
+gate "latency_policy --quick --check (EWMA policy must avoid slow members, >= 2x)"
 cargo run --release --offline -p repdir-bench --bin latency_policy -- --quick --check
+gate_done
 
-echo "==> scan_bench --quick --check (session + batched scan >= 2x per-hop at N=64, R=2)"
+gate "scan_bench --quick --check (session + batched scan >= 2x per-hop at N=64, R=2)"
 cargo run --release --offline -p repdir-bench --bin scan_bench -- --quick --check
+gate_done
+
+gate "ingest_bench --quick --check (bulk insert >= 2x time and >= 2x fewer messages at N=64)"
+cargo run --release --offline -p repdir-bench --bin ingest_bench -- --quick --check
+gate_done
 
 echo "ALL CHECKS PASSED"

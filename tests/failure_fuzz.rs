@@ -25,8 +25,10 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
         let v: u8 = rng.gen();
         let value = Value::from(vec![v]);
         let in_model = model.contains_key(&k);
+        // The keys a failed op must leave untouched (bulk ops widen this).
+        let mut touched: Vec<u8> = vec![k];
 
-        let result: Result<(), SuiteError> = match rng.gen_range(0..5u8) {
+        let result: Result<(), SuiteError> = match rng.gen_range(0..7u8) {
             0 if !in_model => dir.insert(&key, &value).map(|_| {
                 model.insert(k, v);
             }),
@@ -46,6 +48,39 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
                     .collect();
                 assert_eq!(listed, expect, "step {step}: scan disagreed with the model");
             }),
+            5 => {
+                // Bulk insert of up to four keys absent from the model; the
+                // directory wrapper makes the batch transactional, so on Ok
+                // every key landed and on Err none did.
+                let fresh: Vec<u8> = (0..4u8)
+                    .map(|d| k.wrapping_add(d) % 16)
+                    .filter(|kk| !model.contains_key(kk))
+                    .collect();
+                touched = fresh.clone();
+                let entries: Vec<(Key, Value)> = fresh
+                    .iter()
+                    .map(|&kk| (Key::User(UserKey::from_u64(kk as u64)), Value::from(vec![v])))
+                    .collect();
+                dir.insert_many(&entries).map(|_| {
+                    for &kk in &fresh {
+                        model.insert(kk, v);
+                    }
+                })
+            }
+            6 => {
+                // Bulk delete of up to four keys currently in the model.
+                let present: Vec<u8> = model.keys().copied().take(4).collect();
+                touched = present.clone();
+                let keys: Vec<Key> = present
+                    .iter()
+                    .map(|&kk| Key::User(UserKey::from_u64(kk as u64)))
+                    .collect();
+                dir.delete_many(&keys).map(|_| {
+                    for &kk in &present {
+                        model.remove(&kk);
+                    }
+                })
+            }
             _ => dir.lookup(&key).map(|out| {
                 assert_eq!(
                     out.present, in_model,
@@ -61,16 +96,19 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
             Err(SuiteError::QuorumUnavailable { .. }) | Err(SuiteError::Rep(_)) => {
                 unavailable += 1;
                 // Failed operations must leave no logical trace; verify by
-                // healing and re-reading the key.
+                // healing and re-reading every key the op touched.
                 for rep in dir.reps() {
                     rep.set_available(true);
                 }
-                let out = dir.lookup(&key).expect("lookup with all up");
-                assert_eq!(
-                    out.present,
-                    model.contains_key(&k),
-                    "step {step}: failed op left residue on {k}"
-                );
+                for &kk in &touched {
+                    let key = Key::User(UserKey::from_u64(kk as u64));
+                    let out = dir.lookup(&key).expect("lookup with all up");
+                    assert_eq!(
+                        out.present,
+                        model.contains_key(&kk),
+                        "step {step}: failed op left residue on {kk}"
+                    );
+                }
             }
             Err(e) => panic!("step {step}: unexpected error {e}"),
         }
@@ -86,7 +124,11 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
         assert_eq!(out.present, model.contains_key(&k), "final audit of {k}");
     }
     let listed = dir.scan().expect("final scan with all up");
-    assert_eq!(listed.len(), model.len(), "final scan audit");
+    let expect: Vec<(UserKey, Value)> = model
+        .iter()
+        .map(|(mk, mv)| (UserKey::from_u64(*mk as u64), Value::from(vec![*mv])))
+        .collect();
+    assert_eq!(listed, expect, "final scan audit");
     // Sanity on the mix: with p=0.8 both outcomes should appear.
     if rep_up_prob < 0.95 {
         assert!(succeeded > 0, "nothing succeeded");
