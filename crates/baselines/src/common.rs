@@ -45,10 +45,7 @@ pub trait DirectoryOps {
     /// # Errors
     ///
     /// As [`DirectoryOps::insert`], at the first failing entry.
-    fn insert_many(
-        &mut self,
-        entries: &[(Key, repdir_core::Value)],
-    ) -> Result<(), BaselineError> {
+    fn insert_many(&mut self, entries: &[(Key, repdir_core::Value)]) -> Result<(), BaselineError> {
         for (key, value) in entries {
             self.insert(key, value)?;
         }

@@ -176,9 +176,9 @@ impl GiffordFileDirectory {
     }
 
     fn user(key: &Key) -> Result<UserKey, BaselineError> {
-        key.as_user().cloned().ok_or(BaselineError::NotFound {
-            key: key.clone(),
-        })
+        key.as_user()
+            .cloned()
+            .ok_or(BaselineError::NotFound { key: key.clone() })
     }
 }
 
@@ -250,13 +250,21 @@ fn decode_map(bytes: &[u8]) -> BTreeMap<UserKey, Value> {
     let mut at = 4;
     let n = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
     for _ in 0..n {
-        let Some(klen) = read_len(bytes, at) else { break };
+        let Some(klen) = read_len(bytes, at) else {
+            break;
+        };
         at += 4;
-        let Some(kbytes) = bytes.get(at..at + klen) else { break };
+        let Some(kbytes) = bytes.get(at..at + klen) else {
+            break;
+        };
         at += klen;
-        let Some(vlen) = read_len(bytes, at) else { break };
+        let Some(vlen) = read_len(bytes, at) else {
+            break;
+        };
         at += 4;
-        let Some(vbytes) = bytes.get(at..at + vlen) else { break };
+        let Some(vbytes) = bytes.get(at..at + vlen) else {
+            break;
+        };
         at += vlen;
         map.insert(UserKey::from(kbytes), Value::from(vbytes));
     }

@@ -80,7 +80,13 @@ impl NaiveEntryDirectory {
 
     /// Test hook: inserts at an explicit replica set, bypassing quorum
     /// selection (reconstructs the paper's Figures 1–3 exactly).
-    pub fn insert_at(&mut self, key: &UserKey, version: Version, value: &Value, replicas: &[usize]) {
+    pub fn insert_at(
+        &mut self,
+        key: &UserKey,
+        version: Version,
+        value: &Value,
+        replicas: &[usize],
+    ) {
         for &i in replicas {
             self.replicas[i].map.insert(
                 key.clone(),
@@ -177,17 +183,14 @@ impl NaiveEntryDirectory {
     }
 
     fn user(key: &Key) -> Result<UserKey, BaselineError> {
-        key.as_user().cloned().ok_or(BaselineError::NotFound {
-            key: key.clone(),
-        })
+        key.as_user()
+            .cloned()
+            .ok_or(BaselineError::NotFound { key: key.clone() })
     }
 }
 
 fn best_of(replies: Vec<Option<Entry>>) -> Option<Entry> {
-    replies
-        .into_iter()
-        .flatten()
-        .max_by_key(|e| e.version)
+    replies.into_iter().flatten().max_by_key(|e| e.version)
 }
 
 impl DirectoryOps for NaiveEntryDirectory {

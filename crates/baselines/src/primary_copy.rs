@@ -151,9 +151,9 @@ impl PrimaryCopyDirectory {
     }
 
     fn user(key: &Key) -> Result<UserKey, BaselineError> {
-        key.as_user().cloned().ok_or(BaselineError::NotFound {
-            key: key.clone(),
-        })
+        key.as_user()
+            .cloned()
+            .ok_or(BaselineError::NotFound { key: key.clone() })
     }
 }
 

@@ -110,7 +110,10 @@ impl StaticPartitionDirectory {
     /// # Errors
     ///
     /// [`BaselineError::Unavailable`] if a read quorum cannot form.
-    pub fn read_partition(&mut self, p: usize) -> Result<(Version, BTreeMap<UserKey, Value>), BaselineError> {
+    pub fn read_partition(
+        &mut self,
+        p: usize,
+    ) -> Result<(Version, BTreeMap<UserKey, Value>), BaselineError> {
         let quorum = self.collect(self.config.read_quorum())?;
         let best = quorum
             .into_iter()
@@ -164,9 +167,9 @@ impl StaticPartitionDirectory {
     }
 
     fn user(key: &Key) -> Result<UserKey, BaselineError> {
-        key.as_user().cloned().ok_or(BaselineError::NotFound {
-            key: key.clone(),
-        })
+        key.as_user()
+            .cloned()
+            .ok_or(BaselineError::NotFound { key: key.clone() })
     }
 }
 
@@ -299,10 +302,7 @@ mod tests {
         let (v, map) = d.read_partition(p).unwrap();
         // A competing writer moves the partition first.
         d.update(&k("a"), &val("A2")).unwrap();
-        assert_eq!(
-            d.write_partition(p, v, map),
-            Err(BaselineError::Conflict)
-        );
+        assert_eq!(d.write_partition(p, v, map), Err(BaselineError::Conflict));
         assert_eq!(d.conflicts, 1);
     }
 

@@ -85,9 +85,9 @@ impl UnanimousDirectory {
     }
 
     fn user(key: &Key) -> Result<UserKey, BaselineError> {
-        key.as_user().cloned().ok_or(BaselineError::NotFound {
-            key: key.clone(),
-        })
+        key.as_user()
+            .cloned()
+            .ok_or(BaselineError::NotFound { key: key.clone() })
     }
 }
 

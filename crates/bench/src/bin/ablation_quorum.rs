@@ -15,6 +15,9 @@ use repdir_core::suite::SuiteConfig;
 use repdir_workload::{run_sim, PolicyKind, SimParams};
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     println!("Ablation: quorum stickiness vs deletion overhead (3-2-2, ~100");
     println!("entries, 10 000 ops per point)");
     println!();
@@ -22,17 +25,16 @@ fn main() {
         "{:<24} {:>18} {:>18} {:>18}",
         "quorum policy", "entries-coalesced", "ghost deletions", "copy insertions"
     );
-    let mut points: Vec<(String, PolicyKind)> = vec![("fixed (p=0)".into(), PolicyKind::Sticky(0.0))];
+    let mut points: Vec<(String, PolicyKind)> =
+        vec![("fixed (p=0)".into(), PolicyKind::Sticky(0.0))];
     for p in [0.001, 0.01, 0.1, 0.5] {
         points.push((format!("sticky p={p}"), PolicyKind::Sticky(p)));
     }
     points.push(("random (paper §4)".into(), PolicyKind::Random));
 
     for (label, policy) in points {
-        let mut params = SimParams::figure14(
-            SuiteConfig::symmetric(3, 2, 2).expect("legal"),
-            0xAB1A,
-        );
+        let mut params =
+            SimParams::figure14(SuiteConfig::symmetric(3, 2, 2).expect("legal"), 0xAB1A);
         params.policy = policy;
         let report = run_sim(&params);
         println!(

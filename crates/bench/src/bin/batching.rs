@@ -14,6 +14,9 @@ use repdir_core::suite::SuiteConfig;
 use repdir_workload::{run_sim, SimParams};
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     println!("Neighbor-RPC cost per delete vs chain batch size");
     println!("(3-2-2 suite, ~100 entries, 10 000 ops, random quorums)");
     println!();
@@ -22,10 +25,8 @@ fn main() {
         "batch", "neighbor RPCs/delete", "max", "P(one round per member)"
     );
     for batch in [1usize, 2, 3, 4, 6] {
-        let mut params = SimParams::figure14(
-            SuiteConfig::symmetric(3, 2, 2).expect("legal"),
-            0xBA7C,
-        );
+        let mut params =
+            SimParams::figure14(SuiteConfig::symmetric(3, 2, 2).expect("legal"), 0xBA7C);
         params.neighbor_batch = batch;
         let report = run_sim(&params);
         println!(
@@ -33,10 +34,7 @@ fn main() {
             batch,
             report.neighbor_rpcs.mean(),
             report.neighbor_rpcs.max() as u64,
-            format!(
-                "{:.4}",
-                fraction_minimal(&report)
-            )
+            format!("{:.4}", fraction_minimal(&report))
         );
     }
     println!();

@@ -17,12 +17,30 @@ type PaperRow = (&'static str, [f64; 3], [f64; 3], [f64; 3]);
 /// The paper's Figure 15 values for side-by-side comparison.
 const PAPER: &[PaperRow] = &[
     // size, entries-coalesced (avg max sd), deletions (avg max sd), insertions (avg max sd)
-    ("100", [1.33, 9.0, 0.87], [0.88, 8.0, 1.05], [0.44, 2.0, 0.59]),
-    ("1000", [1.32, 12.0, 0.86], [0.87, 11.0, 1.04], [0.45, 2.0, 0.59]),
-    ("10000", [1.20, 9.0, 0.76], [0.67, 9.0, 0.90], [0.53, 2.0, 0.64]),
+    (
+        "100",
+        [1.33, 9.0, 0.87],
+        [0.88, 8.0, 1.05],
+        [0.44, 2.0, 0.59],
+    ),
+    (
+        "1000",
+        [1.32, 12.0, 0.86],
+        [0.87, 11.0, 1.04],
+        [0.45, 2.0, 0.59],
+    ),
+    (
+        "10000",
+        [1.20, 9.0, 0.76],
+        [0.67, 9.0, 0.90],
+        [0.53, 2.0, 0.64],
+    ),
 ];
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     println!("Figure 15: three 3-2-2 directory suites, 100 000 ops each");
     println!();
     let sizes = [100usize, 1_000, 10_000];

@@ -90,7 +90,9 @@ fn build(hop: Duration, seed: u64) -> Fixture {
         let mut client =
             RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
         client.set_timeout(Duration::from_secs(10));
-        client.begin().expect("begin never fails on a healthy fabric");
+        client
+            .begin()
+            .expect("begin never fails on a healthy fabric");
         clients.push(client);
     }
     let config = SuiteConfig::symmetric(MEMBERS, READ_QUORUM, WRITE_QUORUM)
@@ -138,6 +140,9 @@ fn json_samples(s: &Samples) -> String {
 }
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
@@ -193,7 +198,9 @@ fn main() {
         );
     }
     println!();
-    println!("session reuse hits: {reuse}, re-validations: {revalidate}, resumed batches: {resumed}");
+    println!(
+        "session reuse hits: {reuse}, re-validations: {revalidate}, resumed batches: {resumed}"
+    );
     println!("speedup (per-key median / bulk median): {speedup:.2}x");
     println!("fabric message reduction: {msg_ratio:.2}x fewer messages per ingest");
 

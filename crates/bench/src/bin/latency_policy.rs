@@ -96,7 +96,9 @@ fn build(fast: Duration, slow: Duration, seed: u64) -> Fixture {
         let mut client =
             RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
         client.set_timeout(Duration::from_secs(10));
-        client.begin().expect("begin never fails on a healthy fabric");
+        client
+            .begin()
+            .expect("begin never fails on a healthy fabric");
         clients.push(client);
     }
     let config = SuiteConfig::symmetric(MEMBERS, READ_QUORUM, WRITE_QUORUM)
@@ -144,6 +146,9 @@ fn json_samples(s: &Samples) -> String {
 }
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
@@ -250,9 +255,7 @@ fn main() {
         const GATE: f64 = 2.0;
         let mut ok = true;
         if read_prefix.iter().any(|m| SLOW.contains(m)) {
-            eprintln!(
-                "FAIL: latency policy still reads from a slow member: {read_prefix:?}"
-            );
+            eprintln!("FAIL: latency policy still reads from a slow member: {read_prefix:?}");
             ok = false;
         }
         if speedup < GATE {
@@ -262,8 +265,6 @@ fn main() {
         if !ok {
             std::process::exit(1);
         }
-        println!(
-            "check passed: reads come from the fast members, >= {GATE}x faster than random"
-        );
+        println!("check passed: reads come from the fast members, >= {GATE}x faster than random");
     }
 }

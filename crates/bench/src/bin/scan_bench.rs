@@ -89,7 +89,9 @@ fn build(hop: Duration, seed: u64) -> Fixture {
         let mut client =
             RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
         client.set_timeout(Duration::from_secs(10));
-        client.begin().expect("begin never fails on a healthy fabric");
+        client
+            .begin()
+            .expect("begin never fails on a healthy fabric");
         clients.push(client);
     }
     let config = SuiteConfig::symmetric(MEMBERS, READ_QUORUM, WRITE_QUORUM)
@@ -128,6 +130,9 @@ fn json_samples(s: &Samples) -> String {
 }
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");

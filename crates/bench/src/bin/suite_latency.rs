@@ -95,7 +95,9 @@ fn build(cfg: &Config, base: Duration, seed: u64, fanout: bool) -> Fixture {
         let mut client =
             RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
         client.set_timeout(Duration::from_secs(10));
-        client.begin().expect("begin never fails on a healthy fabric");
+        client
+            .begin()
+            .expect("begin never fails on a healthy fabric");
         clients.push(client);
     }
     let config = SuiteConfig::symmetric(cfg.members, cfg.read_quorum, cfg.write_quorum)
@@ -239,6 +241,9 @@ fn write_json(
 }
 
 fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval
+    // metrics flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
@@ -356,8 +361,7 @@ fn main() {
         // noise on a network-bound median cannot flake CI.
         const OBS_GATE: f64 = 1.05;
         const OBS_SLOP_US: u64 = 1_000;
-        let budget =
-            (overhead.detached.median() as f64 * OBS_GATE) as u64 + OBS_SLOP_US;
+        let budget = (overhead.detached.median() as f64 * OBS_GATE) as u64 + OBS_SLOP_US;
         if overhead.armed.median() > budget {
             eprintln!(
                 "FAIL: armed median {}us exceeds {}us (detached {}us * {OBS_GATE} + {OBS_SLOP_US}us slop)",

@@ -564,10 +564,7 @@ impl GapMap {
         }
         for w in gaps.windows(2) {
             if w[0].upper != w[1].lower {
-                return Err(format!(
-                    "gaps not contiguous: {:?} then {:?}",
-                    w[0], w[1]
-                ));
+                return Err(format!("gaps not contiguous: {:?} then {:?}", w[0], w[1]));
             }
         }
         for g in &gaps {

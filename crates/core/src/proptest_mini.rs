@@ -31,6 +31,11 @@
 //! # fn main() {} // #[test] fns only run under the test harness
 //! ```
 
+// The doctest above demonstrates the `proptest!` macro, whose whole point
+// is to expand `#[test]` functions; the example compiles but is not run as
+// a test, which is exactly what its trailing `fn main` comment says.
+#![allow(clippy::test_attr_in_doctest)]
+
 use std::cell::Cell;
 use std::fmt::Debug;
 use std::marker::PhantomData;
@@ -481,8 +486,13 @@ pub fn run<S: Strategy>(config: ProptestConfig, strategy: S, test: impl Fn(S::Va
         let mut case_rng = master.fork();
         let value = strategy.generate(&mut case_rng);
         if let Some(first_message) = fails(&test, &value) {
-            let (minimal, message, steps) =
-                shrink_loop(&strategy, &test, value, first_message, config.max_shrink_iters);
+            let (minimal, message, steps) = shrink_loop(
+                &strategy,
+                &test,
+                value,
+                first_message,
+                config.max_shrink_iters,
+            );
             panic!(
                 "proptest-mini: property failed at case #{case} (seed {:#x}; \
                  set REPDIR_PROPTEST_SEED to reproduce)\n\
@@ -652,9 +662,7 @@ mod tests {
     fn union_honours_weights_roughly() {
         let strat = prop_oneof![9 => 0u8..1, 1 => 1u8..2];
         let mut rng = SplitMix64::new(11);
-        let hits = (0..1000)
-            .filter(|_| strat.generate(&mut rng) == 0)
-            .count();
+        let hits = (0..1000).filter(|_| strat.generate(&mut rng) == 0).count();
         assert!(hits > 800, "weight-9 arm hit only {hits}/1000");
     }
 
@@ -682,8 +690,7 @@ mod tests {
         };
         let test = |v: Vec<u32>| assert!(v.iter().all(|&x| x < 200));
         super::install_quiet_hook();
-        let (minimal, _, _) =
-            super::shrink_loop(&strat, &test, failing, String::new(), 4096);
+        let (minimal, _, _) = super::shrink_loop(&strat, &test, failing, String::new(), 4096);
         assert_eq!(minimal.len(), 1, "minimal case is one element: {minimal:?}");
         assert!(minimal[0] >= 200);
     }

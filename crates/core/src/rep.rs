@@ -504,7 +504,8 @@ mod tests {
         rep.insert(&k("x"), Version::new(1), &Value::from("X"))
             .unwrap();
         let snap = rep.snapshot();
-        rep.coalesce(&Key::Low, &Key::High, Version::new(2)).unwrap();
+        rep.coalesce(&Key::Low, &Key::High, Version::new(2))
+            .unwrap();
         assert_eq!(snap.len(), 1);
         assert_eq!(rep.len(), 0);
         assert_eq!(rep.inspect(|s| s.len()), 0);
@@ -578,7 +579,8 @@ mod tests {
     #[test]
     fn with_state_preloads_entries() {
         let mut m = GapMap::new();
-        m.insert(&k("a"), Version::new(1), Value::from("A")).unwrap();
+        m.insert(&k("a"), Version::new(1), Value::from("A"))
+            .unwrap();
         let rep = LocalRep::with_state(RepId(0), m);
         assert_eq!(rep.len(), 1);
     }

@@ -26,7 +26,10 @@ use crate::key::Key;
 use crate::rep::{BatchReply, BatchRequest, LocalRep, RepClient, RepId, RepResult};
 use crate::value::Value;
 use crate::version::Version;
-use repdir_obs::{Counter, Ewma, Registry};
+use std::sync::Arc;
+use std::time::Duration;
+
+use repdir_obs::{Avail, Counter, Ewma, Histogram, Registry};
 
 /// Result of [`DirSuite::lookup`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -116,7 +119,10 @@ pub struct DeleteOutcome {
 }
 
 struct Member<C> {
-    client: C,
+    /// Shared so hedge/straggler workers can outlive the wave that spawned
+    /// them: the adaptive executor returns at the vote threshold while
+    /// detached threads still own a clone.
+    client: Arc<C>,
     votes: u32,
 }
 
@@ -136,8 +142,25 @@ struct SuiteObs {
     /// every timed ping and data RPC; [`LatencyPolicy`] orders quorum
     /// candidates by it.
     reply: Vec<Ewma>,
+    /// Windowed success rate per member (`suite.member.{i}.avail`), fed by
+    /// every ping and data RPC outcome; adaptive waves provision by it and
+    /// [`LatencyPolicy`] discounts by it.
+    avail: Vec<Avail>,
+    /// Suite-local reply-time histogram (`suite.reply_us`) over every timed
+    /// ping and data RPC; the hedge delay is derived from its quantiles.
+    /// Suite-local rather than the global `rpc.reply_us` so parallel suites
+    /// (and parallel tests) never pollute each other's delay estimate.
+    reply_hist: Histogram,
     /// Ping waves issued by `collect_quorum` (`suite.quorum.waves`).
     waves: Counter,
+    /// Hedge RPCs the suite issued after a wave straggled
+    /// (`suite.hedge.issued`).
+    hedge_issued: Counter,
+    /// Hedge RPCs whose reply was counted toward the quorum or merged into
+    /// the read result (`suite.hedge.won`).
+    hedge_won: Counter,
+    /// Hedge RPCs that lost the race or went unused (`suite.hedge.wasted`).
+    hedge_wasted: Counter,
     /// Preferred candidates that were pinged but failed to vote
     /// (`suite.quorum.sticky_miss`): for a sticky policy this is exactly
     /// "a remembered member stopped responding", forcing fresh collection.
@@ -174,10 +197,23 @@ impl SuiteObs {
     fn new(registry: Registry, n: usize) -> Self {
         let handle = |kind: &str, i: usize| format!("suite.member.{i}.{kind}");
         SuiteObs {
-            msgs: (0..n).map(|i| registry.counter(&handle("msgs", i))).collect(),
-            pings: (0..n).map(|i| registry.counter(&handle("pings", i))).collect(),
-            reply: (0..n).map(|i| registry.ewma(&handle("reply_us", i))).collect(),
+            msgs: (0..n)
+                .map(|i| registry.counter(&handle("msgs", i)))
+                .collect(),
+            pings: (0..n)
+                .map(|i| registry.counter(&handle("pings", i)))
+                .collect(),
+            reply: (0..n)
+                .map(|i| registry.ewma(&handle("reply_us", i)))
+                .collect(),
+            avail: (0..n)
+                .map(|i| registry.avail(&handle("avail", i)))
+                .collect(),
+            reply_hist: registry.histogram("suite.reply_us"),
             waves: registry.counter("suite.quorum.waves"),
+            hedge_issued: registry.counter("suite.hedge.issued"),
+            hedge_won: registry.counter("suite.hedge.won"),
+            hedge_wasted: registry.counter("suite.hedge.wasted"),
             sticky_miss: registry.counter("suite.quorum.sticky_miss"),
             session_reuse: registry.counter("suite.session.reuse"),
             session_revalidate: registry.counter("suite.session.revalidate"),
@@ -261,10 +297,26 @@ pub struct DirSuite<C: RepClient> {
     /// Whether bulk operations hold session quorums (default) or collect a
     /// fresh quorum per hop (the pre-session baseline).
     session_reuse: bool,
+    /// Whether `collect_quorum` sizes each ping wave by expected
+    /// (availability-weighted) yield and returns at the vote threshold
+    /// (default), or uses the minimal-prefix waves that guarantee an extra
+    /// round whenever any member is down (the baseline the property tests
+    /// compare against).
+    adaptive_waves: bool,
+    /// Ceiling on wave over-provisioning: a wave (including hedges) may
+    /// provision at most `ceil(deficit * max_overprovision)` votes.
+    max_overprovision: f64,
+    /// Whether straggling quorum pings and read-quorum lookups are hedged
+    /// to the next-ranked spare member (off by default: hedging spends
+    /// extra pings, so exact-count tests opt in explicitly).
+    hedge: bool,
+    /// Explicit hedge-delay override; `None` derives it from the suite's
+    /// reply-time histogram.
+    hedge_delay: Option<Duration>,
     obs: SuiteObs,
 }
 
-impl<C: RepClient> DirSuite<C> {
+impl<C: RepClient + 'static> DirSuite<C> {
     /// Creates a suite from representative clients, a configuration, and a
     /// quorum policy. Client `i` receives `config.votes_of(i)` votes.
     ///
@@ -288,10 +340,13 @@ impl<C: RepClient> DirSuite<C> {
             .into_iter()
             .enumerate()
             .map(|(i, client)| Member {
-                client,
+                client: Arc::new(client),
                 votes: config.votes_of(i),
             })
             .collect();
+        let obs = SuiteObs::new(Registry::new(), n);
+        let mut policy = policy;
+        policy.observe_availability(&obs.avail);
         Ok(DirSuite {
             members,
             config,
@@ -303,7 +358,11 @@ impl<C: RepClient> DirSuite<C> {
             sessions: [None, None],
             session_depth: 0,
             session_reuse: true,
-            obs: SuiteObs::new(Registry::new(), n),
+            adaptive_waves: true,
+            max_overprovision: 2.0,
+            hedge: false,
+            hedge_delay: None,
+            obs,
         })
     }
 
@@ -323,12 +382,16 @@ impl<C: RepClient> DirSuite<C> {
     ///
     /// Panics if `i` is out of range.
     pub fn member(&self, i: usize) -> &C {
-        &self.members[i].client
+        self.members[i].client.as_ref()
     }
 
     /// Replaces the quorum policy (e.g. to script specific quorums in tests
-    /// or to switch from random to sticky selection mid-run).
-    pub fn set_policy(&mut self, policy: Box<dyn QuorumPolicy + Send>) {
+    /// or to switch from random to sticky selection mid-run). The suite's
+    /// per-member availability handles are offered to the new policy
+    /// ([`QuorumPolicy::observe_availability`]); availability-aware
+    /// policies start discounting immediately.
+    pub fn set_policy(&mut self, mut policy: Box<dyn QuorumPolicy + Send>) {
+        policy.observe_availability(&self.obs.avail);
         self.policy = policy;
     }
 
@@ -381,6 +444,68 @@ impl<C: RepClient> DirSuite<C> {
     /// Whether member RPC waves are issued concurrently.
     pub fn fanout_enabled(&self) -> bool {
         self.fanout
+    }
+
+    /// Enables or disables adaptive wave provisioning (enabled by default).
+    ///
+    /// Enabled, `collect_quorum` sizes each ping wave by its *expected*
+    /// yield — every member's votes are weighted by its observed
+    /// availability (`suite.member.{i}.avail`), and further candidates are
+    /// provisioned until the expected vote count covers the deficit (capped
+    /// by [`set_max_overprovision`](DirSuite::set_max_overprovision)) — and
+    /// the concurrent wave returns the moment the threshold is met instead
+    /// of joining stragglers. On a fault-free fabric every member's
+    /// availability is 1.0, the wave is exactly the minimal prefix, and the
+    /// behaviour (results, pings, waves) is identical to the baseline.
+    ///
+    /// Disabled, waves are the minimal prefix that could meet the threshold
+    /// if every ping succeeded — guaranteeing a full extra round whenever
+    /// any member is down. This is the pre-adaptive baseline the property
+    /// tests and `hedge_bench` compare against.
+    pub fn set_adaptive_waves(&mut self, enabled: bool) {
+        self.adaptive_waves = enabled;
+    }
+
+    /// Whether ping waves are sized by expected yield.
+    pub fn adaptive_waves_enabled(&self) -> bool {
+        self.adaptive_waves
+    }
+
+    /// Caps adaptive over-provisioning: one wave (hedges included) may
+    /// provision at most `ceil(deficit * factor)` votes (default 2.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1.0` — a wave must always be allowed its
+    /// minimal prefix.
+    pub fn set_max_overprovision(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "overprovision factor must be at least 1.0");
+        self.max_overprovision = factor;
+    }
+
+    /// Enables hedged member RPCs (disabled by default). With hedging on —
+    /// and fan-out enabled — a quorum ping or read-quorum lookup that
+    /// outlives the hedge delay is duplicated to the next-ranked spare
+    /// member; the first usable reply wins and stragglers' replies are
+    /// discarded. Hedging spends extra pings for tail latency
+    /// (`suite.hedge.{issued,won,wasted}` counts the trade), so tests that
+    /// assert exact ping counts leave it off.
+    pub fn set_hedge(&mut self, enabled: bool) {
+        self.hedge = enabled;
+    }
+
+    /// Whether straggling member RPCs are hedged.
+    pub fn hedge_enabled(&self) -> bool {
+        self.hedge
+    }
+
+    /// Overrides the hedge delay. `None` (the default) derives it from the
+    /// suite's reply-time histogram: three times the median reply,
+    /// clamped below at 500 µs — a bimodal flaky fabric makes high
+    /// percentiles useless, while 3×p50 fires only on genuine stragglers.
+    /// Until that histogram has samples no hedges are issued.
+    pub fn set_hedge_delay(&mut self, delay: Option<Duration>) {
+        self.hedge_delay = delay;
     }
 
     /// Enables or disables session quorums for bulk operations (enabled by
@@ -529,6 +654,8 @@ impl<C: RepClient> DirSuite<C> {
     /// values — rebind before running a workload, not mid-measurement.
     pub fn set_obs_registry(&mut self, registry: Registry) {
         self.obs = SuiteObs::new(registry, self.members.len());
+        // The old registry's handles are dead; re-offer the live ones.
+        self.policy.observe_availability(&self.obs.avail);
     }
 
     /// Clones of the per-member reply-time EWMA handles, in member order.
@@ -538,11 +665,19 @@ impl<C: RepClient> DirSuite<C> {
         self.obs.reply.clone()
     }
 
-    /// A [`LatencyPolicy`] wired to this suite's reply-time EWMAs. Install
-    /// with [`set_policy`](DirSuite::set_policy) to route reads to the
-    /// measured R fastest members.
+    /// Clones of the per-member availability handles
+    /// (`suite.member.{i}.avail`), in member order: windowed success rates
+    /// fed by every ping and data RPC outcome.
+    pub fn member_avails(&self) -> Vec<Avail> {
+        self.obs.avail.clone()
+    }
+
+    /// A [`LatencyPolicy`] wired to this suite's reply-time EWMAs and
+    /// availability trackers. Install with
+    /// [`set_policy`](DirSuite::set_policy) to route reads to the measured
+    /// R fastest members, discounted by how often each actually answers.
     pub fn latency_policy(&self) -> LatencyPolicy {
-        LatencyPolicy::new(self.member_reply_ewmas())
+        LatencyPolicy::with_availability(self.member_reply_ewmas(), self.member_avails())
     }
 
     /// `DirSuiteLookup(x)` (Fig. 8): queries a read quorum and returns the
@@ -558,6 +693,11 @@ impl<C: RepClient> DirSuite<C> {
     pub fn lookup(&mut self, key: &Key) -> Result<LookupOutcome, SuiteError> {
         let _span = self.obs.registry.span("suite.lookup");
         let quorum = self.collect_quorum(QuorumKind::Read, Some(key))?;
+        if self.hedge && self.fanout {
+            if let Some(delay) = self.effective_hedge_delay() {
+                return self.lookup_hedged(key, &quorum, delay);
+            }
+        }
         // One concurrent wave over the read quorum; `pick_reply` is
         // order-independent, so merging in slot order is equivalent to
         // merging in arrival order.
@@ -571,6 +711,111 @@ impl<C: RepClient> DirSuite<C> {
         }
         let best = best.expect("quorum is never empty");
         let ids = self.ids_of(&quorum);
+        Ok(match best {
+            LookupReply::Present { version, value } => LookupOutcome {
+                present: true,
+                version,
+                value: Some(value),
+                quorum: ids,
+            },
+            LookupReply::Absent { gap_version } => LookupOutcome {
+                present: false,
+                version: gap_version,
+                value: None,
+                quorum: ids,
+            },
+        })
+    }
+
+    /// The hedged read path: queries the collected quorum concurrently on
+    /// detached workers and, whenever the next reply straggles past the
+    /// hedge delay, duplicates the lookup to a spare voting member outside
+    /// the quorum. The answer is assembled from whichever replies land
+    /// first until their votes cover R — sound by the intersection argument
+    /// (§3.1): *any* set of members whose votes sum to the read threshold
+    /// is a read quorum, so substituting a spare's reply for a straggler's
+    /// cannot change the merged result. Stragglers keep recording their
+    /// latency and availability from their worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`SuiteError::Rep`] with the last member error if replies plus
+    /// spares cannot cover R.
+    fn lookup_hedged(
+        &mut self,
+        key: &Key,
+        quorum: &[usize],
+        delay: Duration,
+    ) -> Result<LookupOutcome, SuiteError> {
+        use crate::channel::RecvTimeoutError;
+        let needed = self.config.read_quorum();
+        let mut in_quorum = vec![false; self.members.len()];
+        for &i in quorum {
+            in_quorum[i] = true;
+        }
+        let mut spares =
+            (0..self.members.len()).filter(|&i| !in_quorum[i] && self.members[i].votes > 0);
+        let (tx, rx) = crate::channel::unbounded();
+        for &i in quorum {
+            self.obs.msgs[i].inc();
+            let key = key.clone();
+            self.spawn_rpc_worker(i, tx.clone(), move |c| c.lookup(&key));
+        }
+        let mut outstanding = quorum.len();
+        let mut votes = 0u32;
+        let mut best: Option<LookupReply> = None;
+        let mut contributors = Vec::new();
+        let mut hedged: Vec<usize> = Vec::new();
+        let mut hedges_won = 0u64;
+        let mut last_err = RepError::Unavailable;
+        while outstanding > 0 && votes < needed {
+            match rx.recv_timeout(delay) {
+                Ok((i, Ok(reply))) => {
+                    outstanding -= 1;
+                    votes += self.members[i].votes;
+                    contributors.push(i);
+                    if hedged.contains(&i) {
+                        self.obs.hedge_won.inc();
+                        hedges_won += 1;
+                    }
+                    best = Some(match best {
+                        None => reply,
+                        Some(cur) => pick_reply(cur, reply),
+                    });
+                }
+                Ok((i, Err(e))) => {
+                    // The worker already recorded the availability miss and
+                    // the EWMA penalty for member `i`.
+                    let _ = i;
+                    outstanding -= 1;
+                    last_err = e;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // A straggling reply: duplicate the lookup to the next
+                    // spare, if one remains; otherwise keep waiting.
+                    if let Some(i) = spares.next() {
+                        self.obs.msgs[i].inc();
+                        self.obs.hedge_issued.inc();
+                        hedged.push(i);
+                        let key = key.clone();
+                        self.spawn_rpc_worker(i, tx.clone(), move |c| c.lookup(&key));
+                        outstanding += 1;
+                    }
+                }
+                // We hold `tx`, so disconnection is impossible; bail
+                // defensively rather than spin.
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.obs.hedge_wasted.add(hedged.len() as u64 - hedges_won);
+        if votes < needed {
+            return Err(SuiteError::Rep(last_err));
+        }
+        let best = best.expect("votes cover R, so at least one reply merged");
+        // Report the members whose replies actually formed the answer, in
+        // member order like the unhedged path's preference-sorted quorum.
+        contributors.sort_unstable();
+        let ids = self.ids_of(&contributors);
         Ok(match best {
             LookupReply::Present { version, value } => LookupOutcome {
                 present: true,
@@ -763,8 +1008,7 @@ impl<C: RepClient> DirSuite<C> {
                     None => {
                         let reply = reply.expect("quorum is never empty");
                         if reply.is_present() {
-                            pending_err =
-                                Some(SuiteError::AlreadyExists { key: key.clone() });
+                            pending_err = Some(SuiteError::AlreadyExists { key: key.clone() });
                             stop = i;
                             break;
                         }
@@ -786,9 +1030,7 @@ impl<C: RepClient> DirSuite<C> {
                     }
                     for part in parts {
                         if !matches!(part, BatchReply::Insert(_)) {
-                            return Err(protocol_violation(
-                                "bulk envelope missing insert reply",
-                            ));
+                            return Err(protocol_violation("bulk envelope missing insert reply"));
                         }
                     }
                 }
@@ -918,15 +1160,9 @@ impl<C: RepClient> DirSuite<C> {
     /// neighbor results; buffers refill with one chain RPC of
     /// `neighbor_batch` results when exhausted, so larger batches issue
     /// fewer RPCs for the same walk.
-    fn neighbor_search(
-        &mut self,
-        key: &Key,
-        dir: Direction,
-    ) -> Result<NeighborSearch, SuiteError> {
+    fn neighbor_search(&mut self, key: &Key, dir: Direction) -> Result<NeighborSearch, SuiteError> {
         let _span = self.obs.registry.span("suite.neighbor");
-        self.with_session_scope(|s| {
-            s.with_session_retries(|s| s.neighbor_walk(key, dir))
-        })
+        self.with_session_scope(|s| s.with_session_retries(|s| s.neighbor_walk(key, dir)))
     }
 
     /// One attempt at the Fig. 12 walk: collects (or reuses) the read
@@ -1173,8 +1409,9 @@ impl<C: RepClient> DirSuite<C> {
             if !refills.is_empty() {
                 let targets: Vec<usize> = refills.iter().map(|&(qi, _)| quorum[qi]).collect();
                 let refills_ref = &refills;
-                let waves =
-                    self.scatter(&targets, |slot, c| c.successor_chain(&refills_ref[slot].1, batch));
+                let waves = self.scatter(&targets, |slot, c| {
+                    c.successor_chain(&refills_ref[slot].1, batch)
+                });
                 for (slot, wave) in waves.into_iter().enumerate() {
                     walk.integrate(refills[slot].0, wave?, &probe, &mut max_gap_version);
                 }
@@ -1345,6 +1582,26 @@ impl<C: RepClient> DirSuite<C> {
             pos[i] = p;
         }
 
+        let mut chosen = if self.adaptive_waves {
+            self.collect_votes_adaptive(kind, needed, &order)?
+        } else {
+            self.collect_votes_minimal(kind, needed, &order)?
+        };
+        chosen.sort_by_key(|&i| pos[i]);
+        Ok(chosen)
+    }
+
+    /// The minimal-prefix baseline: each wave is exactly the candidates the
+    /// sequential walk would ping next, assuming every ping succeeds, so
+    /// any down member guarantees a full extra round. Kept verbatim behind
+    /// [`set_adaptive_waves`](DirSuite::set_adaptive_waves)`(false)` as the
+    /// counter- and latency baseline.
+    fn collect_votes_minimal(
+        &mut self,
+        kind: QuorumKind,
+        needed: u32,
+        order: &[usize],
+    ) -> Result<Vec<usize>, SuiteError> {
         let mut chosen = Vec::new();
         let mut votes = 0u32;
         let mut cursor = 0usize;
@@ -1375,8 +1632,15 @@ impl<C: RepClient> DirSuite<C> {
             let obs = &self.obs;
             let wave_ref = &wave;
             let arrivals = fan_out_arrival(members, &wave, self.fanout, |slot, c| {
-                obs.registry
-                    .time(|d| obs.reply[wave_ref[slot]].record(d), || c.ping())
+                let pong = obs.registry.time(
+                    |d| {
+                        obs.reply[wave_ref[slot]].record(d);
+                        obs.reply_hist.record(d);
+                    },
+                    || c.ping(),
+                );
+                obs.avail[wave_ref[slot]].record(pong.is_ok());
+                pong
             });
             for (slot, pong) in arrivals {
                 if votes >= needed {
@@ -1400,8 +1664,265 @@ impl<C: RepClient> DirSuite<C> {
                 }
             }
         }
-        chosen.sort_by_key(|&i| pos[i]);
         Ok(chosen)
+    }
+
+    /// Member `i`'s observed availability; members with no recorded
+    /// outcomes are assumed fully available, which makes the adaptive wave
+    /// exactly the minimal prefix on a fabric that has never failed.
+    fn avail_of(&self, i: usize) -> f64 {
+        self.obs.avail[i].rate().unwrap_or(1.0)
+    }
+
+    /// The delay after which a straggling hedged RPC is duplicated:
+    /// the explicit override if set, else `3 × p50` of the suite's
+    /// reply-time histogram clamped below at 500 µs. The median is the
+    /// right anchor on a flaky fabric — the reply distribution is bimodal
+    /// (fast answers vs. timeouts), so p95/p99 sit inside the timeout mass
+    /// and would never fire. `None` (no samples yet) disables hedging.
+    fn effective_hedge_delay(&self) -> Option<Duration> {
+        const MIN_HEDGE_DELAY: Duration = Duration::from_micros(500);
+        if let Some(delay) = self.hedge_delay {
+            return Some(delay);
+        }
+        let p50 = self.obs.reply_hist.quantile_us(0.5)?;
+        Some(Duration::from_micros(p50.saturating_mul(3)).max(MIN_HEDGE_DELAY))
+    }
+
+    /// Adaptive wave provisioning with optional hedging: each wave is the
+    /// minimal prefix *extended* until the expected (availability-weighted)
+    /// vote yield covers the deficit, bounded by the over-provision cap;
+    /// the concurrent executor counts arrivals as they land and returns at
+    /// the vote threshold, leaving stragglers to detached worker threads.
+    fn collect_votes_adaptive(
+        &mut self,
+        kind: QuorumKind,
+        needed: u32,
+        order: &[usize],
+    ) -> Result<Vec<usize>, SuiteError> {
+        let hedge_delay = if self.hedge && self.fanout {
+            self.effective_hedge_delay()
+        } else {
+            None
+        };
+        let mut chosen = Vec::new();
+        let mut votes = 0u32;
+        let mut cursor = 0usize;
+        while votes < needed {
+            let deficit = needed - votes;
+            let cap = (f64::from(deficit) * self.max_overprovision).ceil() as u32;
+            let mut wave = Vec::new();
+            // Full-vote yield: the minimal prefix is sized exactly as the
+            // baseline sizes it, so a never-failed fabric pings the same
+            // members in the same waves.
+            let mut assumed = 0u32;
+            // Availability-weighted yield and the ping budget.
+            let mut expected = 0.0f64;
+            let mut provisioned = 0u32;
+            while cursor < order.len() && assumed < deficit {
+                let i = order[cursor];
+                cursor += 1;
+                if self.members[i].votes == 0 {
+                    continue;
+                }
+                assumed += self.members[i].votes;
+                provisioned += self.members[i].votes;
+                expected += f64::from(self.members[i].votes) * self.avail_of(i);
+                wave.push(i);
+            }
+            // Over-provision: pull further candidates forward while the
+            // expected yield still falls short of the deficit, within the
+            // cap. ceil(needed / avail) for uniform single-vote members.
+            while cursor < order.len() && expected < f64::from(deficit) && provisioned < cap {
+                let i = order[cursor];
+                cursor += 1;
+                if self.members[i].votes == 0 {
+                    continue;
+                }
+                provisioned += self.members[i].votes;
+                expected += f64::from(self.members[i].votes) * self.avail_of(i);
+                wave.push(i);
+            }
+            if wave.is_empty() {
+                return Err(SuiteError::QuorumUnavailable {
+                    kind,
+                    needed,
+                    gathered: votes,
+                });
+            }
+            self.obs.waves.inc();
+            for &i in &wave {
+                self.obs.pings[i].inc();
+            }
+            if self.fanout {
+                self.run_adaptive_wave(
+                    &wave,
+                    needed,
+                    &mut votes,
+                    &mut chosen,
+                    &mut cursor,
+                    order,
+                    provisioned,
+                    cap,
+                    hedge_delay,
+                );
+            } else {
+                // Sequential baseline of the same wave: every provisioned
+                // ping is issued (they were already counted), successes
+                // beyond the threshold are discarded exactly as the
+                // concurrent executor ignores stragglers.
+                for &i in &wave {
+                    let pong = self.timed_ping(i);
+                    if votes >= needed {
+                        continue;
+                    }
+                    if pong.is_ok() {
+                        votes += self.members[i].votes;
+                        chosen.push(i);
+                    } else {
+                        self.obs.sticky_miss.inc();
+                        self.obs.penalize(i);
+                    }
+                }
+            }
+        }
+        Ok(chosen)
+    }
+
+    /// One timed, availability-recorded ping, inline on this thread.
+    fn timed_ping(&self, i: usize) -> RepResult<()> {
+        let obs = &self.obs;
+        let pong = obs.registry.time(
+            |d| {
+                obs.reply[i].record(d);
+                obs.reply_hist.record(d);
+            },
+            || self.members[i].client.ping(),
+        );
+        obs.avail[i].record(pong.is_ok());
+        pong
+    }
+
+    /// Spawns a detached worker that runs `call` against member `i` and
+    /// reports `(i, result)` on `tx`. Unlike the scoped [`fan_out`]
+    /// threads, the worker owns clones of the client and the obs handles,
+    /// so it keeps recording (EWMA, reply histogram, availability, failure
+    /// penalty) even after the coordinator stopped listening at the vote
+    /// threshold; its send simply fails once the receiver is gone. A
+    /// panicking client scores as [`RepError::Unavailable`] — out here it
+    /// is indistinguishable from a dead one — rather than poisoning the
+    /// coordinator.
+    fn spawn_rpc_worker<T, F>(
+        &self,
+        i: usize,
+        tx: crate::channel::Sender<(usize, RepResult<T>)>,
+        call: F,
+    ) where
+        T: Send + 'static,
+        F: FnOnce(&C) -> RepResult<T> + Send + 'static,
+    {
+        let client = Arc::clone(&self.members[i].client);
+        let registry = self.obs.registry.clone();
+        let ewma = self.obs.reply[i].clone();
+        let hist = self.obs.reply_hist.clone();
+        let avail = self.obs.avail[i].clone();
+        std::thread::Builder::new()
+            .name(format!("repdir-hedge-{i}"))
+            .spawn(move || {
+                let result = registry
+                    .time(
+                        |d| {
+                            ewma.record(d);
+                            hist.record(d);
+                        },
+                        || {
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                call(client.as_ref())
+                            }))
+                        },
+                    )
+                    .unwrap_or(Err(RepError::Unavailable));
+                let ok = result.is_ok();
+                avail.record(ok);
+                if !ok {
+                    ewma.record(FAILED_RPC_PENALTY);
+                }
+                let _ = tx.send((i, result));
+            })
+            .expect("spawn rpc worker");
+    }
+
+    /// Runs one provisioned wave concurrently: counts arrivals until the
+    /// vote threshold, hedging stragglers to further candidates when a
+    /// hedge delay is armed. Members consumed for hedges advance `cursor`,
+    /// so a later wave never re-pings them.
+    #[allow(clippy::too_many_arguments)]
+    fn run_adaptive_wave(
+        &mut self,
+        wave: &[usize],
+        needed: u32,
+        votes: &mut u32,
+        chosen: &mut Vec<usize>,
+        cursor: &mut usize,
+        order: &[usize],
+        mut provisioned: u32,
+        cap: u32,
+        hedge_delay: Option<Duration>,
+    ) {
+        use crate::channel::RecvTimeoutError;
+        let (tx, rx) = crate::channel::unbounded();
+        for &i in wave {
+            self.spawn_rpc_worker(i, tx.clone(), |c| c.ping());
+        }
+        let mut outstanding = wave.len();
+        let mut hedged: Vec<usize> = Vec::new();
+        let mut hedges_won = 0u64;
+        while outstanding > 0 && *votes < needed {
+            let arrival = match hedge_delay {
+                Some(delay) => match rx.recv_timeout(delay) {
+                    Ok(pair) => Some(pair),
+                    Err(RecvTimeoutError::Timeout) => {
+                        // The wave straggles: duplicate work to the next
+                        // spare candidate, if the budget allows one.
+                        while *cursor < order.len() && provisioned < cap {
+                            let i = order[*cursor];
+                            *cursor += 1;
+                            if self.members[i].votes == 0 {
+                                continue;
+                            }
+                            provisioned += self.members[i].votes;
+                            self.obs.pings[i].inc();
+                            self.obs.hedge_issued.inc();
+                            hedged.push(i);
+                            self.spawn_rpc_worker(i, tx.clone(), |c| c.ping());
+                            outstanding += 1;
+                            break;
+                        }
+                        continue;
+                    }
+                    // We hold `tx`, so disconnection is impossible; treat
+                    // it as wave exhaustion defensively.
+                    Err(RecvTimeoutError::Disconnected) => None,
+                },
+                None => rx.recv().ok(),
+            };
+            let Some((i, pong)) = arrival else { break };
+            outstanding -= 1;
+            if pong.is_ok() {
+                *votes += self.members[i].votes;
+                chosen.push(i);
+                if hedged.contains(&i) {
+                    self.obs.hedge_won.inc();
+                    hedges_won += 1;
+                }
+            } else {
+                // Workers record availability and the EWMA penalty
+                // themselves; the algorithmic miss count stays with the
+                // coordinator, mirroring the baseline.
+                self.obs.sticky_miss.inc();
+            }
+        }
+        self.obs.hedge_wasted.add(hedged.len() as u64 - hedges_won);
     }
 
     /// Issues one RPC wave: counts a data message per target, then runs `f`
@@ -1422,8 +1943,15 @@ impl<C: RepClient> DirSuite<C> {
         }
         let obs = &self.obs;
         let results = fan_out(&self.members, targets, self.fanout, |slot, c| {
-            obs.registry
-                .time(|d| obs.reply[targets[slot]].record(d), || f(slot, c))
+            let result = obs.registry.time(
+                |d| {
+                    obs.reply[targets[slot]].record(d);
+                    obs.reply_hist.record(d);
+                },
+                || f(slot, c),
+            );
+            obs.avail[targets[slot]].record(result.is_ok());
+            result
         });
         for (slot, result) in results.iter().enumerate() {
             if result.is_err() {
@@ -1434,7 +1962,10 @@ impl<C: RepClient> DirSuite<C> {
     }
 
     fn ids_of(&self, indices: &[usize]) -> Vec<RepId> {
-        indices.iter().map(|&i| self.members[i].client.id()).collect()
+        indices
+            .iter()
+            .map(|&i| self.members[i].client.id())
+            .collect()
     }
 }
 
@@ -1544,7 +2075,7 @@ where
         return targets
             .iter()
             .enumerate()
-            .map(|(slot, &i)| f(slot, &members[i].client))
+            .map(|(slot, &i)| f(slot, members[i].client.as_ref()))
             .collect();
     }
     std::thread::scope(|scope| {
@@ -1553,7 +2084,7 @@ where
             .iter()
             .enumerate()
             .map(|(slot, &i)| {
-                let client = &members[i].client;
+                let client = members[i].client.as_ref();
                 scope.spawn(move || f(slot, client))
             })
             .collect();
@@ -1583,14 +2114,14 @@ where
         return targets
             .iter()
             .enumerate()
-            .map(|(slot, &i)| (slot, f(slot, &members[i].client)))
+            .map(|(slot, &i)| (slot, f(slot, members[i].client.as_ref())))
             .collect();
     }
     std::thread::scope(|scope| {
         let (tx, rx) = crate::channel::unbounded();
         let f = &f;
         for (slot, &i) in targets.iter().enumerate() {
-            let client = &members[i].client;
+            let client = members[i].client.as_ref();
             let tx = tx.clone();
             scope.spawn(move || {
                 let _ = tx.send((slot, f(slot, client)));
@@ -1798,10 +2329,7 @@ mod tests {
     #[test]
     fn delete_requires_existing_entry() {
         let mut s = suite_322(5);
-        assert_eq!(
-            s.delete(&k("b")),
-            Err(SuiteError::NotFound { key: k("b") })
-        );
+        assert_eq!(s.delete(&k("b")), Err(SuiteError::NotFound { key: k("b") }));
     }
 
     #[test]
@@ -1986,11 +2514,7 @@ mod tests {
         }
         fn ping(&self) -> RepResult<()> {
             let pong = self.inner.ping();
-            if pong.is_ok()
-                && self
-                    .armed
-                    .swap(false, std::sync::atomic::Ordering::SeqCst)
-            {
+            if pong.is_ok() && self.armed.swap(false, std::sync::atomic::Ordering::SeqCst) {
                 self.inner.set_available(false);
             }
             pong
@@ -2042,6 +2566,250 @@ mod tests {
         let out = s.lookup(&k("a")).unwrap();
         assert!(!out.present);
         assert_eq!(out.quorum, vec![RepId(1), RepId(2)]);
+    }
+
+    #[test]
+    fn revalidate_session_dead_majority_surfaces_accurate_gathered() {
+        // A held session whose majority died must fail re-validation with
+        // QuorumUnavailable reporting exactly the votes the survivors still
+        // muster — not hang, and not undercount the survivor.
+        for adaptive in [true, false] {
+            let mut s = suite_322(31);
+            s.set_adaptive_waves(adaptive);
+            s.insert(&k("a"), &val("A")).unwrap();
+            let err = s
+                .with_session_scope(|s| {
+                    s.collect_quorum(QuorumKind::Read, None)?;
+                    s.member(0).set_available(false);
+                    s.member(1).set_available(false);
+                    s.revalidate_session(QuorumKind::Read).map(|_| ())
+                })
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SuiteError::QuorumUnavailable {
+                    kind: QuorumKind::Read,
+                    needed: 2,
+                    gathered: 1
+                },
+                "adaptive={adaptive}"
+            );
+        }
+    }
+
+    #[test]
+    fn revalidate_session_bumps_epoch_exactly_once_each_time() {
+        // Each re-validation advances the session epoch by exactly one and
+        // records exactly one `suite.session.revalidate` tick — the pair of
+        // ledgers the bulk-walk retry budget and the tests lean on.
+        let mut s = suite_322(32);
+        s.insert(&k("a"), &val("A")).unwrap();
+        let reval = s.obs().counter("suite.session.revalidate");
+        s.with_session_scope(|s| -> Result<(), SuiteError> {
+            s.collect_quorum(QuorumKind::Read, None)?;
+            assert_eq!(s.session(QuorumKind::Read).unwrap().epoch, 0);
+            assert_eq!(reval.get(), 0, "fresh collection is not a re-validation");
+            for expected in 1..=3u64 {
+                s.revalidate_session(QuorumKind::Read)?;
+                assert_eq!(s.session(QuorumKind::Read).unwrap().epoch, expected);
+                assert_eq!(reval.get(), expected);
+            }
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dirty_candidate_orders_collect_identical_quorums_and_pings() {
+        // Duplicate and out-of-range candidate indices must scrub down to
+        // the clean order: same quorum, same ping spend, in both wave
+        // modes. (`usize::MAX` additionally guards the hygiene pass against
+        // indexing before bounds-checking.)
+        let clean: &[usize] = &[2, 0, 1];
+        let dirty: [&[usize]; 3] = [
+            &[2, 2, 0, 2, 1, 0],
+            &[9, 2, 0, usize::MAX, 1, 100],
+            &[2, 0, 1, 2, 0, 1, 7],
+        ];
+        for adaptive in [true, false] {
+            let run = |order: &[usize]| {
+                let mut s = suite_322(33);
+                s.set_adaptive_waves(adaptive);
+                let chosen = s
+                    .collect_quorum_ordered(QuorumKind::Read, order.to_vec())
+                    .unwrap();
+                (chosen, s.ping_counts())
+            };
+            let baseline = run(clean);
+            for order in dirty {
+                assert_eq!(run(order), baseline, "order {order:?} adaptive={adaptive}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_vote_members_in_the_order_change_nothing() {
+        // Weak (zero-vote) representatives may appear anywhere in a
+        // candidate order — mentioned or not, duplicated or not — without
+        // being pinged, chosen, or shifting the quorum.
+        let cfg = SuiteConfig::new(vec![1, 0, 1, 1], 2, 2).unwrap();
+        for adaptive in [true, false] {
+            let run = |order: &[usize]| {
+                let clients: Vec<LocalRep> = (0..4).map(|i| LocalRep::new(RepId(i))).collect();
+                let mut s = DirSuite::new(clients, cfg.clone(), fixed(&[0, 1, 2, 3])).unwrap();
+                s.set_adaptive_waves(adaptive);
+                let chosen = s
+                    .collect_quorum_ordered(QuorumKind::Read, order.to_vec())
+                    .unwrap();
+                (chosen, s.ping_counts())
+            };
+            let baseline = run(&[0, 2, 3]);
+            for order in [&[0usize, 1, 2, 3][..], &[1, 0, 1, 2, 9, 3]] {
+                assert_eq!(run(order), baseline, "order {order:?} adaptive={adaptive}");
+                assert_eq!(baseline.1[1], 0, "weak member must never be pinged");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_waves_overprovision_around_a_flaky_member() {
+        // Once a member's availability estimate drops, the next collection
+        // folds the recovery candidate into the first wave instead of
+        // paying a guaranteed extra round — the tentpole behavior.
+        let mut s = suite_322(34);
+        s.set_policy(fixed(&[0, 1, 2]));
+        s.member(0).set_available(false);
+        let waves = s.obs().counter("suite.quorum.waves");
+
+        // First collection: member 0 is unsampled, so the wave is the
+        // minimal prefix and its failure costs a second round.
+        s.lookup(&k("a")).unwrap();
+        let discovery = waves.get();
+        assert!(discovery >= 2, "discovery collection pays the extra round");
+
+        // Second collection: avail(0) is now 0, so the first wave already
+        // over-provisions member 2 and the quorum lands in one round.
+        let out = s.lookup(&k("a")).unwrap();
+        assert_eq!(out.quorum, vec![RepId(1), RepId(2)]);
+        assert_eq!(waves.get(), discovery + 1, "one over-provisioned wave");
+    }
+
+    /// Forwards to a [`LocalRep`] with configurable per-operation lag — the
+    /// straggler the hedging tests race against.
+    struct Laggy {
+        inner: LocalRep,
+        ping_delay: Duration,
+        lookup_delay: Duration,
+    }
+
+    impl Laggy {
+        fn new(id: u32, ping_delay: Duration, lookup_delay: Duration) -> Self {
+            Self {
+                inner: LocalRep::new(RepId(id)),
+                ping_delay,
+                lookup_delay,
+            }
+        }
+    }
+
+    impl RepClient for Laggy {
+        fn id(&self) -> RepId {
+            self.inner.id()
+        }
+        fn ping(&self) -> RepResult<()> {
+            std::thread::sleep(self.ping_delay);
+            self.inner.ping()
+        }
+        fn lookup(&self, key: &Key) -> RepResult<LookupReply> {
+            std::thread::sleep(self.lookup_delay);
+            self.inner.lookup(key)
+        }
+        fn predecessor(&self, key: &Key) -> RepResult<crate::gapmap::NeighborReply> {
+            self.inner.predecessor(key)
+        }
+        fn successor(&self, key: &Key) -> RepResult<crate::gapmap::NeighborReply> {
+            self.inner.successor(key)
+        }
+        fn insert(
+            &self,
+            key: &Key,
+            version: Version,
+            value: &Value,
+        ) -> RepResult<crate::gapmap::InsertOutcome> {
+            self.inner.insert(key, version, value)
+        }
+        fn coalesce(
+            &self,
+            low: &Key,
+            high: &Key,
+            version: Version,
+        ) -> RepResult<crate::gapmap::CoalesceOutcome> {
+            self.inner.coalesce(low, high, version)
+        }
+    }
+
+    #[test]
+    fn hedged_ping_wave_wins_with_a_spare_over_a_straggler() {
+        // Member 0 answers pings 80ms late; with a 2ms hedge delay the
+        // wave must duplicate to member 2 and close the quorum without
+        // waiting out the straggler.
+        let clients = vec![
+            Laggy::new(0, Duration::from_millis(80), Duration::ZERO),
+            Laggy::new(1, Duration::ZERO, Duration::ZERO),
+            Laggy::new(2, Duration::ZERO, Duration::ZERO),
+        ];
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        let mut s = DirSuite::new(clients, cfg, fixed(&[0, 1, 2])).unwrap();
+        s.set_hedge(true);
+        s.set_hedge_delay(Some(Duration::from_millis(2)));
+        let issued = s.obs().counter("suite.hedge.issued");
+
+        let start = std::time::Instant::now();
+        let out = s.lookup(&k("a")).unwrap();
+        assert!(!out.present);
+        assert_eq!(out.quorum, vec![RepId(1), RepId(2)]);
+        assert!(issued.get() >= 1, "the straggling ping must be hedged");
+        assert!(
+            start.elapsed() < Duration::from_millis(80),
+            "the quorum must not wait out the straggler"
+        );
+        assert_eq!(s.ping_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn hedged_lookup_substitutes_a_spare_for_a_straggler() {
+        // Member 0 pings fast but serves lookups 80ms late: it wins a seat
+        // in the read quorum, then straggles on the data RPC. The hedged
+        // read must assemble R votes from member 1 plus the spare member 2
+        // and return the exact answer.
+        let clients = vec![
+            Laggy::new(0, Duration::ZERO, Duration::from_millis(80)),
+            Laggy::new(1, Duration::ZERO, Duration::ZERO),
+            Laggy::new(2, Duration::ZERO, Duration::ZERO),
+        ];
+        let cfg = SuiteConfig::symmetric(3, 2, 2).unwrap();
+        let mut s = DirSuite::new(clients, cfg, fixed(&[0, 1, 2])).unwrap();
+        s.insert(&k("a"), &val("A")).unwrap();
+        s.set_hedge(true);
+        s.set_hedge_delay(Some(Duration::from_millis(2)));
+        let issued = s.obs().counter("suite.hedge.issued");
+        let won = s.obs().counter("suite.hedge.won");
+
+        let out = s.lookup(&k("a")).unwrap();
+        assert!(out.present);
+        assert_eq!(out.value, Some(val("A")));
+        assert_eq!(
+            out.quorum,
+            vec![RepId(1), RepId(2)],
+            "the spare's reply substitutes for the straggler's"
+        );
+        assert!(issued.get() >= 1);
+        assert!(won.get() >= 1, "the substituted spare counts as a win");
+        // The straggler was still asked — hedging duplicates, not cancels.
+        // (Members 0 and 1 carry two messages each from the insert's read
+        // and write quorums; the hedged read adds one more to each quorum
+        // member and one to the spare.)
+        assert_eq!(s.message_counts(), vec![3, 3, 1]);
     }
 
     #[test]
@@ -2155,7 +2923,11 @@ mod tests {
         let mut s = DirSuite::new(clients, cfg, fixed(&[0, 1, 2])).unwrap();
         s.insert(&k("a"), &val("A")).unwrap();
         let out = s.lookup(&k("a")).unwrap();
-        assert_eq!(out.quorum, vec![RepId(0)], "2-vote rep alone is a read quorum");
+        assert_eq!(
+            out.quorum,
+            vec![RepId(0)],
+            "2-vote rep alone is a read quorum"
+        );
     }
 
     #[test]
@@ -2305,8 +3077,10 @@ mod tests {
         assert_eq!(u.key, b.key, "same real predecessor");
         assert_eq!(u.version, b.version);
         assert_eq!(u.steps, b.steps, "same logical walk");
-        assert!(u.max_gap_version <= b.max_gap_version,
-                "batched may fold extra in-range gaps, never fewer");
+        assert!(
+            u.max_gap_version <= b.max_gap_version,
+            "batched may fold extra in-range gaps, never fewer"
+        );
         assert!(
             b.rpc_calls < u.rpc_calls,
             "batch 3 must issue fewer chain RPCs: {} vs {}",
@@ -2585,7 +3359,10 @@ mod tests {
         fuses[0].store(3, Ordering::SeqCst);
         let listed = s.scan().unwrap();
         assert_eq!(
-            listed.iter().map(|(u, _)| u.to_string()).collect::<Vec<_>>(),
+            listed
+                .iter()
+                .map(|(u, _)| u.to_string())
+                .collect::<Vec<_>>(),
             vec!["a", "b", "c", "d", "e", "f"],
             "scan must complete correctly through the failure"
         );
@@ -2626,9 +3403,7 @@ mod tests {
         s.set_policy(fixed(&[0, 1, 2]));
         s.reset_message_counts();
         let before = s.obs().snapshot();
-        let entries: Vec<(Key, Value)> = (0..8)
-            .map(|i| (k(&format!("k{i}")), val("v")))
-            .collect();
+        let entries: Vec<(Key, Value)> = (0..8).map(|i| (k(&format!("k{i}")), val("v"))).collect();
         let out = s.insert_many(&entries).unwrap();
         let after = s.obs().snapshot();
         assert_eq!(out.versions, vec![Version::new(1); 8]);
@@ -2640,7 +3415,10 @@ mod tests {
         assert_eq!(s.ping_counts(), vec![2, 2, 0]);
         // One discovery envelope and one write envelope per quorum member.
         assert_eq!(s.message_counts(), vec![2, 2, 0]);
-        assert_eq!(after.counter("suite.bulk.ops") - before.counter("suite.bulk.ops"), 1);
+        assert_eq!(
+            after.counter("suite.bulk.ops") - before.counter("suite.bulk.ops"),
+            1
+        );
         assert_eq!(
             after.counter("suite.bulk.keys") - before.counter("suite.bulk.keys"),
             8
@@ -2701,7 +3479,10 @@ mod tests {
             s.insert_many(&batch),
             Err(SuiteError::AlreadyExists { key: k("q0") })
         );
-        assert!(s.lookup(&k("q0")).unwrap().present, "first occurrence applied");
+        assert!(
+            s.lookup(&k("q0")).unwrap().present,
+            "first occurrence applied"
+        );
         // Sentinels are rejected in position, not up front.
         let batch = vec![(k("r0"), val("v")), (Key::High, val("v"))];
         assert!(matches!(
@@ -2719,9 +3500,8 @@ mod tests {
         let run = |reuse: bool| {
             let mut s = suite_322(63);
             s.set_policy(fixed(&[0, 1, 2]));
-            let entries: Vec<(Key, Value)> = (0..10)
-                .map(|i| (k(&format!("d{i}")), val("v")))
-                .collect();
+            let entries: Vec<(Key, Value)> =
+                (0..10).map(|i| (k(&format!("d{i}")), val("v"))).collect();
             s.insert_many(&entries).unwrap();
             s.set_session_reuse(reuse);
             let keys: Vec<Key> = entries.iter().map(|(key, _)| key.clone()).collect();
@@ -2735,7 +3515,8 @@ mod tests {
         assert_eq!(bulk_scan, base_scan);
         // NotFound mid-batch stops with the prefix deleted.
         let mut s = suite_322(64);
-        s.insert_many(&[(k("x"), val("v")), (k("y"), val("v"))]).unwrap();
+        s.insert_many(&[(k("x"), val("v")), (k("y"), val("v"))])
+            .unwrap();
         assert_eq!(
             s.delete_many(&[k("x"), k("ghost"), k("y")]),
             Err(SuiteError::NotFound { key: k("ghost") })
@@ -2753,9 +3534,7 @@ mod tests {
         // after the versions were assigned and after member 1 (fanned out
         // concurrently) may have applied the whole envelope.
         fuses[0].store(10, Ordering::SeqCst);
-        let entries: Vec<(Key, Value)> = (0..8)
-            .map(|i| (k(&format!("n{i}")), val("v")))
-            .collect();
+        let entries: Vec<(Key, Value)> = (0..8).map(|i| (k(&format!("n{i}")), val("v"))).collect();
         let out = s.insert_many(&entries).unwrap();
         // Every key landed exactly once, at the version assigned before the
         // failure — a write re-applied from a fresh discovery would show
@@ -2786,7 +3565,10 @@ mod tests {
         }
         let listed = s.scan().unwrap();
         assert_eq!(
-            listed.iter().map(|(u, _)| u.to_string()).collect::<Vec<_>>(),
+            listed
+                .iter()
+                .map(|(u, _)| u.to_string())
+                .collect::<Vec<_>>(),
             vec!["d", "e", "f"],
             "only the batch was deleted"
         );
@@ -2943,10 +3725,7 @@ mod tests {
                     if model.remove(key).is_some() {
                         s.delete(&kk).unwrap();
                     } else {
-                        assert!(matches!(
-                            s.delete(&kk),
-                            Err(SuiteError::NotFound { .. })
-                        ));
+                        assert!(matches!(s.delete(&kk), Err(SuiteError::NotFound { .. })));
                     }
                 }
                 _ => {

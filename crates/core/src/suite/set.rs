@@ -35,7 +35,7 @@ pub struct DirSet<C: RepClient> {
     suite: DirSuite<C>,
 }
 
-impl<C: RepClient> DirSet<C> {
+impl<C: RepClient + 'static> DirSet<C> {
     /// Wraps a directory suite as a set.
     pub fn new(suite: DirSuite<C>) -> Self {
         DirSet { suite }

@@ -146,7 +146,11 @@ impl Condvar {
     /// condition variable: re-check the predicate.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard holds the lock");
-        guard.inner = Some(self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner));
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner),
+        );
     }
 
     /// Blocks until notified or `deadline` passes.

@@ -167,6 +167,9 @@ struct Shared {
     /// Per-destination latency overrides (skewed fabrics): messages *to*
     /// these nodes ignore the plan's latency.
     node_latency: Mutex<HashMap<NodeId, LatencyModel>>,
+    /// Per-destination drop-probability overrides (flaky members): messages
+    /// *to* these nodes ignore the plan's drop probability.
+    node_drop: Mutex<HashMap<NodeId, f64>>,
     obs: FabricObs,
     rng: Mutex<StdRng>,
     stats: Mutex<NetStats>,
@@ -211,6 +214,7 @@ impl Network {
             blocked: Mutex::new(HashSet::new()),
             plan: Mutex::new(FaultPlan::default()),
             node_latency: Mutex::new(HashMap::new()),
+            node_drop: Mutex::new(HashMap::new()),
             obs: FabricObs::new(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             stats: Mutex::new(NetStats::default()),
@@ -252,6 +256,20 @@ impl Network {
     /// latency.
     pub fn clear_node_latency(&self, node: NodeId) {
         self.shared.node_latency.lock().remove(&node);
+    }
+
+    /// Overrides the drop probability for messages *destined to* `node`,
+    /// modelling one flaky replica on an otherwise healthy fabric (the
+    /// plan's latency and duplicate probability still apply). The
+    /// `hedge_bench` builds its flaky member from this.
+    pub fn set_node_drop(&self, node: NodeId, drop_prob: f64) {
+        self.shared.node_drop.lock().insert(node, drop_prob);
+    }
+
+    /// Removes a per-node drop override; `node` reverts to the plan's drop
+    /// probability.
+    pub fn clear_node_drop(&self, node: NodeId) {
+        self.shared.node_drop.lock().remove(&node);
     }
 
     /// Blocks all traffic between `a` and `b` (both directions).
@@ -303,9 +321,15 @@ impl Network {
             .get(&dst)
             .copied()
             .unwrap_or(plan.latency);
+        let drop_prob = shared
+            .node_drop
+            .lock()
+            .get(&dst)
+            .copied()
+            .unwrap_or(plan.drop_prob);
         let (dropped, duplicate, delay) = {
             let mut rng = shared.rng.lock();
-            let dropped = plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob.clamp(0.0, 1.0));
+            let dropped = drop_prob > 0.0 && rng.gen_bool(drop_prob.clamp(0.0, 1.0));
             let duplicate =
                 plan.duplicate_prob > 0.0 && rng.gen_bool(plan.duplicate_prob.clamp(0.0, 1.0));
             let delay = if latency.is_zero() {
@@ -500,7 +524,10 @@ mod tests {
         let fast_elapsed = sent_at.elapsed();
         slow.recv_timeout(TICK).unwrap();
         let slow_elapsed = sent_at.elapsed();
-        assert!(fast_elapsed < Duration::from_millis(40), "fast member saw the override");
+        assert!(
+            fast_elapsed < Duration::from_millis(40),
+            "fast member saw the override"
+        );
         assert!(slow_elapsed >= Duration::from_millis(35));
 
         net.clear_node_latency(NodeId(2));
@@ -508,6 +535,28 @@ mod tests {
         net.send(NodeId(0), NodeId(2), MsgKind::Request(3), vec![3]);
         slow.recv_timeout(TICK).unwrap();
         assert!(sent_at.elapsed() < Duration::from_millis(40));
+    }
+
+    #[test]
+    fn node_drop_override_eats_only_that_destination() {
+        let net = Network::new(11);
+        let healthy = net.register(NodeId(1));
+        let flaky = net.register(NodeId(2));
+        net.set_node_drop(NodeId(2), 1.0);
+
+        for i in 0..5 {
+            net.send(NodeId(0), NodeId(1), MsgKind::Request(i), vec![1]);
+            net.send(NodeId(0), NodeId(2), MsgKind::Request(100 + i), vec![2]);
+        }
+        for _ in 0..5 {
+            healthy.recv_timeout(TICK).unwrap();
+        }
+        assert!(flaky.recv_timeout(Duration::from_millis(30)).is_err());
+        assert_eq!(net.stats().dropped, 5);
+
+        net.clear_node_drop(NodeId(2));
+        net.send(NodeId(0), NodeId(2), MsgKind::Request(200), vec![3]);
+        flaky.recv_timeout(TICK).unwrap();
     }
 
     #[test]

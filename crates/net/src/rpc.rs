@@ -68,6 +68,15 @@ struct RpcObs {
     timeouts: Counter,
     unreachable: Counter,
     reply_us: Histogram,
+    /// Hedge RPCs launched by [`RpcClient::call_hedged`] after the primary
+    /// exceeded its hedge delay.
+    hedge_issued: Counter,
+    /// Hedged calls whose winning reply came from a hedge, not the primary.
+    hedge_won: Counter,
+    /// Hedge RPCs whose reply was not the one used (the primary recovered,
+    /// or the whole call timed out) — the message cost hedging trades for
+    /// tail latency.
+    hedge_wasted: Counter,
 }
 
 impl RpcObs {
@@ -79,6 +88,9 @@ impl RpcObs {
             timeouts: g.counter("rpc.timeouts"),
             unreachable: g.counter("rpc.unreachable"),
             reply_us: g.histogram("rpc.reply_us"),
+            hedge_issued: g.counter("rpc.hedge.issued"),
+            hedge_won: g.counter("rpc.hedge.won"),
+            hedge_wasted: g.counter("rpc.hedge.wasted"),
         }
     }
 
@@ -223,9 +235,142 @@ impl RpcClient {
         }
     }
 
+    /// Sends `payload` to `dsts[0]` and, whenever the reply is slower than
+    /// `hedge_after`, duplicates the request to the next destination in the
+    /// list — the classic tail-latency hedge. The first reply to arrive
+    /// wins; stragglers stay registered until the call settles and their
+    /// late replies are then drained (dropped) by the correlation-id
+    /// router, so a hedge can never be mistaken for the answer to a later
+    /// call.
+    ///
+    /// Destinations should be ranked best-first (e.g. by reply-time EWMA);
+    /// `hedge_after` is typically derived from a high percentile of the
+    /// `rpc.reply_us` histogram. Progress is observable as
+    /// `rpc.hedge.{issued,won,wasted}`.
+    ///
+    /// # Errors
+    ///
+    /// [`RpcError::Timeout`] if no destination answered within `timeout`;
+    /// [`RpcError::Unreachable`] if every destination was unregistered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dsts` is empty.
+    pub fn call_hedged(
+        &self,
+        dsts: &[NodeId],
+        payload: Vec<u8>,
+        hedge_after: Duration,
+        timeout: Duration,
+    ) -> Result<Vec<u8>, RpcError> {
+        assert!(
+            !dsts.is_empty(),
+            "call_hedged needs at least one destination"
+        );
+        let started = self.shared.obs.start();
+        let deadline = Instant::now() + timeout;
+        let (tx, rx) = unbounded();
+        let mut in_flight: Vec<u64> = Vec::new();
+        let mut is_hedge = vec![false; dsts.len()];
+        let mut hedges = 0u64;
+        let mut next = 0usize;
+
+        // Launch the primary, walking past unreachable destinations for
+        // free: an unregistered node is known dead at send time, so moving
+        // on is a substitution, not a hedge.
+        while next < dsts.len() && in_flight.is_empty() {
+            if let Some(id) = self.hedge_issue(dsts[next], &payload, next, &tx) {
+                in_flight.push(id);
+            }
+            next += 1;
+        }
+        if in_flight.is_empty() {
+            return Err(RpcError::Unreachable(dsts[dsts.len() - 1]));
+        }
+
+        let mut won_hedge = false;
+        let outcome = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.shared.obs.timeouts.inc();
+                break Err(RpcError::Timeout);
+            }
+            // Wait one hedge delay while spares remain, else to the
+            // deadline.
+            let wait = if next < dsts.len() {
+                hedge_after.min(remaining)
+            } else {
+                remaining
+            };
+            match rx.recv_timeout(wait) {
+                Ok((tag, body)) => {
+                    self.shared.obs.replies.inc();
+                    if let Some(at) = started {
+                        self.shared.obs.reply_us.record(at.elapsed());
+                    }
+                    if is_hedge[tag] {
+                        won_hedge = true;
+                        self.shared.obs.hedge_won.inc();
+                    }
+                    break Ok(body);
+                }
+                // tx is held locally, so only a timeout can surface here.
+                Err(_) => {
+                    while next < dsts.len() {
+                        let tag = next;
+                        next += 1;
+                        if let Some(id) = self.hedge_issue(dsts[tag], &payload, tag, &tx) {
+                            self.shared.obs.hedge_issued.inc();
+                            hedges += 1;
+                            is_hedge[tag] = true;
+                            in_flight.push(id);
+                            break;
+                        }
+                    }
+                }
+            }
+        };
+        self.shared
+            .obs
+            .hedge_wasted
+            .add(hedges - u64::from(won_hedge));
+        // Unregister the stragglers; their late replies hit the router's
+        // unknown-id path and are discarded.
+        for id in in_flight {
+            self.shared.unregister(id);
+        }
+        outcome
+    }
+
+    /// One send within a hedged call: registers a slot, counts the call,
+    /// and reports an unregistered destination as `None` (slot released).
+    fn hedge_issue(
+        &self,
+        dst: NodeId,
+        payload: &[u8],
+        tag: usize,
+        tx: &Sender<(usize, Vec<u8>)>,
+    ) -> Option<u64> {
+        let id = self.register(tag, tx.clone());
+        self.shared.obs.calls.inc();
+        if self
+            .net
+            .send(self.node, dst, MsgKind::Request(id), payload.to_vec())
+        {
+            Some(id)
+        } else {
+            self.shared.unregister(id);
+            self.shared.obs.unreachable.inc();
+            None
+        }
+    }
+
     fn register(&self, tag: usize, tx: Sender<(usize, Vec<u8>)>) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shared.pending.lock().insert(id, PendingSlot { tag, tx });
+        self.shared
+            .pending
+            .lock()
+            .insert(id, PendingSlot { tag, tx });
         id
     }
 }
@@ -609,7 +754,7 @@ mod tests {
             (NodeId(3), vec![30]),
         ]);
         assert_eq!(scatter.outstanding(), 3);
-        let mut seen = vec![false; 3];
+        let mut seen = [false; 3];
         while let Some((index, result)) = scatter.recv_timeout(TICK) {
             let payload = result.unwrap();
             assert_eq!(payload, vec![(index as u8 + 1) * 10, index as u8 + 1]);
@@ -711,6 +856,143 @@ mod tests {
             let reply = client.call(NodeId(1), vec![i], TICK).unwrap();
             assert_eq!(reply, vec![i]);
         }
+    }
+
+    #[test]
+    fn hedged_call_beats_a_slow_primary() {
+        let net = Arc::new(Network::new(30));
+        for n in 1..=2u32 {
+            serve(Arc::clone(&net), NodeId(n), move |req| {
+                let mut out = req.to_vec();
+                out.push(n as u8);
+                out
+            });
+        }
+        // The ranked-first member is slow; the spare answers immediately.
+        net.set_node_latency(NodeId(1), LatencyModel::fixed(Duration::from_millis(120)));
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        let won_before = repdir_obs::global().counter("rpc.hedge.won").get();
+        let start = Instant::now();
+        let reply = client
+            .call_hedged(
+                &[NodeId(1), NodeId(2)],
+                vec![7],
+                Duration::from_millis(15),
+                TICK,
+            )
+            .unwrap();
+        let elapsed = start.elapsed();
+        assert_eq!(reply, vec![7, 2], "the hedge's reply wins");
+        assert!(
+            elapsed < Duration::from_millis(110),
+            "hedged call still paid the slow primary: {elapsed:?}"
+        );
+        assert!(repdir_obs::global().counter("rpc.hedge.won").get() > won_before);
+    }
+
+    #[test]
+    fn hedged_call_sticks_with_a_fast_primary() {
+        let net = Arc::new(Network::new(31));
+        for n in 1..=2u32 {
+            serve(Arc::clone(&net), NodeId(n), move |req| {
+                let mut out = req.to_vec();
+                out.push(n as u8);
+                out
+            });
+        }
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        // The primary answers well inside the hedge delay: no hedge fires
+        // and the primary's reply is the one returned.
+        let reply = client
+            .call_hedged(
+                &[NodeId(1), NodeId(2)],
+                vec![9],
+                Duration::from_millis(500),
+                TICK,
+            )
+            .unwrap();
+        assert_eq!(reply, vec![9, 1]);
+    }
+
+    #[test]
+    fn hedged_call_counts_a_losing_hedge_as_wasted() {
+        let net = Arc::new(Network::new(32));
+        for n in 1..=2u32 {
+            serve(Arc::clone(&net), NodeId(n), move |req| {
+                let mut out = req.to_vec();
+                out.push(n as u8);
+                out
+            });
+        }
+        // Primary is slow enough to trigger the hedge but still beats the
+        // even-slower spare: the hedge message was pure overhead.
+        net.set_node_latency(NodeId(1), LatencyModel::fixed(Duration::from_millis(50)));
+        net.set_node_latency(NodeId(2), LatencyModel::fixed(Duration::from_millis(250)));
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        let wasted_before = repdir_obs::global().counter("rpc.hedge.wasted").get();
+        let reply = client
+            .call_hedged(
+                &[NodeId(1), NodeId(2)],
+                vec![4],
+                Duration::from_millis(10),
+                TICK,
+            )
+            .unwrap();
+        assert_eq!(reply, vec![4, 1], "primary recovered and won");
+        assert!(repdir_obs::global().counter("rpc.hedge.wasted").get() > wasted_before);
+    }
+
+    #[test]
+    fn hedged_call_skips_unreachable_destinations() {
+        let net = Arc::new(Network::new(33));
+        serve(Arc::clone(&net), NodeId(2), |req| req.to_vec());
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        // NodeId(9) never registered: substitution happens at send time,
+        // costing nothing.
+        let start = Instant::now();
+        let reply = client
+            .call_hedged(
+                &[NodeId(9), NodeId(2)],
+                vec![5],
+                Duration::from_millis(200),
+                TICK,
+            )
+            .unwrap();
+        assert_eq!(reply, vec![5]);
+        assert!(start.elapsed() < Duration::from_millis(150));
+        // Every destination unreachable: the error says so.
+        let err = client
+            .call_hedged(
+                &[NodeId(9), NodeId(8)],
+                vec![],
+                Duration::from_millis(5),
+                TICK,
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Unreachable(NodeId(8)));
+    }
+
+    #[test]
+    fn hedged_call_times_out_when_nobody_answers() {
+        let net = Arc::new(Network::new(34));
+        serve(Arc::clone(&net), NodeId(1), |req| req.to_vec());
+        serve(Arc::clone(&net), NodeId(2), |req| req.to_vec());
+        let client = RpcClient::new(Arc::clone(&net), NodeId(0));
+        net.partition(&[&[NodeId(0)], &[NodeId(1), NodeId(2)]]);
+        let err = client
+            .call_hedged(
+                &[NodeId(1), NodeId(2)],
+                vec![1],
+                Duration::from_millis(10),
+                Duration::from_millis(60),
+            )
+            .unwrap_err();
+        assert_eq!(err, RpcError::Timeout);
+        // A late reply from either straggler must not leak into the next
+        // call.
+        net.heal();
+        let reply = client.call(NodeId(1), vec![2], TICK).unwrap();
+        assert_eq!(reply, vec![2]);
     }
 
     #[test]

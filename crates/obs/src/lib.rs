@@ -11,6 +11,12 @@
 //! * [`Ewma`] — an exponentially weighted moving average of reply times;
 //!   the suite keeps one per member and `LatencyPolicy` orders quorum
 //!   candidates by it.
+//! * [`Avail`] — a windowed success-rate tracker; the suite keeps one per
+//!   member (`suite.member.{i}.avail`), fed by every ping/RPC outcome, and
+//!   sizes adaptive quorum waves by the expected yield it reports.
+//! * [`Flusher`] — an interval thread that writes snapshot *diffs* (text or
+//!   JSON lines) to stderr or a file; `Flusher::from_env` wires it into any
+//!   binary via the `REPDIR_OBS_FLUSH` env var.
 //! * [`SpanRing`] + [`span!`] — a lock-free-ish ring buffer of scoped-timer
 //!   events (`span!(reg, "quorum.collect", member = i)`) with monotonic
 //!   timestamps; torn slots are detected and skipped on read, never locked
@@ -42,11 +48,13 @@
 //! println!("{}", reg.render_text());
 //! ```
 
+mod flush;
 mod metrics;
 mod registry;
 mod span;
 
-pub use metrics::{Counter, Ewma, Histogram, HistogramSnapshot, BUCKET_COUNT};
+pub use flush::{FlushFormat, FlushSink, Flusher, FLUSH_ENV, FLUSH_INTERVAL_ENV};
+pub use metrics::{Avail, Counter, Ewma, Histogram, HistogramSnapshot, AVAIL_WINDOW, BUCKET_COUNT};
 pub use registry::{global, Registry, Snapshot};
 pub use span::{SpanEvent, SpanGuard, SpanRing};
 

@@ -174,6 +174,78 @@ impl HistogramSnapshot {
     }
 }
 
+/// Number of outcomes after which an [`Avail`] window halves both counters,
+/// so old outcomes decay geometrically instead of dominating forever.
+pub const AVAIL_WINDOW: u64 = 64;
+
+/// A windowed success-rate tracker: `successes / total` over roughly the
+/// last [`AVAIL_WINDOW`] outcomes. Both counts live packed in one atomic
+/// (successes in the high 32 bits, total in the low 32), updated by CAS so
+/// concurrent recorders never lock; when the window fills, both halve,
+/// giving an exponential decay with the same flavor as [`Ewma`] but over
+/// boolean outcomes.
+#[derive(Clone, Debug, Default)]
+pub struct Avail(Arc<AtomicU64>);
+
+fn avail_pack(successes: u64, total: u64) -> u64 {
+    (successes << 32) | total
+}
+
+fn avail_unpack(packed: u64) -> (u64, u64) {
+    (packed >> 32, packed & 0xFFFF_FFFF)
+}
+
+impl Avail {
+    /// A fresh tracker with no outcomes recorded.
+    pub fn new() -> Self {
+        Avail::default()
+    }
+
+    /// Records one ping/RPC outcome.
+    pub fn record(&self, ok: bool) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let (mut successes, mut total) = avail_unpack(cur);
+            if total >= AVAIL_WINDOW {
+                successes /= 2;
+                total /= 2;
+            }
+            successes += ok as u64;
+            total += 1;
+            match self.0.compare_exchange_weak(
+                cur,
+                avail_pack(successes, total),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    /// The windowed success rate in `0.0 ..= 1.0`; `None` before the first
+    /// outcome.
+    pub fn rate(&self) -> Option<f64> {
+        let (successes, total) = avail_unpack(self.0.load(Ordering::Relaxed));
+        match total {
+            0 => None,
+            t => Some(successes as f64 / t as f64),
+        }
+    }
+
+    /// How many outcomes the current window holds (saturates at
+    /// [`AVAIL_WINDOW`]).
+    pub fn samples(&self) -> u64 {
+        avail_unpack(self.0.load(Ordering::Relaxed)).1
+    }
+
+    /// Forgets all outcomes.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Sentinel bit pattern for "no sample yet" (a NaN, never produced by
 /// recording non-negative samples).
 const EWMA_EMPTY: u64 = u64::MAX;
@@ -326,6 +398,58 @@ mod tests {
         assert_eq!(delta.count, 2);
         assert_eq!(delta.sum_us, 2010);
         assert_eq!(delta.buckets.iter().sum::<u64>(), 2);
+    }
+
+    #[test]
+    fn avail_tracks_windowed_success_rate() {
+        let a = Avail::new();
+        assert_eq!(a.rate(), None);
+        a.record(true);
+        assert_eq!(a.rate(), Some(1.0));
+        a.record(false);
+        assert_eq!(a.rate(), Some(0.5));
+        for _ in 0..6 {
+            a.record(true);
+        }
+        assert_eq!(a.rate(), Some(7.0 / 8.0));
+        a.reset();
+        assert_eq!(a.rate(), None);
+        assert_eq!(a.samples(), 0);
+    }
+
+    #[test]
+    fn avail_window_halves_so_history_decays() {
+        let a = Avail::new();
+        for _ in 0..AVAIL_WINDOW {
+            a.record(false);
+        }
+        assert_eq!(a.rate(), Some(0.0));
+        assert_eq!(a.samples(), AVAIL_WINDOW);
+        // Window is full: the next outcome halves the history, so a run of
+        // successes pulls the rate up far faster than 1/(total) would.
+        for _ in 0..AVAIL_WINDOW {
+            a.record(true);
+        }
+        assert!(a.rate().unwrap() > 0.6, "rate {:?}", a.rate());
+        assert!(a.samples() <= AVAIL_WINDOW);
+    }
+
+    #[test]
+    fn avail_concurrent_recording_loses_nothing() {
+        let a = Avail::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let a = a.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        a.record(true);
+                    }
+                });
+            }
+        });
+        // All outcomes are successes: whatever halving happened, the rate
+        // must be exactly 1.
+        assert_eq!(a.rate(), Some(1.0));
     }
 
     #[test]

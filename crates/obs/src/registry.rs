@@ -13,7 +13,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 use std::time::Instant;
 
-use crate::metrics::{bucket_bound_us, Counter, Ewma, Histogram, HistogramSnapshot};
+use crate::metrics::{bucket_bound_us, Avail, Counter, Ewma, Histogram, HistogramSnapshot};
 use crate::span::{ArmedSpan, SpanEvent, SpanGuard, SpanRing, NO_TAG};
 
 /// Default capacity of a registry's span ring.
@@ -25,6 +25,7 @@ struct RegistryInner {
     counters: RwLock<BTreeMap<String, Counter>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
     ewmas: RwLock<BTreeMap<String, Ewma>>,
+    avails: RwLock<BTreeMap<String, Avail>>,
     spans: SpanRing,
 }
 
@@ -71,6 +72,7 @@ impl Registry {
                 counters: RwLock::new(BTreeMap::new()),
                 histograms: RwLock::new(BTreeMap::new()),
                 ewmas: RwLock::new(BTreeMap::new()),
+                avails: RwLock::new(BTreeMap::new()),
                 spans: SpanRing::new(capacity),
             }),
         }
@@ -136,6 +138,21 @@ impl Registry {
         }
         self.inner
             .ewmas
+            .write()
+            .expect("obs lock")
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The availability tracker registered under `name`, created empty on
+    /// first use.
+    pub fn avail(&self, name: &str) -> Avail {
+        if let Some(a) = self.inner.avails.read().expect("obs lock").get(name) {
+            return a.clone();
+        }
+        self.inner
+            .avails
             .write()
             .expect("obs lock")
             .entry(name.to_string())
@@ -226,6 +243,14 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.value_us()))
                 .collect(),
+            avails: self
+                .inner
+                .avails
+                .read()
+                .expect("obs lock")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.rate()))
+                .collect(),
         }
     }
 
@@ -257,6 +282,13 @@ impl Registry {
             match e {
                 Some(v) => out.push_str(&format!("{name} = {v:.1}\n")),
                 None => out.push_str(&format!("{name} = (no samples)\n")),
+            }
+        }
+        out.push_str("== avail ==\n");
+        for (name, a) in &snap.avails {
+            match a {
+                Some(v) => out.push_str(&format!("{name} = {v:.3}\n")),
+                None => out.push_str(&format!("{name} = (no outcomes)\n")),
             }
         }
         let spans = self.spans();
@@ -301,11 +333,14 @@ impl Registry {
             ));
         });
         out.push_str("},\n  \"ewmas\": {");
-        push_entries(&mut out, snap.ewmas.iter(), |out, (name, e)| {
-            match e {
-                Some(v) => out.push_str(&format!("\"{}\": {v:.3}", escape(name))),
-                None => out.push_str(&format!("\"{}\": null", escape(name))),
-            }
+        push_entries(&mut out, snap.ewmas.iter(), |out, (name, e)| match e {
+            Some(v) => out.push_str(&format!("\"{}\": {v:.3}", escape(name))),
+            None => out.push_str(&format!("\"{}\": null", escape(name))),
+        });
+        out.push_str("},\n  \"avail\": {");
+        push_entries(&mut out, snap.avails.iter(), |out, (name, a)| match a {
+            Some(v) => out.push_str(&format!("\"{}\": {v:.3}", escape(name))),
+            None => out.push_str(&format!("\"{}\": null", escape(name))),
         });
         out.push_str("},\n  \"spans\": [");
         let spans = self.spans();
@@ -353,6 +388,7 @@ pub struct Snapshot {
     counters: BTreeMap<String, u64>,
     histograms: BTreeMap<String, HistogramSnapshot>,
     ewmas: BTreeMap<String, Option<f64>>,
+    avails: BTreeMap<String, Option<f64>>,
 }
 
 impl Snapshot {
@@ -377,8 +413,15 @@ impl Snapshot {
         self.ewmas.get(name).copied().flatten()
     }
 
-    /// Counter- and bucket-wise `self - earlier` (saturating). EWMAs are
-    /// levels, not totals, so the diff keeps `self`'s values.
+    /// The named availability rate (`None` when unregistered or without
+    /// outcomes).
+    pub fn avail(&self, name: &str) -> Option<f64> {
+        self.avails.get(name).copied().flatten()
+    }
+
+    /// Counter- and bucket-wise `self - earlier` (saturating). EWMAs and
+    /// availability rates are levels, not totals, so the diff keeps `self`'s
+    /// values.
     pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
         Snapshot {
             counters: self
@@ -401,7 +444,85 @@ impl Snapshot {
                 })
                 .collect(),
             ewmas: self.ewmas.clone(),
+            avails: self.avails.clone(),
         }
+    }
+
+    /// Human-readable dump of the snapshot itself (no spans — those live in
+    /// the registry's ring). Quiet metrics (zero counters, empty histograms)
+    /// are skipped so interval diffs from the [`Flusher`](crate::Flusher)
+    /// show only what moved.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            if *v != 0 {
+                out.push_str(&format!("{name} = {v}\n"));
+            }
+        }
+        for (name, h) in &self.histograms {
+            if h.count != 0 {
+                out.push_str(&format!(
+                    "{name}: count={} mean_us={:.0}\n",
+                    h.count,
+                    h.sum_us as f64 / h.count as f64
+                ));
+            }
+        }
+        for (name, e) in &self.ewmas {
+            if let Some(v) = e {
+                out.push_str(&format!("{name} = {v:.1}us\n"));
+            }
+        }
+        for (name, a) in &self.avails {
+            if let Some(v) = a {
+                out.push_str(&format!("{name} = {v:.3}\n"));
+            }
+        }
+        out
+    }
+
+    /// Machine-readable one-object dump of the snapshot (no spans), same
+    /// quiet-metric skipping as [`render_text`](Snapshot::render_text).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        push_entries(
+            &mut out,
+            self.counters.iter().filter(|(_, v)| **v != 0),
+            |out, (name, v)| {
+                out.push_str(&format!("\"{}\": {v}", escape(name)));
+            },
+        );
+        out.push_str("}, \"histograms\": {");
+        push_entries(
+            &mut out,
+            self.histograms.iter().filter(|(_, h)| h.count != 0),
+            |out, (name, h)| {
+                out.push_str(&format!(
+                    "\"{}\": {{\"count\": {}, \"sum_us\": {}}}",
+                    escape(name),
+                    h.count,
+                    h.sum_us
+                ));
+            },
+        );
+        out.push_str("}, \"ewmas\": {");
+        push_entries(
+            &mut out,
+            self.ewmas.iter().filter(|(_, e)| e.is_some()),
+            |out, (name, e)| {
+                out.push_str(&format!("\"{}\": {:.3}", escape(name), e.unwrap()));
+            },
+        );
+        out.push_str("}, \"avail\": {");
+        push_entries(
+            &mut out,
+            self.avails.iter().filter(|(_, a)| a.is_some()),
+            |out, (name, a)| {
+                out.push_str(&format!("\"{}\": {:.3}", escape(name), a.unwrap()));
+            },
+        );
+        out.push_str("}}");
+        out
     }
 }
 
@@ -490,6 +611,35 @@ mod tests {
     }
 
     #[test]
+    fn avail_handles_shared_and_snapshot_renders_diffs() {
+        let reg = Registry::new();
+        reg.avail("m.avail").record(true);
+        reg.avail("m.avail").record(true);
+        reg.avail("m.avail").record(false);
+        assert_eq!(reg.snapshot().avail("m.avail"), Some(2.0 / 3.0));
+        assert_eq!(reg.snapshot().avail("missing"), None);
+
+        let before = reg.snapshot();
+        reg.counter("ops").add(3);
+        reg.counter("quiet").reset();
+        reg.histogram("lat").record_us(10);
+        let delta = reg.snapshot().diff(&before);
+        // Levels carry through a diff; totals subtract.
+        assert_eq!(delta.avail("m.avail"), Some(2.0 / 3.0));
+        assert_eq!(delta.counter("ops"), 3);
+
+        let text = delta.render_text();
+        assert!(text.contains("ops = 3"));
+        assert!(text.contains("m.avail = 0.667"));
+        assert!(!text.contains("quiet"), "zero counters are skipped: {text}");
+        let json = delta.render_json();
+        assert!(json.contains("\"ops\": 3"));
+        assert!(json.contains("\"m.avail\": 0.667"));
+        assert!(!json.contains("quiet"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
     fn global_registry_is_a_singleton() {
         let a = global().counter("obs.test.global");
         global().counter("obs.test.global").add(2);
@@ -502,6 +652,8 @@ mod tests {
         reg.counter("net.sent").add(9);
         reg.histogram("rpc.reply").record_us(250);
         reg.ewma("member.0.reply").record_us(123.0);
+        reg.avail("member.0.avail").record(true);
+        reg.avail("member.0.avail").record(false);
         {
             let _s = reg.span_tagged("quorum.collect", 1);
         }
@@ -509,12 +661,14 @@ mod tests {
         assert!(text.contains("net.sent = 9"));
         assert!(text.contains("rpc.reply: count=1"));
         assert!(text.contains("member.0.reply = 123.0"));
+        assert!(text.contains("member.0.avail = 0.500"));
         assert!(text.contains("quorum.collect tag=1"));
 
         let json = reg.render_json();
         assert!(json.contains("\"net.sent\": 9"));
         assert!(json.contains("\"count\": 1"));
         assert!(json.contains("\"member.0.reply\": 123.000"));
+        assert!(json.contains("\"member.0.avail\": 0.500"));
         assert!(json.contains("\"name\": \"quorum.collect\""));
         // Balanced braces/brackets — cheap structural sanity without a
         // parser (the bench JSON files get the same treatment).

@@ -167,7 +167,9 @@ impl DeadlockDomain {
         // Union adjacency across all tables.
         let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
         for ((waiter, _), holders) in &st.edges {
-            adj.entry(*waiter).or_default().extend(holders.iter().copied());
+            adj.entry(*waiter)
+                .or_default()
+                .extend(holders.iter().copied());
         }
         let edges = |t: TxnId| adj.get(&t).cloned().unwrap_or_default();
         let mut stack = vec![(owner, edges(owner))];
@@ -399,9 +401,7 @@ impl RangeLockTable {
                 Some(_) => std::cmp::min(deadline, Instant::now() + DOMAIN_POLL),
                 None => deadline,
             };
-            if self.released.wait_until(&mut st, wake).timed_out()
-                && Instant::now() >= deadline
-            {
+            if self.released.wait_until(&mut st, wake).timed_out() && Instant::now() >= deadline {
                 st.waiting.remove(&owner);
                 if let Some(d) = &domain {
                     d.clear_waits(self.id, owner);
@@ -469,9 +469,7 @@ impl RangeLockTable {
         for (i, a) in st.granted.iter().enumerate() {
             for b in &st.granted[i + 1..] {
                 if a.owner != b.owner && !compatible(a.mode, &a.range, b.mode, &b.range) {
-                    return Err(format!(
-                        "incompatible grants coexist: {a:?} and {b:?}"
-                    ));
+                    return Err(format!("incompatible grants coexist: {a:?} and {b:?}"));
                 }
             }
         }
@@ -596,8 +594,10 @@ mod tests {
         t2.join_domain(&domain);
 
         // txn1 holds the range at table 1, txn2 holds it at table 2.
-        t1.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG).unwrap();
-        t2.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG).unwrap();
+        t1.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG)
+            .unwrap();
+        t2.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG)
+            .unwrap();
 
         // txn2 blocks at table 1 (first cross-table edge)...
         let younger = thread::spawn({
@@ -636,8 +636,10 @@ mod tests {
         t1.join_domain(&domain);
         t2.join_domain(&domain);
 
-        t1.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG).unwrap();
-        t2.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG).unwrap();
+        t1.acquire(TxnId(1), LockMode::Modify, r("a", "m"), LONG)
+            .unwrap();
+        t2.acquire(TxnId(2), LockMode::Modify, r("a", "m"), LONG)
+            .unwrap();
         // txn2 waits at table 1; txn1 closes the cycle at table 2 from a
         // second thread. txn2 is wounded; while still wounded, its second
         // acquire (same transaction, new thread) must also fail fast.
@@ -665,15 +667,18 @@ mod tests {
         t2.release_all(TxnId(1));
 
         // The id is clean again once released: no stale wound.
-        t1.acquire(TxnId(2), LockMode::Modify, r("x", "z"), SHORT).unwrap();
+        t1.acquire(TxnId(2), LockMode::Modify, r("x", "z"), SHORT)
+            .unwrap();
         t1.release_all(TxnId(2));
     }
 
     #[test]
     fn try_acquire_reports_conflicting_holders() {
         let t = RangeLockTable::new();
-        t.try_acquire(TxnId(1), LockMode::Modify, r("a", "c")).unwrap();
-        t.try_acquire(TxnId(2), LockMode::Modify, r("d", "f")).unwrap();
+        t.try_acquire(TxnId(1), LockMode::Modify, r("a", "c"))
+            .unwrap();
+        t.try_acquire(TxnId(2), LockMode::Modify, r("d", "f"))
+            .unwrap();
         let holders = t
             .try_acquire(TxnId(3), LockMode::Lookup, r("b", "e"))
             .unwrap_err();
@@ -699,9 +704,7 @@ mod tests {
         t.acquire(TxnId(1), LockMode::Modify, r("a", "z"), SHORT)
             .unwrap();
         let t2 = Arc::clone(&t);
-        let h = thread::spawn(move || {
-            t2.acquire(TxnId(2), LockMode::Modify, r("m", "m"), LONG)
-        });
+        let h = thread::spawn(move || t2.acquire(TxnId(2), LockMode::Modify, r("m", "m"), LONG));
         thread::sleep(Duration::from_millis(20));
         t.release_all(TxnId(1));
         h.join().unwrap().unwrap();
@@ -721,9 +724,8 @@ mod tests {
             .unwrap();
 
         let t1 = Arc::clone(&t);
-        let older = thread::spawn(move || {
-            t1.acquire(TxnId(1), LockMode::Modify, r("y", "z"), LONG)
-        });
+        let older =
+            thread::spawn(move || t1.acquire(TxnId(1), LockMode::Modify, r("y", "z"), LONG));
         thread::sleep(Duration::from_millis(30));
         let res2 = t.acquire(TxnId(2), LockMode::Modify, r("a", "b"), LONG);
         assert_eq!(res2, Err(LockError::Deadlock));

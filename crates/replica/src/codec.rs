@@ -297,7 +297,7 @@ pub fn decode_request(mut b: &[u8]) -> DecodeResult<Request> {
         RQ_COMMIT => Ok(Request::Commit(TxnId(get_u64(b)?))),
         RQ_ABORT => Ok(Request::Abort(TxnId(get_u64(b)?))),
         RQ_BATCH => {
-            let parts = match repdir_net::unpack_parts(*b) {
+            let parts = match repdir_net::unpack_parts(b) {
                 Some(parts) => parts,
                 None => return err("bad batch framing"),
             };
@@ -529,7 +529,7 @@ pub fn decode_response(mut b: &[u8]) -> DecodeResult<Response> {
         }
         RS_ERR => Ok(Response::Err(get_rep_error(b)?)),
         RS_BATCH => {
-            let parts = match repdir_net::unpack_parts(*b) {
+            let parts = match repdir_net::unpack_parts(b) {
                 Some(parts) => parts,
                 None => return err("bad batch framing"),
             };

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, SuiteConfig};
 use repdir_core::suite::LookupOutcome;
+use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, SuiteConfig};
 use repdir_core::{ConfigError, Key, RepError, RepId, SuiteError, UserKey, Value};
 use repdir_txn::TxnManager;
 
@@ -502,7 +502,7 @@ mod tests {
                 "rep {rep_id:?} lost the committed entry"
             );
         }
-        assert!(g.counter("txn.committed").get() >= committed_before + 1);
+        assert!(g.counter("txn.committed").get() > committed_before);
         assert!(g.spans().iter().any(|e| e.name == "txn.commit"));
 
         // The abort fan-out mirrors it.
@@ -510,7 +510,7 @@ mod tests {
         txn.suite_mut().insert(&k("doomed"), &val("D")).unwrap();
         txn.abort();
         assert!(!dir.lookup(&k("doomed")).unwrap().present);
-        assert!(g.counter("txn.aborted").get() >= aborted_before + 1);
+        assert!(g.counter("txn.aborted").get() > aborted_before);
         assert!(g.spans().iter().any(|e| e.name == "txn.abort"));
     }
 

@@ -54,9 +54,10 @@ fn dispatch(rep: &TransactionalRep, req: Request) -> Response {
         Request::Lookup(t, k) => wrap(rep.lookup(t, &k), Response::Lookup),
         Request::Predecessor(t, k) => wrap(rep.predecessor(t, &k), Response::Neighbor),
         Request::Successor(t, k) => wrap(rep.successor(t, &k), Response::Neighbor),
-        Request::PredecessorChain(t, k, limit) => {
-            wrap(rep.predecessor_chain(t, &k, limit as usize), Response::Chain)
-        }
+        Request::PredecessorChain(t, k, limit) => wrap(
+            rep.predecessor_chain(t, &k, limit as usize),
+            Response::Chain,
+        ),
         Request::SuccessorChain(t, k, limit) => {
             wrap(rep.successor_chain(t, &k, limit as usize), Response::Chain)
         }
@@ -196,7 +197,11 @@ impl RepClient for RemoteSessionClient {
     }
 
     fn predecessor_chain(&self, key: &Key, limit: usize) -> RepResult<Vec<NeighborReply>> {
-        match self.call(Request::PredecessorChain(self.txn, key.clone(), limit as u32))? {
+        match self.call(Request::PredecessorChain(
+            self.txn,
+            key.clone(),
+            limit as u32,
+        ))? {
             Response::Chain(chain) => Ok(chain),
             other => Err(unexpected(other)),
         }
@@ -210,7 +215,12 @@ impl RepClient for RemoteSessionClient {
     }
 
     fn insert(&self, key: &Key, version: Version, value: &Value) -> RepResult<InsertOutcome> {
-        match self.call(Request::Insert(self.txn, key.clone(), version, value.clone()))? {
+        match self.call(Request::Insert(
+            self.txn,
+            key.clone(),
+            version,
+            value.clone(),
+        ))? {
             Response::Insert(r) => Ok(r),
             other => Err(unexpected(other)),
         }
@@ -295,7 +305,12 @@ mod tests {
         Key::from(s)
     }
 
-    fn setup() -> (Arc<Network>, Arc<TransactionalRep>, ServerHandle, Arc<RpcClient>) {
+    fn setup() -> (
+        Arc<Network>,
+        Arc<TransactionalRep>,
+        ServerHandle,
+        Arc<RpcClient>,
+    ) {
         let net = Arc::new(Network::new(11));
         let rep = TransactionalRep::new(RepId(0));
         let handle = serve_rep(Arc::clone(&net), NodeId(10), Arc::clone(&rep));
@@ -420,8 +435,14 @@ mod tests {
         // Two writes and a probe still ride one request/response pair.
         assert_eq!(net.stats().sent - before, 2);
         assert_eq!(replies.len(), 3);
-        assert!(matches!(replies[0], BatchReply::Insert(InsertOutcome::Created { .. })));
-        assert!(matches!(replies[1], BatchReply::Insert(InsertOutcome::Created { .. })));
+        assert!(matches!(
+            replies[0],
+            BatchReply::Insert(InsertOutcome::Created { .. })
+        ));
+        assert!(matches!(
+            replies[1],
+            BatchReply::Insert(InsertOutcome::Created { .. })
+        ));
         match &replies[2] {
             BatchReply::Lookup(r) => {
                 assert!(r.is_present());

@@ -242,7 +242,8 @@ impl DurableState {
             self.undo.is_empty(),
             "checkpoint requires a quiesced representative"
         );
-        self.wal.append(&WalRecord::checkpoint_of(&self.state.to_gapmap()));
+        self.wal
+            .append(&WalRecord::checkpoint_of(&self.state.to_gapmap()));
         self.wal.sync();
     }
 
@@ -375,7 +376,10 @@ mod tests {
         disk.crash(0);
         let rec = DurableState::recover(disk).unwrap();
         assert!(rec.lookup(&k("a")).is_present());
-        assert!(!rec.lookup(&k("b")).is_present(), "coalesced after checkpoint");
+        assert!(
+            !rec.lookup(&k("b")).is_present(),
+            "coalesced after checkpoint"
+        );
         assert!(rec.lookup(&k("c")).is_present());
         assert_eq!(rec.map().version_of(&k("b")), v(2));
     }

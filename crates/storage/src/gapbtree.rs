@@ -282,12 +282,7 @@ impl GapBTree {
         // Collect doomed keys by a bounded tree descent (only subtrees
         // intersecting the open interval are visited).
         let mut doomed: Vec<UserKey> = Vec::new();
-        collect_open_range(
-            &self.root,
-            low.as_user(),
-            high.as_user(),
-            &mut doomed,
-        );
+        collect_open_range(&self.root, low.as_user(), high.as_user(), &mut doomed);
         let mut removed = Vec::with_capacity(doomed.len());
         for k in doomed {
             let rec = self.remove(&k).expect("key enumerated above");
@@ -354,15 +349,7 @@ impl GapBTree {
     /// occupancy, separator bounds); returns the first violation.
     pub fn check_invariants(&self) -> Result<(), String> {
         let mut leaf_depth = None;
-        check_node(
-            &self.root,
-            true,
-            self.order,
-            0,
-            &mut leaf_depth,
-            None,
-            None,
-        )?;
+        check_node(&self.root, true, self.order, 0, &mut leaf_depth, None, None)?;
         let collected = self.iter_collect();
         if collected.len() != self.len {
             return Err(format!(
@@ -519,7 +506,11 @@ impl GapBTree {
     }
 
     /// Largest entry strictly below `bound` (`None` bound = global max).
-    fn pred_of<'a>(&'a self, node: &'a Node, bound: Option<&UserKey>) -> Option<(&'a UserKey, &'a LeafRec)> {
+    fn pred_of<'a>(
+        &'a self,
+        node: &'a Node,
+        bound: Option<&UserKey>,
+    ) -> Option<(&'a UserKey, &'a LeafRec)> {
         match node {
             Node::Leaf { entries } => {
                 let idx = match bound {
@@ -747,7 +738,12 @@ fn collect_full(node: &Node, out: &mut Vec<(UserKey, LeafRec)>) {
 
 /// Inserts a fresh record (key known absent). Returns `Some((separator,
 /// right-node))` if the node split.
-fn insert_rec(node: &mut Node, key: UserKey, rec: LeafRec, order: usize) -> Option<(UserKey, Node)> {
+fn insert_rec(
+    node: &mut Node,
+    key: UserKey,
+    rec: LeafRec,
+    order: usize,
+) -> Option<(UserKey, Node)> {
     match node {
         Node::Leaf { entries } => {
             let idx = entries
@@ -887,7 +883,11 @@ fn rebalance(separators: &mut Vec<UserKey>, children: &mut Vec<Node>, idx: usize
     }
     // Merge with a sibling (prefer left).
     let merge_left = idx > 0;
-    let (li, ri) = if merge_left { (idx - 1, idx) } else { (idx, idx + 1) };
+    let (li, ri) = if merge_left {
+        (idx - 1, idx)
+    } else {
+        (idx, idx + 1)
+    };
     let right = children.remove(ri);
     let sep = separators.remove(li);
     match (&mut children[li], right) {
@@ -922,9 +922,8 @@ fn check_node(
     lower: Option<&UserKey>,
     upper: Option<&UserKey>,
 ) -> Result<(), String> {
-    let within = |k: &UserKey| -> bool {
-        lower.is_none_or(|lo| k >= lo) && upper.is_none_or(|hi| k < hi)
-    };
+    let within =
+        |k: &UserKey| -> bool { lower.is_none_or(|lo| k >= lo) && upper.is_none_or(|hi| k < hi) };
     match node {
         Node::Leaf { entries } => {
             if let Some(d) = *leaf_depth {
@@ -971,7 +970,11 @@ fn check_node(
                 }
             }
             for (i, child) in children.iter().enumerate() {
-                let lo = if i == 0 { lower } else { Some(&separators[i - 1]) };
+                let lo = if i == 0 {
+                    lower
+                } else {
+                    Some(&separators[i - 1])
+                };
                 let hi = if i == separators.len() {
                     upper
                 } else {
@@ -1070,8 +1073,14 @@ mod tests {
                 "succ({probe})"
             );
         }
-        assert_eq!(t.predecessor(&Key::High).unwrap(), m.predecessor(&Key::High).unwrap());
-        assert_eq!(t.successor(&Key::Low).unwrap(), m.successor(&Key::Low).unwrap());
+        assert_eq!(
+            t.predecessor(&Key::High).unwrap(),
+            m.predecessor(&Key::High).unwrap()
+        );
+        assert_eq!(
+            t.successor(&Key::Low).unwrap(),
+            m.successor(&Key::Low).unwrap()
+        );
         assert!(t.predecessor(&Key::Low).is_err());
         assert!(t.successor(&Key::High).is_err());
     }
@@ -1227,7 +1236,9 @@ mod tests {
         let mut m = GapMap::new();
         let mut rng = 987654321u64;
         let mut next = move || {
-            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng = rng
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             rng >> 16
         };
         for step in 0..2000 {
@@ -1241,10 +1252,7 @@ mod tests {
                 }
                 2 => {
                     // Coalesce between two existing entries (or sentinels).
-                    let lo = m
-                        .predecessor(&key)
-                        .map(|n| n.key)
-                        .unwrap_or(Key::Low);
+                    let lo = m.predecessor(&key).map(|n| n.key).unwrap_or(Key::Low);
                     let hi = m.successor(&key).map(|n| n.key).unwrap_or(Key::High);
                     if lo < hi {
                         let r1 = t.coalesce(&lo, &hi, v(step));

@@ -45,8 +45,12 @@ pub trait DirState: Send + fmt::Debug {
     /// # Errors
     ///
     /// [`RepError::SentinelViolation`] for sentinels.
-    fn insert(&mut self, key: &Key, version: Version, value: Value)
-        -> Result<InsertOutcome, RepError>;
+    fn insert(
+        &mut self,
+        key: &Key,
+        version: Version,
+        value: Value,
+    ) -> Result<InsertOutcome, RepError>;
 
     /// `DirRepCoalesce(l, h, v)`.
     ///
@@ -208,8 +212,7 @@ impl DirState for GapBTree {
 }
 
 /// Which representation backs a representative's state.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Backend {
     /// `std::collections::BTreeMap`-backed [`GapMap`] (default).
     #[default]
@@ -220,7 +223,6 @@ pub enum Backend {
         order: usize,
     },
 }
-
 
 impl Backend {
     /// Instantiates an empty state of this backend.

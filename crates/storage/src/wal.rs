@@ -423,10 +423,7 @@ fn apply(map: &mut GapMap, op: &WalRecord) -> Result<(), WalError> {
                 .map_err(|e| WalError::Inconsistent(format!("insert {key:?}: {e}")))?;
         }
         WalRecord::Coalesce {
-            low,
-            high,
-            version,
-            ..
+            low, high, version, ..
         } => {
             map.coalesce(low, high, *version)
                 .map_err(|e| WalError::Inconsistent(format!("coalesce {low:?}..{high:?}: {e}")))?;
@@ -688,10 +685,7 @@ mod tests {
             },
             WalRecord::Commit { txn: 1 },
         ];
-        assert!(matches!(
-            replay(&records),
-            Err(WalError::Inconsistent(_))
-        ));
+        assert!(matches!(replay(&records), Err(WalError::Inconsistent(_))));
     }
 
     #[test]

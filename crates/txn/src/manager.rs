@@ -256,7 +256,10 @@ mod tests {
         let mgr = TxnManager::new();
         let t = mgr.begin();
         mgr.commit(t).unwrap();
-        assert_eq!(mgr.record_undo(t, rec("x")), Err(RepError::TransactionAborted));
+        assert_eq!(
+            mgr.record_undo(t, rec("x")),
+            Err(RepError::TransactionAborted)
+        );
         let unknown = TxnId(999);
         assert_eq!(
             mgr.record_undo(unknown, rec("x")),

@@ -1,7 +1,9 @@
 //! Undo records: exact inverses of the two mutating representative
 //! operations, applied in reverse order on abort.
 
-use repdir_core::{CoalesceOutcome, GapMap, InsertOutcome, Key, RemovedEntry, UserKey, Value, Version};
+use repdir_core::{
+    CoalesceOutcome, GapMap, InsertOutcome, Key, RemovedEntry, UserKey, Value, Version,
+};
 
 /// One logged inverse operation.
 ///

@@ -2,8 +2,8 @@
 //! [`DirectoryOps`] interface, plus a generic empirical-availability
 //! driver.
 
-use repdir_core::rng::StdRng;
 use repdir_baselines::{BaselineError, DirectoryOps};
+use repdir_core::rng::StdRng;
 use repdir_core::suite::{DirSuite, RandomPolicy, SuiteConfig};
 use repdir_core::{Key, LocalRep, RepId, SuiteError, Value};
 

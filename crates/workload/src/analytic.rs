@@ -198,13 +198,15 @@ mod tests {
     fn model_tracks_simulation_within_tolerance() {
         for (n, r, w) in [(3u32, 2u32, 2u32), (4, 2, 3), (5, 3, 3), (5, 2, 4)] {
             let predicted = analytic_delete_stats(n, w, 0.2);
-            let params = SimParams::figure14(
-                SuiteConfig::symmetric(n, r, w).unwrap(),
-                0xA2A + n as u64,
-            );
+            let params =
+                SimParams::figure14(SuiteConfig::symmetric(n, r, w).unwrap(), 0xA2A + n as u64);
             let measured = run_sim(&params);
             let checks = [
-                ("entries", &measured.entries_coalesced, predicted.entries_in_range),
+                (
+                    "entries",
+                    &measured.entries_coalesced,
+                    predicted.entries_in_range,
+                ),
                 (
                     "deletions",
                     &measured.deletions_while_coalescing,
@@ -234,8 +236,10 @@ mod tests {
         let low = analytic_delete_stats(3, 2, 0.05);
         let high = analytic_delete_stats(3, 2, 0.6);
         assert!(high.holders_at_delete > low.holders_at_delete);
-        assert!(high.deletions_while_coalescing > low.deletions_while_coalescing * 0.9,
-                "ghost count scales with holders: {high:?} vs {low:?}");
+        assert!(
+            high.deletions_while_coalescing > low.deletions_while_coalescing * 0.9,
+            "ghost count scales with holders: {high:?} vs {low:?}"
+        );
         assert!(high.insertions_while_coalescing < low.insertions_while_coalescing);
     }
 

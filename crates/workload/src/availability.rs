@@ -36,7 +36,10 @@ pub fn symmetric_availability(n: u32, quorum: u32, p: f64) -> f64 {
 ///
 /// Panics if more than 24 replicas are given (2^n enumeration).
 pub fn weighted_availability(votes: &[u32], quorum: u32, p: f64) -> f64 {
-    assert!(votes.len() <= 24, "subset enumeration capped at 24 replicas");
+    assert!(
+        votes.len() <= 24,
+        "subset enumeration capped at 24 replicas"
+    );
     let p = p.clamp(0.0, 1.0);
     let n = votes.len();
     let mut total = 0.0;
@@ -76,19 +79,19 @@ pub fn unanimous_availability(n: u32, p: f64) -> (f64, f64) {
 
 /// Monte-Carlo estimate of quorum availability (cross-checks the closed
 /// forms; also usable for correlated-failure extensions).
-pub fn monte_carlo_availability(
-    votes: &[u32],
-    quorum: u32,
-    p: f64,
-    trials: u64,
-    seed: u64,
-) -> f64 {
+pub fn monte_carlo_availability(votes: &[u32], quorum: u32, p: f64, trials: u64, seed: u64) -> f64 {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut ok = 0u64;
     for _ in 0..trials {
         let up: u32 = votes
             .iter()
-            .map(|&v| if rng.gen_bool(p.clamp(0.0, 1.0)) { v } else { 0 })
+            .map(|&v| {
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    v
+                } else {
+                    0
+                }
+            })
             .sum();
         if up >= quorum {
             ok += 1;

@@ -17,8 +17,8 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use repdir_core::rng::StdRng;
 use repdir_baselines::{BaselineError, FileSuite, StaticPartitionDirectory};
+use repdir_core::rng::StdRng;
 use repdir_core::UserKey;
 
 use crate::keys::Zipf;
@@ -63,7 +63,12 @@ impl ThroughputReport {
 ///
 /// Panics if a worker hits a non-retryable error (all representatives stay
 /// up for the run).
-pub fn repdir_throughput(threads: usize, ops_per_thread: u64, disjoint: bool, seed: u64) -> ThroughputReport {
+pub fn repdir_throughput(
+    threads: usize,
+    ops_per_thread: u64,
+    disjoint: bool,
+    seed: u64,
+) -> ThroughputReport {
     let dir = Arc::new(
         ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2).expect("3-2-2"), seed)
             .expect("valid config"),
@@ -71,7 +76,8 @@ pub fn repdir_throughput(threads: usize, ops_per_thread: u64, disjoint: bool, se
     // Pre-create the keys so workers only update.
     if disjoint {
         for t in 0..threads {
-            dir.insert(&worker_key(t, 0), &Value::from("0")).expect("setup");
+            dir.insert(&worker_key(t, 0), &Value::from("0"))
+                .expect("setup");
         }
     } else {
         dir.insert(&hot_key(), &Value::from("0")).expect("setup");
@@ -82,7 +88,11 @@ pub fn repdir_throughput(threads: usize, ops_per_thread: u64, disjoint: bool, se
     for t in 0..threads {
         let dir = Arc::clone(&dir);
         handles.push(std::thread::spawn(move || {
-            let key = if disjoint { worker_key(t, 0) } else { hot_key() };
+            let key = if disjoint {
+                worker_key(t, 0)
+            } else {
+                hot_key()
+            };
             for i in 0..ops_per_thread {
                 let value = Value::from(i.to_le_bytes().to_vec());
                 match dir.update(&key, &value) {
@@ -314,7 +324,9 @@ mod tests {
         );
         dir.insert(&hot_key(), &Value::from("0")).unwrap();
         let mut txn = dir.begin();
-        txn.suite_mut().update(&hot_key(), &Value::from("held")).unwrap();
+        txn.suite_mut()
+            .update(&hot_key(), &Value::from("held"))
+            .unwrap();
         let waiter = {
             let dir = Arc::clone(&dir);
             std::thread::spawn(move || dir.update(&hot_key(), &Value::from("late")))

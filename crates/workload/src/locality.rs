@@ -100,9 +100,7 @@ pub fn run_locality(ops: u64, seed: u64) -> LocalityReport {
                 loop {
                     let k = base + rng.gen_range(0..pivot_val);
                     if !side.contains(&k) {
-                        suite
-                            .insert(&key_of(k), &Value::from("v"))
-                            .expect("insert");
+                        suite.insert(&key_of(k), &Value::from("v")).expect("insert");
                         side.push(k);
                         break;
                     }

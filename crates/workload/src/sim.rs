@@ -10,8 +10,8 @@
 
 use std::collections::HashMap;
 
-use repdir_core::rng::StdRng;
 use repdir_core::rng::SplitMix64;
+use repdir_core::rng::StdRng;
 use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, StickyPolicy, SuiteConfig};
 use repdir_core::{Key, LocalRep, SuiteError, UserKey, Value};
 
@@ -197,7 +197,9 @@ pub fn run_sim(params: &SimParams) -> SimReport {
                 report.inserts += 1;
             } else {
                 let key = model.random_key(&mut rng);
-                let out = suite.delete(&Key::User(key.clone())).expect("delete existing");
+                let out = suite
+                    .delete(&Key::User(key.clone()))
+                    .expect("delete existing");
                 model.remove(&key);
                 report.deletes += 1;
                 for (_, removed) in &out.entries_in_range {
@@ -349,10 +351,7 @@ mod tests {
             let config = SuiteConfig::symmetric(n, r, w).unwrap();
             // run_sim panics on any model divergence.
             let report = run_sim(&quick(config, 7 + n as u64));
-            assert_eq!(
-                report.deletes,
-                report.deletions_while_coalescing.count()
-            );
+            assert_eq!(report.deletes, report.deletions_while_coalescing.count());
         }
     }
 

@@ -13,8 +13,14 @@ use repdir::core::{Key, Value};
 use repdir::replica::ReplicatedDirectory;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = Arc::new(ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2)?, 7)?);
-    println!("name service on a {} suite (2PL + WAL per representative)", dir.config());
+    let dir = Arc::new(ReplicatedDirectory::new(
+        SuiteConfig::symmetric(3, 2, 2)?,
+        7,
+    )?);
+    println!(
+        "name service on a {} suite (2PL + WAL per representative)",
+        dir.config()
+    );
 
     // Concurrent clients registering names in disjoint namespaces.
     let mut handles = Vec::new();
@@ -48,7 +54,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An abandoned transaction rolls back cleanly.
     {
         let mut txn = dir.begin();
-        txn.suite_mut().insert(&Key::from("svc/tmp"), &Value::from("x"))?;
+        txn.suite_mut()
+            .insert(&Key::from("svc/tmp"), &Value::from("x"))?;
         // dropped without commit
     }
     assert!(!dir.lookup(&Key::from("svc/tmp"))?.present);

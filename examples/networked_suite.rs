@@ -29,46 +29,45 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut servers = Vec::new();
     for i in 0..3u32 {
         let rep = TransactionalRep::new(RepId(i));
-        servers.push(serve_rep(Arc::clone(&net), NodeId(100 + i), Arc::clone(&rep)));
+        servers.push(serve_rep(
+            Arc::clone(&net),
+            NodeId(100 + i),
+            Arc::clone(&rep),
+        ));
         reps.push(rep);
     }
     println!("3 representatives serving over the simulated network (2-5 ms latency)");
 
     // One client node; per-transaction session clients.
     let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(1)));
-    let run_txn = |txn: TxnId,
-                   body: &mut dyn FnMut(
-        &mut DirSuite<RemoteSessionClient>,
-    ) -> Result<(), SuiteError>|
-     -> Result<(), Box<dyn std::error::Error>> {
-        let clients: Vec<RemoteSessionClient> = (0..3u32)
-            .map(|i| {
-                let mut c = RemoteSessionClient::new(
-                    Arc::clone(&rpc),
-                    NodeId(100 + i),
-                    RepId(i),
-                    txn,
-                );
-                c.set_timeout(Duration::from_millis(250));
-                c
-            })
-            .collect();
-        for c in &clients {
-            // Best effort: a partitioned representative simply misses the
-            // transaction and is routed around.
-            let _ = c.begin();
-        }
-        let mut suite = DirSuite::new(
-            clients,
-            SuiteConfig::symmetric(3, 2, 2)?,
-            Box::new(FixedPolicy::new()),
-        )?;
-        body(&mut suite)?;
-        for i in 0..3 {
-            let _ = suite.member(i).commit();
-        }
-        Ok(())
-    };
+    let run_txn =
+        |txn: TxnId,
+         body: &mut dyn FnMut(&mut DirSuite<RemoteSessionClient>) -> Result<(), SuiteError>|
+         -> Result<(), Box<dyn std::error::Error>> {
+            let clients: Vec<RemoteSessionClient> = (0..3u32)
+                .map(|i| {
+                    let mut c =
+                        RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), txn);
+                    c.set_timeout(Duration::from_millis(250));
+                    c
+                })
+                .collect();
+            for c in &clients {
+                // Best effort: a partitioned representative simply misses the
+                // transaction and is routed around.
+                let _ = c.begin();
+            }
+            let mut suite = DirSuite::new(
+                clients,
+                SuiteConfig::symmetric(3, 2, 2)?,
+                Box::new(FixedPolicy::new()),
+            )?;
+            body(&mut suite)?;
+            for i in 0..3 {
+                let _ = suite.member(i).commit();
+            }
+            Ok(())
+        };
 
     run_txn(TxnId(1), &mut |suite| {
         suite.insert(&Key::from("config/leader"), &Value::from("node-a"))?;
@@ -79,15 +78,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Partition the client + two representatives away from the third:
     // quorums of 2 still form, traffic flows.
-    net.partition(&[
-        &[NodeId(1), NodeId(100), NodeId(101)],
-        &[NodeId(102)],
-    ]);
+    net.partition(&[&[NodeId(1), NodeId(100), NodeId(101)], &[NodeId(102)]]);
     run_txn(TxnId(2), &mut |suite| {
         let out = suite.lookup(&Key::from("config/leader"))?;
         println!(
             "minority-partitioned rep C: lookup still answers {:?}",
-            out.value.map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
+            out.value
+                .map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned())
         );
         suite.update(&Key::from("config/epoch"), &Value::from("2"))?;
         Ok(())
@@ -95,10 +92,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("writes succeeded during the partition (C routed around)");
 
     // Now isolate the client with only ONE representative: no quorum.
-    net.partition(&[
-        &[NodeId(1), NodeId(100)],
-        &[NodeId(101), NodeId(102)],
-    ]);
+    net.partition(&[&[NodeId(1), NodeId(100)], &[NodeId(101), NodeId(102)]]);
     let err = run_txn(TxnId(3), &mut |suite| {
         suite.lookup(&Key::from("config/leader")).map(drop)
     })

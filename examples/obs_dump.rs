@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut dir = DirSuite::in_process(SuiteConfig::symmetric(3, 2, 2)?, 42)?;
     for name in ["passwd", "motd", "hosts", "group"] {
-        dir.insert(&Key::from(name), &Value::from(format!("inode {name}").as_str()))?;
+        dir.insert(
+            &Key::from(name),
+            &Value::from(format!("inode {name}").as_str()),
+        )?;
     }
     dir.update(&Key::from("motd"), &Value::from("inode 99"))?;
     for _ in 0..8 {

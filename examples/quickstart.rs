@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "lookup(passwd) -> present={} value={:?} (version {})",
         found.present,
-        found.value.as_ref().map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned()),
+        found
+            .value
+            .as_ref()
+            .map(|v| String::from_utf8_lossy(v.as_bytes()).into_owned()),
         found.version
     );
 

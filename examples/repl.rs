@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         out.quorum
                     );
                 } else {
-                    println!("  not present (gap v{}, quorum {:?})", out.version, out.quorum);
+                    println!(
+                        "  not present (gap v{}, quorum {:?})",
+                        out.version, out.quorum
+                    );
                 }
             }),
             ["delete", key] => suite.delete(&Key::from(*key)).map(|out| {

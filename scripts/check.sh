@@ -18,6 +18,12 @@
 # 7. Runs the ingest_bench in quick mode, which fails unless bulk insert_many
 #    beats the per-key baseline by >= 2x median AND >= 2x fewer fabric
 #    messages for a 64-key ingest at R=2/W=2, zero re-validations.
+# 8. Runs the hedge_bench in quick mode, which fails unless adaptive wave
+#    provisioning + hedged RPCs beat the minimal-prefix baseline by >= 2x
+#    median lookup latency on a fabric with one flaky + one slow member,
+#    spending at most the 2x over-provision cap in extra pings.
+# 9. cargo fmt --check and cargo clippy -D warnings keep the tree formatted
+#    and lint-clean.
 #
 # Each gate prints its wall-clock duration so a slow regression is
 # attributable to the gate that grew. Exits non-zero on the first violation
@@ -87,6 +93,18 @@ gate_done
 
 gate "ingest_bench --quick --check (bulk insert >= 2x time and >= 2x fewer messages at N=64)"
 cargo run --release --offline -p repdir-bench --bin ingest_bench -- --quick --check
+gate_done
+
+gate "hedge_bench --quick --check (adaptive waves + hedging >= 2x on a flaky fabric, pings <= 2x)"
+cargo run --release --offline -p repdir-bench --bin hedge_bench -- --quick --check
+gate_done
+
+gate "cargo fmt --check"
+cargo fmt --check
+gate_done
+
+gate "cargo clippy --offline --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
 gate_done
 
 echo "ALL CHECKS PASSED"

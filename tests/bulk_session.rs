@@ -18,8 +18,7 @@
 use repdir::core::proptest_mini::prelude::*;
 use repdir::core::suite::{DirSuite, FixedPolicy, SuiteConfig};
 use repdir::core::{
-    BatchReply, BatchRequest, Key, RepClient, RepId, RepResult, SuiteError, UserKey, Value,
-    Version,
+    BatchReply, BatchRequest, Key, RepClient, RepId, RepResult, SuiteError, UserKey, Value, Version,
 };
 use repdir::net::{FaultPlan, LatencyModel, Network, NodeId, RpcClient, ServerHandle};
 use repdir::replica::{serve_rep, RemoteSessionClient, TransactionalRep};
@@ -52,7 +51,7 @@ fn value_of(v: u8) -> Value {
     Value::from(vec![v])
 }
 
-fn waves_and_pings(suite: &DirSuite<impl RepClient>) -> (u64, u64) {
+fn waves_and_pings(suite: &DirSuite<impl RepClient + 'static>) -> (u64, u64) {
     let snap = suite.obs().snapshot();
     (
         snap.counter("suite.quorum.waves"),

@@ -27,7 +27,11 @@ fn value_u64(n: u64) -> Value {
 #[test]
 fn transfers_conserve_the_total() {
     let dir = dir_322(1);
-    let accounts = [Key::from("acct/a"), Key::from("acct/b"), Key::from("acct/c")];
+    let accounts = [
+        Key::from("acct/a"),
+        Key::from("acct/b"),
+        Key::from("acct/c"),
+    ];
     for a in &accounts {
         dir.insert(a, &value_u64(100)).unwrap();
     }
@@ -42,16 +46,10 @@ fn transfers_conserve_the_total() {
                 let to = &accounts[((t + i + 1) % 3) as usize];
                 // One transaction: read both, move 1 if possible, write both.
                 dir.run(|suite| {
-                    let from_balance = parse_u64(
-                        suite
-                            .lookup(from)?
-                            .value
-                            .as_ref()
-                            .expect("account exists"),
-                    );
-                    let to_balance = parse_u64(
-                        suite.lookup(to)?.value.as_ref().expect("account exists"),
-                    );
+                    let from_balance =
+                        parse_u64(suite.lookup(from)?.value.as_ref().expect("account exists"));
+                    let to_balance =
+                        parse_u64(suite.lookup(to)?.value.as_ref().expect("account exists"));
                     if from_balance == 0 {
                         return Ok(());
                     }
@@ -80,8 +78,10 @@ fn transfers_conserve_the_total() {
 #[test]
 fn racing_insert_and_delete_on_adjacent_keys() {
     let dir = dir_322(2);
-    dir.insert(&Key::from("fence-a"), &Value::from("A")).unwrap();
-    dir.insert(&Key::from("fence-z"), &Value::from("Z")).unwrap();
+    dir.insert(&Key::from("fence-a"), &Value::from("A"))
+        .unwrap();
+    dir.insert(&Key::from("fence-z"), &Value::from("Z"))
+        .unwrap();
 
     let inserter = {
         let dir = Arc::clone(&dir);

@@ -125,7 +125,7 @@ fn naive_scheme_resurrects_stale_data_repdir_does_not() {
     suite.set_policy(fixed(&[0, 1, 2]));
     suite.delete(&k("b")).unwrap(); // via {A,B}
     suite.insert(&k("b"), &val("fresh")).unwrap(); // {A,B}
-    // Every read quorum returns the CURRENT value.
+                                                   // Every read quorum returns the CURRENT value.
     for order in [[0usize, 1, 2], [1, 2, 0], [0, 2, 1], [2, 1, 0]] {
         suite.set_policy(fixed(&order));
         let out = suite.lookup(&k("b")).unwrap();

@@ -43,12 +43,8 @@ impl Cluster {
         self.next_txn += 1;
         let clients: Vec<RemoteSessionClient> = (0..3u32)
             .map(|i| {
-                let mut c = RemoteSessionClient::new(
-                    Arc::clone(&self.rpc),
-                    NodeId(100 + i),
-                    RepId(i),
-                    txn,
-                );
+                let mut c =
+                    RemoteSessionClient::new(Arc::clone(&self.rpc), NodeId(100 + i), RepId(i), txn);
                 c.set_timeout(Duration::from_millis(150));
                 let _ = c.begin();
                 c
@@ -102,10 +98,9 @@ fn partitioned_minority_is_routed_around_and_catches_up_via_delete_copies() {
         cluster.commit(&suite);
     }
     // Cut rep C (node 102) off from the client.
-    cluster.net.partition(&[
-        &[NodeId(1), NodeId(100), NodeId(101)],
-        &[NodeId(102)],
-    ]);
+    cluster
+        .net
+        .partition(&[&[NodeId(1), NodeId(100), NodeId(101)], &[NodeId(102)]]);
     {
         let (_, mut suite) = cluster.txn_suite();
         suite.update(&Key::from("a"), &Value::from("a2")).unwrap();
@@ -133,10 +128,9 @@ fn client_side_quorum_failure_reports_unavailable() {
         suite.insert(&Key::from("x"), &Value::from("1")).unwrap();
         cluster.commit(&suite);
     }
-    cluster.net.partition(&[
-        &[NodeId(1), NodeId(100)],
-        &[NodeId(101), NodeId(102)],
-    ]);
+    cluster
+        .net
+        .partition(&[&[NodeId(1), NodeId(100)], &[NodeId(101), NodeId(102)]]);
     let (_, mut suite) = cluster.txn_suite();
     let err = suite.lookup(&Key::from("x")).unwrap_err();
     assert!(

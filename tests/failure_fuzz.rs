@@ -59,7 +59,12 @@ fn run_flapping(seed: u64, rep_up_prob: f64, ops: u32) {
                 touched = fresh.clone();
                 let entries: Vec<(Key, Value)> = fresh
                     .iter()
-                    .map(|&kk| (Key::User(UserKey::from_u64(kk as u64)), Value::from(vec![v])))
+                    .map(|&kk| {
+                        (
+                            Key::User(UserKey::from_u64(kk as u64)),
+                            Value::from(vec![v]),
+                        )
+                    })
                     .collect();
                 dir.insert_many(&entries).map(|_| {
                     for &kk in &fresh {

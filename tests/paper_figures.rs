@@ -58,7 +58,7 @@ fn figure2_and_4_insert_b() {
     assert_eq!(a.version_of(&k("b")), Version::new(1));
     assert_eq!(a.version_of(&k("aa")), Version::ZERO); // gap (a, b)
     assert_eq!(a.version_of(&k("bb")), Version::ZERO); // gap (b, c)
-    // C never saw b.
+                                                       // C never saw b.
     assert!(!suite.member(2).snapshot().contains(&k("b")));
 }
 
@@ -75,7 +75,11 @@ fn figure3_and_5_delete_ambiguity_resolved() {
     let del = suite.delete(&k("b")).unwrap();
     assert_eq!(del.predecessor, k("a"));
     assert_eq!(del.successor, k("c"));
-    assert_eq!(del.gap_version, Version::new(2), "Figure 5: gap (a, c) at v2");
+    assert_eq!(
+        del.gap_version,
+        Version::new(2),
+        "Figure 5: gap (a, c) at v2"
+    );
 
     // Ghost of b remains physically on A...
     assert!(suite.member(0).snapshot().contains(&k("b")));
@@ -108,7 +112,10 @@ fn figures10_11_ghosts_and_real_successor() {
 
     // Figure 10 preconditions.
     assert!(suite.member(0).snapshot().contains(&k("b")), "ghost on A");
-    assert!(!suite.member(2).snapshot().contains(&k("bb")), "bb absent from C");
+    assert!(
+        !suite.member(2).snapshot().contains(&k("bb")),
+        "bb absent from C"
+    );
 
     // Delete "a" with write quorum {A, C} (Figure 11).
     suite.set_policy(fixed(&[0, 2, 1]));
@@ -144,7 +151,7 @@ fn figure8_highest_version_wins() {
     suite.insert(&k("x"), &val("v1")).unwrap(); // A, B at v1
     suite.set_policy(fixed(&[1, 2, 0]));
     suite.update(&k("x"), &val("v2")).unwrap(); // B, C at v2
-    // Quorum {A, C}: A has v1, C has v2 — the v2 value must win.
+                                                // Quorum {A, C}: A has v1, C has v2 — the v2 value must win.
     suite.set_policy(fixed(&[0, 2, 1]));
     let out = suite.lookup(&k("x")).unwrap();
     assert_eq!(out.version, Version::new(2));

@@ -19,8 +19,7 @@ fn remote_suite(
 ) -> DirSuite<RemoteSessionClient> {
     let clients: Vec<RemoteSessionClient> = (0..3u32)
         .map(|i| {
-            let mut c =
-                RemoteSessionClient::new(Arc::clone(rpc), NodeId(200 + i), RepId(i), txn);
+            let mut c = RemoteSessionClient::new(Arc::clone(rpc), NodeId(200 + i), RepId(i), txn);
             c.set_timeout(Duration::from_millis(200));
             let _ = c.begin();
             c

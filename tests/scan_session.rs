@@ -50,7 +50,7 @@ fn value_of(v: u8) -> Value {
     Value::from(vec![v])
 }
 
-fn waves_and_pings(suite: &DirSuite<impl RepClient>) -> (u64, u64) {
+fn waves_and_pings(suite: &DirSuite<impl RepClient + 'static>) -> (u64, u64) {
     let snap = suite.obs().snapshot();
     (
         snap.counter("suite.quorum.waves"),
@@ -93,11 +93,11 @@ proptest! {
                 Op::Insert(k, v) => {
                     let a = session.insert(&key_of(k), &value_of(v));
                     let b = baseline.insert(&key_of(k), &value_of(v));
-                    if model.contains_key(&k) {
-                        prop_assert!(a.is_err() && b.is_err());
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
                         prop_assert!(a.is_ok() && b.is_ok());
-                        model.insert(k, v);
+                        e.insert(v);
+                    } else {
+                        prop_assert!(a.is_err() && b.is_err());
                     }
                 }
                 Op::Delete(k) => {
@@ -180,10 +180,18 @@ impl RepClient for FuseClient {
     fn successor(&self, key: &Key) -> RepResult<repdir::core::NeighborReply> {
         self.inner.successor(key)
     }
-    fn predecessor_chain(&self, key: &Key, limit: usize) -> RepResult<Vec<repdir::core::NeighborReply>> {
+    fn predecessor_chain(
+        &self,
+        key: &Key,
+        limit: usize,
+    ) -> RepResult<Vec<repdir::core::NeighborReply>> {
         self.inner.predecessor_chain(key, limit)
     }
-    fn successor_chain(&self, key: &Key, limit: usize) -> RepResult<Vec<repdir::core::NeighborReply>> {
+    fn successor_chain(
+        &self,
+        key: &Key,
+        limit: usize,
+    ) -> RepResult<Vec<repdir::core::NeighborReply>> {
         self.inner.successor_chain(key, limit)
     }
     fn insert(
@@ -205,7 +213,8 @@ impl RepClient for FuseClient {
     fn batch(&self, reqs: &[BatchRequest]) -> RepResult<Vec<BatchReply>> {
         if self.fuse.fetch_sub(1, Ordering::SeqCst) == 1 {
             for v in &self.victims {
-                self.net.set_node_latency(*v, LatencyModel::fixed(Duration::from_secs(2)));
+                self.net
+                    .set_node_latency(*v, LatencyModel::fixed(Duration::from_secs(2)));
             }
         }
         self.inner.batch(reqs)

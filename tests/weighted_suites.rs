@@ -9,7 +9,12 @@ fn fixed(order: &[usize]) -> Box<dyn QuorumPolicy + Send> {
     Box::new(FixedPolicy::with_order(order.to_vec()))
 }
 
-fn suite(votes: Vec<u32>, r: u32, w: u32, policy: Box<dyn QuorumPolicy + Send>) -> DirSuite<LocalRep> {
+fn suite(
+    votes: Vec<u32>,
+    r: u32,
+    w: u32,
+    policy: Box<dyn QuorumPolicy + Send>,
+) -> DirSuite<LocalRep> {
     let clients: Vec<LocalRep> = (0..votes.len())
         .map(|i| LocalRep::new(RepId(i as u32)))
         .collect();
@@ -55,9 +60,11 @@ fn full_workload_on_weighted_suite_stays_correct() {
         match i % 3 {
             0 => {
                 if model.insert(i % 20, i).is_some() {
-                    dir.update(&key, &Value::from(i.to_string().as_str())).unwrap();
+                    dir.update(&key, &Value::from(i.to_string().as_str()))
+                        .unwrap();
                 } else {
-                    dir.insert(&key, &Value::from(i.to_string().as_str())).unwrap();
+                    dir.insert(&key, &Value::from(i.to_string().as_str()))
+                        .unwrap();
                 }
             }
             1 => {
