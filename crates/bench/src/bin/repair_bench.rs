@@ -1,0 +1,283 @@
+//! Anti-entropy convergence cost vs a naive full-directory copy.
+//!
+//! The scenario is the one the repair subsystem exists for: a member drops
+//! off the fabric, the suite keeps committing through the surviving write
+//! quorums, the member comes back — and now holds a directory that is
+//! almost entirely correct. Resynchronising it by copying the whole
+//! directory pays for every key; walking the summary tree pays only for
+//! the buckets that actually diverged, then pulls exactly those.
+//!
+//! The fixture is a 3-member suite (R=2, W=2) over the simulated network.
+//! All three representatives start byte-identical (the state an earlier
+//! epoch of quorum writes would leave), member 2 is partitioned, the suite
+//! updates ~5% of the keys through the surviving quorum {0, 1}, and the
+//! partition heals. Both resync strategies then run against real fabric
+//! traffic:
+//!
+//! * **repair**: a [`Repairer`] walks member 0's summary tree from member
+//!   2 and pulls only the mismatched buckets;
+//! * **full copy**: every one of the 256 buckets is pulled from member 0
+//!   into a fresh representative.
+//!
+//! Messages are counted by the fabric itself (`NetStats::sent`), so both
+//! strategies pay for requests and replies alike. Before resync, a short
+//! read pass demonstrates inline read-repair detection: quorum reads that
+//! straddle the stale member queue `StaleVote`s and bump
+//! `repair.stale_votes_observed`.
+//!
+//! ```text
+//! cargo run --release -p repdir-bench --bin repair_bench [-- --quick] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless summary-tree repair converges the stale
+//! member with at least 2x fewer fabric messages than the full copy. Every
+//! run rewrites `BENCH_repair.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use repdir_core::suite::{DirSuite, RandomPolicy, SuiteConfig};
+use repdir_core::{Key, RepId, UserKey, Value, Version};
+use repdir_net::{FaultPlan, LatencyModel, Network, NodeId, RpcClient, ServerHandle};
+use repdir_repair::{RepairPeer, Repairer};
+use repdir_replica::{
+    serve_rep, RemoteRepairPeer, RemoteSessionClient, RepTarget, TransactionalRep,
+};
+use repdir_txn::TxnId;
+
+const MEMBERS: u32 = 3;
+const READ_QUORUM: u32 = 2;
+const WRITE_QUORUM: u32 = 2;
+/// Member index partitioned during the update burst.
+const STALE_MEMBER: usize = 2;
+
+/// Key `i`, spread across summary buckets by its leading byte.
+fn key_of(i: usize) -> Key {
+    Key::User(UserKey::new(vec![(i % 251) as u8, (i / 251) as u8]))
+}
+
+struct Fixture {
+    suite: DirSuite<RemoteSessionClient>,
+    reps: Vec<Arc<TransactionalRep>>,
+    net: Arc<Network>,
+    rpc: Arc<RpcClient>,
+    _handles: Vec<ServerHandle>,
+}
+
+/// Builds the networked suite with all representatives pre-loaded with
+/// `keys` identical committed entries — the state a prior epoch of quorum
+/// writes leaves behind.
+fn build(keys: usize, hop: Duration, timeout: Duration, seed: u64) -> Fixture {
+    let net = Arc::new(Network::new(seed));
+    net.set_fault_plan(FaultPlan {
+        drop_prob: 0.0,
+        duplicate_prob: 0.0,
+        latency: LatencyModel::fixed(hop),
+    });
+    let mut handles = Vec::new();
+    let mut clients = Vec::new();
+    let mut reps = Vec::new();
+    let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+    for i in 0..MEMBERS {
+        let rep = TransactionalRep::new(RepId(i));
+        let seed_txn = TxnId(900 + u64::from(i));
+        rep.begin(seed_txn).expect("begin seed txn");
+        for k in 0..keys {
+            rep.insert(seed_txn, &key_of(k), Version::new(1), &Value::from("v1"))
+                .expect("seed insert");
+        }
+        rep.commit(seed_txn).expect("commit seed txn");
+        reps.push(Arc::clone(&rep));
+        handles.push(serve_rep(Arc::clone(&net), NodeId(100 + i), rep));
+        let mut client =
+            RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
+        client.set_timeout(timeout);
+        client.begin().expect("begin on a healthy fabric");
+        clients.push(client);
+    }
+    let config = SuiteConfig::symmetric(MEMBERS, READ_QUORUM, WRITE_QUORUM)
+        .expect("3-2-2 is a valid weighted-voting config");
+    let suite = DirSuite::new(clients, config, Box::new(RandomPolicy::new(seed)))
+        .expect("client count matches config");
+    Fixture {
+        suite,
+        reps,
+        net,
+        rpc,
+        _handles: handles,
+    }
+}
+
+fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval metrics
+    // flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let keys = if quick { 128 } else { 256 };
+    let updates = keys / 20; // ~5% of the directory goes stale
+    let (hop, timeout) = if quick {
+        (Duration::from_micros(200), Duration::from_millis(20))
+    } else {
+        (Duration::from_millis(1), Duration::from_millis(40))
+    };
+
+    println!(
+        "repair_bench: {MEMBERS} members (R={READ_QUORUM}, W={WRITE_QUORUM}), {keys} keys, \
+         member {STALE_MEMBER} partitioned for {updates} updates (~{:.0}% stale)",
+        updates as f64 / keys as f64 * 100.0
+    );
+    println!();
+
+    let mut fx = build(keys, hop, timeout, 0x4E7A);
+
+    // Partition the stale member; the suite keeps writing through {0, 1}.
+    fx.net.set_node_drop(NodeId(100 + STALE_MEMBER as u32), 1.0);
+    for u in 0..updates {
+        let k = key_of(u * (keys / updates)); // spread over distinct buckets
+        fx.suite
+            .update(&k, &Value::from("v2"))
+            .expect("update through the surviving write quorum");
+    }
+    fx.net.set_node_drop(NodeId(100 + STALE_MEMBER as u32), 0.0);
+
+    // Inline read-repair detection: reads that straddle the stale member
+    // observe its old votes and queue them for the repair layer.
+    for u in 0..updates.min(16) {
+        let k = key_of(u * (keys / updates));
+        fx.suite.lookup(&k).expect("post-heal lookup");
+    }
+    let stale_votes = fx.suite.take_stale_votes().len();
+    let stale_votes_counter = fx
+        .suite
+        .obs()
+        .snapshot()
+        .counter("repair.stale_votes_observed");
+
+    // Release the workload transaction's two-phase locks so repair's
+    // internal transactions can read and install.
+    for i in 0..MEMBERS as usize {
+        fx.suite.member(i).commit().expect("commit workload txn");
+    }
+
+    // Strategy 1: summary-tree repair of the stale member from member 0.
+    let before = fx.net.stats().sent;
+    let t = Instant::now();
+    let repairer = Repairer::new(
+        Arc::new(RepTarget::new(Arc::clone(&fx.reps[STALE_MEMBER]))),
+        vec![Box::new(RemoteRepairPeer::new(
+            Arc::clone(&fx.rpc),
+            NodeId(100),
+        ))],
+    );
+    let quiesce = repairer.run_until_quiescent(8);
+    let repair_elapsed = t.elapsed();
+    let repair_msgs = fx.net.stats().sent - before;
+    assert!(quiesce.quiescent, "repairer failed to quiesce");
+    assert_eq!(
+        fx.reps[0].snapshot(),
+        fx.reps[STALE_MEMBER].snapshot(),
+        "summary-tree repair did not converge the stale member"
+    );
+
+    // Strategy 2: the naive baseline — pull all 256 buckets from member 0
+    // into a fresh representative, over the same fabric.
+    let copy_peer = RemoteRepairPeer::new(Arc::clone(&fx.rpc), NodeId(100));
+    let copy_rep = TransactionalRep::new(RepId(9));
+    let copy_target = RepTarget::new(Arc::clone(&copy_rep));
+    let before = fx.net.stats().sent;
+    let t = Instant::now();
+    let mut copy_keys = 0u64;
+    for bucket in 0..=255u8 {
+        let view = copy_peer.pull(bucket).expect("full-copy pull");
+        copy_keys += view.entries.len() as u64;
+        let local = repdir_repair::BucketView::default();
+        let plan = repdir_repair::diff_bucket(bucket, &local, &view);
+        repdir_repair::RepairTarget::apply(&copy_target, &plan).expect("full-copy apply");
+    }
+    let copy_elapsed = t.elapsed();
+    let copy_msgs = fx.net.stats().sent - before;
+    assert_eq!(
+        fx.reps[0].snapshot(),
+        copy_rep.snapshot(),
+        "full copy did not reproduce member 0"
+    );
+
+    let msg_ratio = copy_msgs as f64 / repair_msgs.max(1) as f64;
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "strategy", "msgs", "keys moved", "bytes", "elapsed"
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}us",
+        "repair",
+        repair_msgs,
+        quiesce.total.keys_pulled,
+        quiesce.total.bytes,
+        repair_elapsed.as_micros()
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>10}us",
+        "full copy",
+        copy_msgs,
+        copy_keys,
+        "-",
+        copy_elapsed.as_micros()
+    );
+    println!();
+    println!("stale votes observed by reads: {stale_votes} (counter {stale_votes_counter})");
+    println!("message ratio (full copy / repair): {msg_ratio:.2}x");
+
+    let doc = format!(
+        concat!(
+            "{{\n  \"bench\": \"repair\",\n  \"mode\": \"{}\",\n",
+            "  \"members\": {}, \"read_quorum\": {}, \"write_quorum\": {},\n",
+            "  \"keys\": {}, \"stale_updates\": {}, \"stale_member\": {},\n",
+            "  \"repair_msgs\": {}, \"repair_keys_pulled\": {}, \"repair_bytes\": {},\n",
+            "  \"repair_elapsed_us\": {}, \"repair_sweeps\": {},\n",
+            "  \"fullcopy_msgs\": {}, \"fullcopy_keys\": {}, \"fullcopy_elapsed_us\": {},\n",
+            "  \"stale_votes_observed\": {},\n",
+            "  \"msg_ratio\": {:.3}\n}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        MEMBERS,
+        READ_QUORUM,
+        WRITE_QUORUM,
+        keys,
+        updates,
+        STALE_MEMBER,
+        repair_msgs,
+        quiesce.total.keys_pulled,
+        quiesce.total.bytes,
+        repair_elapsed.as_micros(),
+        quiesce.sweeps,
+        copy_msgs,
+        copy_keys,
+        copy_elapsed.as_micros(),
+        stale_votes_counter,
+        msg_ratio
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_repair.json");
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("\nwrote {}", path.canonicalize().unwrap_or(path).display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_repair.json: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if check {
+        const GATE: f64 = 2.0;
+        if msg_ratio < GATE {
+            eprintln!("FAIL: message ratio {msg_ratio:.2}x below the {GATE}x gate");
+            std::process::exit(1);
+        }
+        println!(
+            "CHECK PASSED: repair converged with {msg_ratio:.2}x fewer messages (gate {GATE}x)"
+        );
+    }
+}

@@ -519,6 +519,35 @@ impl GapMap {
         self.entries.iter().map(|(k, r)| (k, r.version, &r.value))
     }
 
+    /// Version of the leading gap (between `LOW` and the first entry).
+    pub fn low_gap(&self) -> Version {
+        self.low_gap
+    }
+
+    /// Visits stored entries with byte keys in `[low, high)` in key order as
+    /// `(key, version, value, gap_after)`. An unbounded side (`None`) runs
+    /// to the corresponding sentinel. Unlike [`iter`](GapMap::iter) this
+    /// exposes each entry's trailing-gap version, so range summaries (the
+    /// repair subsystem's subtree hashes) cover gap-only divergence too.
+    pub fn range_scan(
+        &self,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+    ) {
+        let lower = match low {
+            Some(b) => Bound::Included(b),
+            None => Bound::Unbounded,
+        };
+        let upper = match high {
+            Some(b) => Bound::Excluded(b),
+            None => Bound::Unbounded,
+        };
+        for (k, rec) in self.entries.range::<[u8], _>((lower, upper)) {
+            visit(k, rec.version, &rec.value, rec.gap_after);
+        }
+    }
+
     /// Iterates over the gaps in key order. A map with `n` entries yields
     /// exactly `n + 1` gaps tiling the key space.
     pub fn gaps(&self) -> impl Iterator<Item = GapInfo> + '_ {

@@ -64,9 +64,18 @@ impl SplitMix64 {
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    ///
+    /// `p = 1.0` is certain and `p = 0.0` is impossible. The draw is
+    /// consumed unconditionally, so the stream advances identically for
+    /// every `p`.
     pub fn next_bool(&mut self, p: f64) -> bool {
         let p = p.clamp(0.0, 1.0);
-        (self.next_u64() as f64 / u64::MAX as f64) < p
+        // Draws within ~2^11 of u64::MAX round to exactly 1.0 when
+        // converted to f64, and `1.0 < 1.0` is false — so a strict
+        // comparison alone lets a "certain" event occasionally fail
+        // (observed as set_node_drop(1.0) still delivering packets).
+        let draw = self.next_u64() as f64 / u64::MAX as f64;
+        draw < p || p >= 1.0
     }
 
     /// Shuffles a slice in place (Fisher–Yates).
@@ -282,6 +291,33 @@ mod tests {
         for _ in 0..50 {
             assert!(!r.next_bool(0.0));
             assert!(r.next_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn next_bool_certain_even_when_draw_rounds_to_one() {
+        // The quotient `next_u64() / u64::MAX` rounds to exactly 1.0 for
+        // draws in the top ~2^11 of the range; `draw < 1.0` is then false.
+        // p = 1.0 must be certain regardless, via the inclusive branch.
+        let top = u64::MAX as f64 / u64::MAX as f64;
+        assert!(top >= 1.0, "rounding premise");
+        assert!(top < 1.0 || 1.0f64 >= 1.0, "inclusive comparison holds");
+        let mut r = SplitMix64::new(0xDEAD_BEEF);
+        for _ in 0..100_000 {
+            assert!(r.next_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn next_bool_consumes_exactly_one_draw_for_any_p() {
+        // The stream must advance identically whatever p is, so seeded
+        // replays stay bit-identical across probability changes.
+        for p in [0.0, 0.3, 1.0] {
+            let mut a = SplitMix64::new(77);
+            let mut b = SplitMix64::new(77);
+            a.next_bool(p);
+            b.next_u64();
+            assert_eq!(a, b, "p = {p}");
         }
     }
 

@@ -180,6 +180,10 @@ struct SuiteObs {
     /// Bulk write bodies that restarted after a mid-batch re-validation and
     /// resumed from their first unacknowledged key (`suite.bulk.resumed`).
     bulk_resumed: Counter,
+    /// Quorum reads that observed a member voting with a version older than
+    /// the merged winner (`repair.stale_votes_observed`) — each increment is
+    /// one entry queued for inline read-repair.
+    stale_votes: Counter,
 }
 
 /// Sample recorded into a member's reply-time EWMA when an RPC to it fails.
@@ -220,14 +224,36 @@ impl SuiteObs {
             bulk_ops: registry.counter("suite.bulk.ops"),
             bulk_keys: registry.counter("suite.bulk.keys"),
             bulk_resumed: registry.counter("suite.bulk.resumed"),
+            stale_votes: registry.counter("repair.stale_votes_observed"),
             registry,
         }
     }
 
-    /// Records [`FAILED_RPC_PENALTY`] into member `i`'s reply-time EWMA.
-    fn penalize(&self, i: usize) {
-        self.reply[i].record(FAILED_RPC_PENALTY);
+    /// Records the failed-RPC penalty `sample` into member `i`'s reply-time
+    /// EWMA (see [`FAILED_RPC_PENALTY`] for the default and rationale).
+    fn penalize(&self, i: usize, sample: std::time::Duration) {
+        self.reply[i].record(sample);
     }
+}
+
+/// One stale vote observed during a quorum read: `member` answered with
+/// `seen`, but the merged quorum winner carried `latest`.
+///
+/// The read itself is already correct — the winner's version rule masked the
+/// stale reply — so nothing is urgent. Queued votes are drained with
+/// [`DirSuite::take_stale_votes`] and handed to the anti-entropy layer
+/// (`repdir-repair`), which pulls the fresh entry into the stale member
+/// without spending a quorum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StaleVote {
+    /// Index of the member that voted stale.
+    pub member: usize,
+    /// The key the read asked about.
+    pub key: Key,
+    /// The version the stale member answered with (entry or gap version).
+    pub seen: Version,
+    /// The winning version the quorum merge settled on.
+    pub latest: Version,
 }
 
 /// A quorum held across the hops of one bulk operation (scan, the deletes'
@@ -313,6 +339,15 @@ pub struct DirSuite<C: RepClient> {
     /// Explicit hedge-delay override; `None` derives it from the suite's
     /// reply-time histogram.
     hedge_delay: Option<Duration>,
+    /// Whether quorum reads watch for stale member votes and queue them for
+    /// inline read-repair (default). Off is the no-repair baseline.
+    repair: bool,
+    /// Stale votes observed by quorum reads, drained by
+    /// [`take_stale_votes`](DirSuite::take_stale_votes).
+    stale_votes: Vec<StaleVote>,
+    /// EWMA sample recorded when a member RPC fails; defaults to
+    /// [`FAILED_RPC_PENALTY`].
+    penalty_sample: Duration,
     obs: SuiteObs,
 }
 
@@ -362,6 +397,9 @@ impl<C: RepClient + 'static> DirSuite<C> {
             max_overprovision: 2.0,
             hedge: false,
             hedge_delay: None,
+            repair: true,
+            stale_votes: Vec::new(),
+            penalty_sample: FAILED_RPC_PENALTY,
             obs,
         })
     }
@@ -528,6 +566,44 @@ impl<C: RepClient + 'static> DirSuite<C> {
     /// Whether bulk operations hold session quorums across hops.
     pub fn session_reuse_enabled(&self) -> bool {
         self.session_reuse
+    }
+
+    /// Enables or disables inline read-repair detection (enabled by
+    /// default).
+    ///
+    /// Enabled, every quorum read compares each member's vote against the
+    /// merged winner and queues [`StaleVote`]s for the anti-entropy layer
+    /// (counted as `repair.stale_votes_observed`). Disabled, reads skip the
+    /// bookkeeping entirely and the queue stays empty — the no-repair
+    /// baseline. Disabling also drops anything already queued.
+    pub fn set_repair(&mut self, enabled: bool) {
+        self.repair = enabled;
+        if !enabled {
+            self.stale_votes.clear();
+        }
+    }
+
+    /// Whether inline read-repair detection is armed.
+    pub fn repair_enabled(&self) -> bool {
+        self.repair
+    }
+
+    /// Drains the queue of stale votes observed by quorum reads since the
+    /// last drain, oldest first. Feed these to the repair subsystem; the
+    /// reads that produced them were already correct (the version rule
+    /// masked the stale replies), so draining lazily is safe.
+    pub fn take_stale_votes(&mut self) -> Vec<StaleVote> {
+        std::mem::take(&mut self.stale_votes)
+    }
+
+    /// Overrides the reply-time EWMA sample recorded for a failed member
+    /// RPC (default [`FAILED_RPC_PENALTY`], 1 s). A dead member often fails
+    /// *fast*, so the penalty — not the measured duration — is what demotes
+    /// it in latency-aware quorum selection; tune it to the fabric's actual
+    /// tail so a single miss neither pins a member to the bottom for ages
+    /// nor vanishes into the noise.
+    pub fn set_penalty_sample(&mut self, sample: Duration) {
+        self.penalty_sample = sample;
     }
 
     /// The session quorum currently held for `kind`, if a bulk operation is
@@ -701,15 +777,23 @@ impl<C: RepClient + 'static> DirSuite<C> {
         // One concurrent wave over the read quorum; `pick_reply` is
         // order-independent, so merging in slot order is equivalent to
         // merging in arrival order.
+        let mut votes: Vec<(usize, LookupReply)> = Vec::with_capacity(quorum.len());
+        for (slot, reply) in self
+            .scatter(&quorum, |_, c| c.lookup(key))
+            .into_iter()
+            .enumerate()
+        {
+            votes.push((quorum[slot], reply?));
+        }
         let mut best: Option<LookupReply> = None;
-        for reply in self.scatter(&quorum, |_, c| c.lookup(key)) {
-            let reply = reply?;
+        for (_, reply) in &votes {
             best = Some(match best {
-                None => reply,
-                Some(cur) => pick_reply(cur, reply),
+                None => reply.clone(),
+                Some(cur) => pick_reply(cur, reply.clone()),
             });
         }
         let best = best.expect("quorum is never empty");
+        self.note_stale_votes(key, &best, &votes);
         let ids = self.ids_of(&quorum);
         Ok(match best {
             LookupReply::Present { version, value } => LookupOutcome {
@@ -765,6 +849,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
         let mut votes = 0u32;
         let mut best: Option<LookupReply> = None;
         let mut contributors = Vec::new();
+        let mut merged: Vec<(usize, LookupReply)> = Vec::new();
         let mut hedged: Vec<usize> = Vec::new();
         let mut hedges_won = 0u64;
         let mut last_err = RepError::Unavailable;
@@ -778,6 +863,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
                         self.obs.hedge_won.inc();
                         hedges_won += 1;
                     }
+                    merged.push((i, reply.clone()));
                     best = Some(match best {
                         None => reply,
                         Some(cur) => pick_reply(cur, reply),
@@ -812,6 +898,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
             return Err(SuiteError::Rep(last_err));
         }
         let best = best.expect("votes cover R, so at least one reply merged");
+        self.note_stale_votes(key, &best, &merged);
         // Report the members whose replies actually formed the answer, in
         // member order like the unhedged path's preference-sorted quorum.
         contributors.sort_unstable();
@@ -1660,7 +1747,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
                     // for a sticky policy this is a remembered member that
                     // stopped responding, forcing fresh collection.
                     self.obs.sticky_miss.inc();
-                    self.obs.penalize(wave[slot]);
+                    self.obs.penalize(wave[slot], self.penalty_sample);
                 }
             }
         }
@@ -1781,7 +1868,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
                         chosen.push(i);
                     } else {
                         self.obs.sticky_miss.inc();
-                        self.obs.penalize(i);
+                        self.obs.penalize(i, self.penalty_sample);
                     }
                 }
             }
@@ -1812,6 +1899,30 @@ impl<C: RepClient + 'static> DirSuite<C> {
     /// panicking client scores as [`RepError::Unavailable`] — out here it
     /// is indistinguishable from a dead one — rather than poisoning the
     /// coordinator.
+    /// Compares each member's lookup vote against the merged winner and
+    /// queues the stale ones for the repair layer. A member is stale when
+    /// its reply version (entry or gap) is strictly below the winner's: by
+    /// the version rule, equal versions carry identical data, so only a
+    /// strict gap means the member missed a write.
+    fn note_stale_votes(&mut self, key: &Key, best: &LookupReply, votes: &[(usize, LookupReply)]) {
+        if !self.repair {
+            return;
+        }
+        let latest = best.version();
+        for (member, reply) in votes {
+            let seen = reply.version();
+            if seen < latest {
+                self.obs.stale_votes.inc();
+                self.stale_votes.push(StaleVote {
+                    member: *member,
+                    key: key.clone(),
+                    seen,
+                    latest,
+                });
+            }
+        }
+    }
+
     fn spawn_rpc_worker<T, F>(
         &self,
         i: usize,
@@ -1826,6 +1937,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
         let ewma = self.obs.reply[i].clone();
         let hist = self.obs.reply_hist.clone();
         let avail = self.obs.avail[i].clone();
+        let penalty = self.penalty_sample;
         std::thread::Builder::new()
             .name(format!("repdir-hedge-{i}"))
             .spawn(move || {
@@ -1845,7 +1957,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
                 let ok = result.is_ok();
                 avail.record(ok);
                 if !ok {
-                    ewma.record(FAILED_RPC_PENALTY);
+                    ewma.record(penalty);
                 }
                 let _ = tx.send((i, result));
             })
@@ -1955,7 +2067,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
         });
         for (slot, result) in results.iter().enumerate() {
             if result.is_err() {
-                self.obs.penalize(targets[slot]);
+                self.obs.penalize(targets[slot], self.penalty_sample);
             }
         }
         results
@@ -3740,5 +3852,113 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn stale_vote_observed_when_read_quorum_straddles_the_write() {
+        let mut s = suite_322(61);
+        let registry = Registry::new();
+        s.set_obs_registry(registry.clone());
+        // Write lands on members {0, 1}; the read quorum {1, 2} includes
+        // member 2, which never saw the insert.
+        s.set_policy(fixed(&[0, 1]));
+        s.insert(&k("b"), &val("B")).unwrap();
+        s.set_policy(fixed(&[1, 2]));
+        let out = s.lookup(&k("b")).unwrap();
+        assert!(out.present);
+        assert_eq!(out.version, Version::new(1));
+        let votes = s.take_stale_votes();
+        assert_eq!(
+            votes,
+            vec![StaleVote {
+                member: 2,
+                key: k("b"),
+                seen: Version::ZERO,
+                latest: Version::new(1),
+            }]
+        );
+        assert_eq!(registry.counter("repair.stale_votes_observed").get(), 1);
+        // Drained: a second drain without new reads yields nothing.
+        assert!(s.take_stale_votes().is_empty());
+        // A fresh read re-observes the still-stale member.
+        s.lookup(&k("b")).unwrap();
+        assert_eq!(s.take_stale_votes().len(), 1);
+    }
+
+    #[test]
+    fn stale_vote_detection_covers_the_hedged_read_path() {
+        let mut s = suite_322(62);
+        s.set_policy(fixed(&[0, 1]));
+        s.insert(&k("b"), &val("B")).unwrap();
+        s.set_policy(fixed(&[1, 2]));
+        s.set_hedge(true);
+        s.set_hedge_delay(Some(Duration::from_millis(50)));
+        let out = s.lookup(&k("b")).unwrap();
+        assert!(out.present);
+        let votes = s.take_stale_votes();
+        assert_eq!(votes.len(), 1);
+        assert_eq!(votes[0].member, 2);
+        assert_eq!(votes[0].latest, Version::new(1));
+    }
+
+    #[test]
+    fn set_repair_false_disables_stale_vote_tracking() {
+        let mut s = suite_322(63);
+        assert!(s.repair_enabled());
+        s.set_policy(fixed(&[0, 1]));
+        s.insert(&k("b"), &val("B")).unwrap();
+        s.set_policy(fixed(&[1, 2]));
+        s.lookup(&k("b")).unwrap();
+        assert_eq!(s.take_stale_votes().len(), 1);
+        s.set_repair(false);
+        assert!(!s.repair_enabled());
+        s.lookup(&k("b")).unwrap();
+        assert!(s.take_stale_votes().is_empty());
+        // Re-arming drops nothing that was observed while disarmed.
+        s.set_repair(true);
+        assert!(s.take_stale_votes().is_empty());
+    }
+
+    #[test]
+    fn equal_version_votes_are_not_stale() {
+        let mut s = suite_322(64);
+        s.insert(&k("b"), &val("B")).unwrap();
+        // Every member saw the write (write quorum 2 of 3, then read the
+        // same members via the fixed policy).
+        s.set_policy(fixed(&[0, 1, 2]));
+        for _ in 0..5 {
+            s.lookup(&k("b")).unwrap();
+        }
+        // Reads may straddle the original write quorum, so filter to votes
+        // that matched the winner exactly: none of those may be queued.
+        for v in s.take_stale_votes() {
+            assert!(v.seen < v.latest, "non-stale vote queued: {v:?}");
+        }
+    }
+
+    #[test]
+    fn penalty_sample_is_tunable() {
+        let mut s = suite_322(65);
+        s.set_policy(fixed(&[0, 1, 2]));
+        s.set_penalty_sample(Duration::from_millis(5));
+        s.member(0).set_available(false);
+        // Member 0 misses the quorum ping; its EWMA takes the custom 5 ms
+        // penalty, not the 1 s default.
+        s.lookup(&k("x")).unwrap();
+        let ewma = s.member_reply_ewmas()[0].value_us().unwrap();
+        assert!(
+            ewma < 100_000.0,
+            "penalty sample not applied: EWMA {ewma} µs"
+        );
+        // The tunable survives a registry rebind.
+        s.set_obs_registry(Registry::new());
+        s.member(1).set_available(false);
+        s.member(0).set_available(true);
+        s.lookup(&k("x")).unwrap();
+        let ewma = s.member_reply_ewmas()[1].value_us().unwrap();
+        assert!(
+            ewma < 100_000.0,
+            "penalty sample lost on registry rebind: EWMA {ewma} µs"
+        );
     }
 }

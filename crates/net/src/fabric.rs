@@ -560,6 +560,25 @@ mod tests {
     }
 
     #[test]
+    fn fully_dropped_node_delivers_zero_packets() {
+        // drop_prob = 1.0 must be certain, not merely overwhelmingly
+        // likely: the RNG draw occasionally rounds to exactly 1.0, and a
+        // strict `draw < p` comparison let those packets through. Over
+        // hundreds of sends, not a single packet may reach the node.
+        let net = Network::new(42);
+        let dead = net.register(NodeId(2));
+        net.set_node_drop(NodeId(2), 1.0);
+        let sends = 512u64;
+        for i in 0..sends {
+            net.send(NodeId(0), NodeId(2), MsgKind::Request(i), vec![7]);
+        }
+        assert!(dead.try_recv().is_none(), "fully dropped node got a packet");
+        let stats = net.stats();
+        assert_eq!(stats.dropped, sends);
+        assert_eq!(stats.delivered, 0);
+    }
+
+    #[test]
     fn latency_preserves_order_for_equal_delay() {
         let net = Network::new(3);
         let _a = net.register(NodeId(0));

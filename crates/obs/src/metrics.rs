@@ -435,6 +435,37 @@ mod tests {
     }
 
     #[test]
+    fn avail_wraparound_reflects_only_the_trailing_window() {
+        // Push the ring far past one window length in both directions: the
+        // estimate must track the trailing outcomes and shed the old regime
+        // geometrically, never averaging over the full history (a plain
+        // success/total ratio over 4 windows would sit near 0.75 here).
+        let a = Avail::new();
+        for _ in 0..AVAIL_WINDOW {
+            a.record(false);
+        }
+        for _ in 0..3 * AVAIL_WINDOW {
+            a.record(true);
+        }
+        assert!(
+            a.rate().unwrap() > 0.95,
+            "3 windows of successes should dominate: {:?}",
+            a.rate()
+        );
+        assert!(a.samples() <= AVAIL_WINDOW, "window stays bounded");
+        // And back down: the success era decays just as fast.
+        for _ in 0..3 * AVAIL_WINDOW {
+            a.record(false);
+        }
+        assert!(
+            a.rate().unwrap() < 0.05,
+            "3 windows of failures should dominate: {:?}",
+            a.rate()
+        );
+        assert!(a.samples() <= AVAIL_WINDOW);
+    }
+
+    #[test]
     fn avail_concurrent_recording_loses_nothing() {
         let a = Avail::new();
         std::thread::scope(|s| {

@@ -1,0 +1,46 @@
+//! Anti-entropy for replicated directories: summary-tree reconciliation.
+//!
+//! The paper's quorum intersection guarantees every *read* sees the latest
+//! version, but a representative that missed writes (partition, drop,
+//! restart) converges back only when a write quorum happens to land on it —
+//! until then it keeps voting with stale versions. This crate closes that
+//! gap with a background reconciliation protocol in the style of directory
+//! reconciliation / Merkle-tree anti-entropy:
+//!
+//! * each representative maintains a [`SummaryCache`] — a fanout-16 summary
+//!   tree of [`Digest`]s over 256 key-range buckets, hashing every stored
+//!   entry's `(key, version, gap_after)` triple (and the leading gap), kept
+//!   incrementally via dirty marks on apply;
+//! * a [`Repairer`] periodically picks a peer, compares summary levels
+//!   root-down, and pulls only the mismatched buckets ([`BucketView`]s);
+//! * [`merge_bucket`] computes the pointwise-latest state of two bucket
+//!   views and [`plan_bucket`] turns it into a [`RepairPlan`] of entry
+//!   installs at **pinned** version numbers, ghost removals, and gap-version
+//!   raises.
+//!
+//! Soundness rests on the paper's version-number update rule: at every
+//! point of the key space the version only grows, a higher version always
+//! wins, and equal versions denote identical data. Merging two replica
+//! states pointwise by "higher version wins" therefore needs **no quorum**
+//! — repair transfers facts the suite already committed, never invents
+//! versions, and is idempotent.
+//!
+//! The crate is deliberately below the replica layer: it depends only on
+//! core types and obs, and talks to concrete representatives through the
+//! [`RepairPeer`] / [`RepairTarget`] traits (implemented in
+//! `repdir-replica` for in-process and networked reps).
+
+mod merge;
+mod repairer;
+mod summary;
+
+pub use merge::{
+    diff_bucket, merge_bucket, plan_bucket, BucketEntry, BucketView, GapAnchor, RepairPlan,
+};
+pub use repairer::{
+    ApplyStats, RepairError, RepairHandle, RepairPeer, RepairTarget, Repairer, RoundStats,
+};
+pub use summary::{
+    bucket_high, bucket_low, bucket_of, entry_digest, fold_children, low_gap_digest, Digest,
+    SummaryCache, BUCKETS, FANOUT, GROUPS,
+};

@@ -1,0 +1,615 @@
+//! The repair driver: root-down summary walks, bucket pulls, plan apply.
+//!
+//! A [`Repairer`] owns one local [`RepairTarget`] and a set of
+//! [`RepairPeer`]s. One *round* against one peer compares the summary tree
+//! root-down — one 16-digest exchange per level, descending only into
+//! mismatched subtrees — then pulls each mismatched bucket, merges it with
+//! the local view ([`diff_bucket`]) and applies the resulting plan. An
+//! in-sync pair settles a round after a single summary exchange; a pair
+//! differing in `k` buckets costs `1 + groups(k)` summary exchanges plus
+//! `k` pulls, instead of shipping the whole directory.
+//!
+//! Repair is pull-based and one-directional: a round makes the *local*
+//! representative at least as new as the peer, never the converse. Full
+//! fleet convergence comes from every representative running its own
+//! repairer (see `run_until_quiescent` and the suite-level convergence
+//! test).
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::merge::{diff_bucket, BucketView, RepairPlan};
+use crate::summary::{Digest, FANOUT};
+
+/// Why a repair step could not run. All variants are transient from the
+/// repairer's perspective: the round is abandoned and retried later.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairError {
+    /// The representative (local or peer) is marked unavailable.
+    Unavailable,
+    /// Lock contention or a transaction conflict; retry next round.
+    Contended,
+    /// Transport failure or a malformed reply.
+    Protocol(String),
+}
+
+impl fmt::Display for RepairError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RepairError::Unavailable => write!(f, "representative unavailable"),
+            RepairError::Contended => write!(f, "lock contention during repair"),
+            RepairError::Protocol(msg) => write!(f, "repair protocol error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RepairError {}
+
+/// A remote representative as seen by the repairer: read-only summary and
+/// bucket endpoints. Implementations live in `repdir-replica` (in-process
+/// and RPC-backed).
+pub trait RepairPeer: Send + Sync {
+    /// Digests of one summary-tree level (see `SummaryCache::children`).
+    fn summary(&self, level: u8, path: u8) -> Result<Vec<Digest>, RepairError>;
+    /// The peer's full view of one bucket.
+    fn pull(&self, bucket: u8) -> Result<BucketView, RepairError>;
+}
+
+/// The local representative being repaired.
+pub trait RepairTarget: Send + Sync {
+    /// Digests of one summary-tree level of the local state.
+    fn children(&self, level: u8, path: u8) -> Result<Vec<Digest>, RepairError>;
+    /// The local view of one bucket.
+    fn bucket(&self, bucket: u8) -> Result<BucketView, RepairError>;
+    /// Applies a plan at its pinned versions. Implementations must guard
+    /// each step against concurrent progress (only ever move versions up)
+    /// and report what actually changed.
+    fn apply(&self, plan: &RepairPlan) -> Result<ApplyStats, RepairError>;
+}
+
+/// What an apply pass actually changed (guarded steps that were already
+/// superseded by concurrent progress are not counted).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    pub installed: u64,
+    pub ghosts_removed: u64,
+    pub gaps_raised: u64,
+}
+
+impl ApplyStats {
+    pub fn total(&self) -> u64 {
+        self.installed + self.ghosts_removed + self.gaps_raised
+    }
+
+    pub fn absorb(&mut self, other: ApplyStats) {
+        self.installed += other.installed;
+        self.ghosts_removed += other.ghosts_removed;
+        self.gaps_raised += other.gaps_raised;
+    }
+}
+
+/// Cost and effect of one or more repair rounds.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Summary levels fetched (root + descended groups).
+    pub summaries: u64,
+    /// Buckets whose digests mismatched and were pulled.
+    pub mismatched_buckets: u64,
+    /// Entries received across all pulls.
+    pub keys_pulled: u64,
+    /// Approximate payload bytes exchanged.
+    pub bytes: u64,
+    /// Rounds that failed with a transient error.
+    pub errors: u64,
+    /// What the applies changed.
+    pub applied: ApplyStats,
+}
+
+impl RoundStats {
+    pub fn absorb(&mut self, other: RoundStats) {
+        self.summaries += other.summaries;
+        self.mismatched_buckets += other.mismatched_buckets;
+        self.keys_pulled += other.keys_pulled;
+        self.bytes += other.bytes;
+        self.errors += other.errors;
+        self.applied.absorb(other.applied);
+    }
+}
+
+/// Outcome of [`Repairer::run_until_quiescent`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QuiesceStats {
+    /// Sweeps executed (one round per peer each).
+    pub sweeps: u64,
+    /// Whether the last sweep was error-free and changed nothing.
+    pub quiescent: bool,
+    /// Accumulated cost/effect over every sweep.
+    pub total: RoundStats,
+}
+
+const SUMMARY_WIRE_BYTES: u64 = 2 + FANOUT as u64 * 16;
+
+/// Drives anti-entropy for one representative against a set of peers.
+pub struct Repairer {
+    target: Arc<dyn RepairTarget>,
+    peers: Vec<Box<dyn RepairPeer>>,
+    next_peer: AtomicUsize,
+}
+
+impl Repairer {
+    pub fn new(target: Arc<dyn RepairTarget>, peers: Vec<Box<dyn RepairPeer>>) -> Self {
+        Repairer {
+            target,
+            peers,
+            next_peer: AtomicUsize::new(0),
+        }
+    }
+
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// One full round against peer `peer_idx`: walk the summary tree
+    /// root-down, pull every mismatched bucket, merge and apply.
+    pub fn run_round(&self, peer_idx: usize) -> Result<RoundStats, RepairError> {
+        let peer = self
+            .peers
+            .get(peer_idx)
+            .ok_or_else(|| RepairError::Protocol(format!("no peer {peer_idx}")))?;
+        let reg = repdir_obs::global();
+        let _span = reg.span("repair.round");
+        reg.counter("repair.rounds").inc();
+
+        let mut stats = RoundStats::default();
+        let groups = self.compare_level(peer.as_ref(), 0, 0, &mut stats)?;
+        let mut buckets = Vec::new();
+        for g in groups {
+            for leaf in self.compare_level(peer.as_ref(), 1, g, &mut stats)? {
+                buckets.push(g * FANOUT as u8 + leaf);
+            }
+        }
+        for b in buckets {
+            let applied = self.pull_and_apply(peer.as_ref(), b, &mut stats)?;
+            stats.applied.absorb(applied);
+        }
+        Ok(stats)
+    }
+
+    /// Fetches one summary level from the peer and the target, returning
+    /// the child indices whose digests disagree.
+    fn compare_level(
+        &self,
+        peer: &dyn RepairPeer,
+        level: u8,
+        path: u8,
+        stats: &mut RoundStats,
+    ) -> Result<Vec<u8>, RepairError> {
+        let remote = peer.summary(level, path)?;
+        let local = self.target.children(level, path)?;
+        stats.summaries += 1;
+        stats.bytes += SUMMARY_WIRE_BYTES;
+        repdir_obs::global().counter("repair.subtrees_walked").inc();
+        if remote.len() != local.len() || remote.len() != FANOUT {
+            return Err(RepairError::Protocol(format!(
+                "summary level {level}/{path}: got {} digests, expected {FANOUT}",
+                remote.len()
+            )));
+        }
+        Ok((0..FANOUT as u8)
+            .filter(|&i| remote[i as usize] != local[i as usize])
+            .collect())
+    }
+
+    fn pull_and_apply(
+        &self,
+        peer: &dyn RepairPeer,
+        bucket: u8,
+        stats: &mut RoundStats,
+    ) -> Result<ApplyStats, RepairError> {
+        let remote = peer.pull(bucket)?;
+        stats.mismatched_buckets += 1;
+        stats.keys_pulled += remote.entries.len() as u64;
+        stats.bytes += remote.wire_bytes();
+        let reg = repdir_obs::global();
+        reg.counter("repair.keys_pulled")
+            .add(remote.entries.len() as u64);
+        reg.counter("repair.bytes").add(remote.wire_bytes());
+        let local = self.target.bucket(bucket)?;
+        let plan = diff_bucket(bucket, &local, &remote);
+        if plan.is_empty() {
+            return Ok(ApplyStats::default());
+        }
+        self.target.apply(&plan)
+    }
+
+    /// Targeted repair of a single bucket from a single peer — the inline
+    /// read-repair path (a stale vote names the key, hence the bucket; no
+    /// summary walk is needed).
+    pub fn pull_bucket_from(&self, peer_idx: usize, bucket: u8) -> Result<ApplyStats, RepairError> {
+        let peer = self
+            .peers
+            .get(peer_idx)
+            .ok_or_else(|| RepairError::Protocol(format!("no peer {peer_idx}")))?;
+        let mut stats = RoundStats::default();
+        self.pull_and_apply(peer.as_ref(), bucket, &mut stats)
+    }
+
+    /// One round against every peer. Transient per-peer errors are counted,
+    /// not propagated — a down peer must not stall repair from the others.
+    pub fn run_sweep(&self) -> RoundStats {
+        let mut total = RoundStats::default();
+        for idx in 0..self.peers.len() {
+            match self.run_round(idx) {
+                Ok(s) => total.absorb(s),
+                Err(_) => total.errors += 1,
+            }
+        }
+        total
+    }
+
+    /// Sweeps until a sweep is error-free and changes nothing locally
+    /// (deterministic pulls: an unchanged state stays unchanged), or the
+    /// cap is hit.
+    pub fn run_until_quiescent(&self, max_sweeps: u64) -> QuiesceStats {
+        let mut out = QuiesceStats::default();
+        while out.sweeps < max_sweeps {
+            let sweep = self.run_sweep();
+            out.sweeps += 1;
+            out.total.absorb(sweep);
+            if sweep.errors == 0 && sweep.applied.total() == 0 {
+                out.quiescent = true;
+                break;
+            }
+        }
+        out
+    }
+
+    /// Runs the repairer on a background thread: one round against the
+    /// next peer (round-robin) every `interval`. Errors are absorbed into
+    /// the `repair.peer_errors` counter and retried on a later tick.
+    pub fn spawn(self, interval: Duration) -> RepairHandle {
+        let (tx, rx) = mpsc::channel::<()>();
+        let join = std::thread::Builder::new()
+            .name("repdir-repair".into())
+            .spawn(move || loop {
+                match rx.recv_timeout(interval) {
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.peers.is_empty() {
+                            continue;
+                        }
+                        let idx = self.next_peer.fetch_add(1, Ordering::Relaxed) % self.peers.len();
+                        if self.run_round(idx).is_err() {
+                            repdir_obs::global().counter("repair.peer_errors").inc();
+                        }
+                    }
+                }
+            })
+            .expect("spawn repair thread");
+        RepairHandle {
+            stop: Some(tx),
+            join: Some(join),
+        }
+    }
+}
+
+/// Handle to a background repair thread; stops and joins on drop.
+pub struct RepairHandle {
+    stop: Option<mpsc::Sender<()>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl RepairHandle {
+    /// Stops the repair thread and waits for the in-flight round to end.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for RepairHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{BucketEntry, GapAnchor};
+    use crate::summary::{bucket_of, entry_digest, low_gap_digest, SummaryCache, BUCKETS};
+    use repdir_core::{UserKey, Value, Version};
+    use std::sync::Mutex;
+
+    /// A toy representative storing bucket views directly — exercises the
+    /// walk/pull/apply loop without the full storage stack (the real
+    /// adapters live in repdir-replica).
+    struct MemRep {
+        cache: SummaryCache,
+        buckets: Mutex<Vec<BucketView>>,
+    }
+
+    impl MemRep {
+        fn new() -> Arc<Self> {
+            Arc::new(MemRep {
+                cache: SummaryCache::new(),
+                buckets: Mutex::new(vec![BucketView::default(); BUCKETS]),
+            })
+        }
+
+        fn insert(&self, key: &[u8], version: u64, gap_after: u64) {
+            let mut buckets = self.buckets.lock().unwrap();
+            let view = &mut buckets[bucket_of(key) as usize];
+            let k = UserKey::new(key);
+            let idx = view.entries.partition_point(|e| e.key < k);
+            let entry = BucketEntry {
+                key: k,
+                version: Version::new(version),
+                value: Value::new([key[0], version as u8]),
+                gap_after: Version::new(gap_after),
+            };
+            if view.entries.get(idx).is_some_and(|e| e.key == entry.key) {
+                view.entries[idx] = entry;
+            } else {
+                view.entries.insert(idx, entry);
+            }
+            self.cache.mark(key);
+        }
+
+        fn digest_bucket(&self, b: u8) -> Digest {
+            let buckets = self.buckets.lock().unwrap();
+            let view = &buckets[b as usize];
+            let mut hash = 0u64;
+            for e in &view.entries {
+                hash ^= entry_digest(e.key.as_bytes(), e.version, e.gap_after);
+            }
+            if b == 0 {
+                hash ^= low_gap_digest(view.lead_gap);
+            }
+            Digest {
+                hash,
+                count: view.entries.len() as u64,
+            }
+        }
+    }
+
+    impl RepairTarget for MemRep {
+        fn children(&self, level: u8, path: u8) -> Result<Vec<Digest>, RepairError> {
+            Ok(self
+                .cache
+                .children(level, path, &mut |b| self.digest_bucket(b)))
+        }
+
+        fn bucket(&self, bucket: u8) -> Result<BucketView, RepairError> {
+            Ok(self.buckets.lock().unwrap()[bucket as usize].clone())
+        }
+
+        fn apply(&self, plan: &RepairPlan) -> Result<ApplyStats, RepairError> {
+            let mut stats = ApplyStats::default();
+            for (k, v, val) in &plan.installs {
+                let mut buckets = self.buckets.lock().unwrap();
+                let view = &mut buckets[bucket_of(k.as_bytes()) as usize];
+                let idx = view.entries.partition_point(|e| e.key < *k);
+                let at = view.entries.get(idx).filter(|e| e.key == *k);
+                let gap = if idx == 0 {
+                    view.lead_gap
+                } else {
+                    view.entries[idx - 1].gap_after
+                };
+                match at {
+                    Some(e) if e.version >= *v => continue,
+                    Some(_) => {
+                        view.entries[idx].version = *v;
+                        view.entries[idx].value = val.clone();
+                    }
+                    None => view.entries.insert(
+                        idx,
+                        BucketEntry {
+                            key: k.clone(),
+                            version: *v,
+                            value: val.clone(),
+                            gap_after: gap,
+                        },
+                    ),
+                }
+                self.cache.mark(k.as_bytes());
+                stats.installed += 1;
+            }
+            for (k, covering) in &plan.ghosts {
+                let mut buckets = self.buckets.lock().unwrap();
+                let view = &mut buckets[bucket_of(k.as_bytes()) as usize];
+                if let Ok(idx) = view.entries.binary_search_by(|e| e.key.cmp(k)) {
+                    if view.entries[idx].version < *covering {
+                        view.entries.remove(idx);
+                        if idx == 0 {
+                            view.lead_gap = *covering;
+                        } else {
+                            view.entries[idx - 1].gap_after = *covering;
+                        }
+                        self.cache.mark(k.as_bytes());
+                        stats.ghosts_removed += 1;
+                    }
+                }
+            }
+            for (anchor, to) in &plan.gap_raises {
+                let mut buckets = self.buckets.lock().unwrap();
+                match anchor {
+                    GapAnchor::LowEdge => {
+                        if buckets[0].lead_gap < *to {
+                            buckets[0].lead_gap = *to;
+                            self.cache.mark(b"");
+                            stats.gaps_raised += 1;
+                        }
+                    }
+                    GapAnchor::After(k) => {
+                        let view = &mut buckets[bucket_of(k.as_bytes()) as usize];
+                        if let Ok(idx) = view.entries.binary_search_by(|e| e.key.cmp(k)) {
+                            if view.entries[idx].gap_after < *to {
+                                view.entries[idx].gap_after = *to;
+                                self.cache.mark(k.as_bytes());
+                                stats.gaps_raised += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(stats)
+        }
+    }
+
+    impl RepairPeer for Arc<MemRep> {
+        fn summary(&self, level: u8, path: u8) -> Result<Vec<Digest>, RepairError> {
+            self.as_ref().children(level, path)
+        }
+
+        fn pull(&self, bucket: u8) -> Result<BucketView, RepairError> {
+            self.as_ref().bucket(bucket)
+        }
+    }
+
+    fn digests_equal(a: &MemRep, b: &MemRep) -> bool {
+        a.children(0, 0).unwrap() == b.children(0, 0).unwrap()
+    }
+
+    #[test]
+    fn in_sync_pair_settles_after_one_summary_exchange() {
+        let a = MemRep::new();
+        let b = MemRep::new();
+        for rep in [&a, &b] {
+            rep.insert(b"alpha", 3, 0);
+            rep.insert(b"beta", 5, 0);
+        }
+        let repairer = Repairer::new(a.clone(), vec![Box::new(b.clone())]);
+        let stats = repairer.run_round(0).unwrap();
+        assert_eq!(stats.summaries, 1);
+        assert_eq!(stats.mismatched_buckets, 0);
+        assert_eq!(stats.keys_pulled, 0);
+        assert_eq!(stats.applied.total(), 0);
+    }
+
+    #[test]
+    fn walk_descends_only_into_mismatched_subtrees() {
+        let a = MemRep::new();
+        let b = MemRep::new();
+        for rep in [&a, &b] {
+            rep.insert(b"alpha", 3, 0);
+        }
+        // One extra key on the peer, in one bucket.
+        b.insert(b"zeta", 7, 0);
+        let repairer = Repairer::new(a.clone(), vec![Box::new(b.clone())]);
+        let stats = repairer.run_round(0).unwrap();
+        // Root level + exactly one descended group, one pulled bucket.
+        assert_eq!(stats.summaries, 2);
+        assert_eq!(stats.mismatched_buckets, 1);
+        assert_eq!(stats.keys_pulled, 1);
+        assert_eq!(stats.applied.installed, 1);
+        assert!(digests_equal(&a, &b));
+        // Next round: fully settled again.
+        let stats = repairer.run_round(0).unwrap();
+        assert_eq!(stats.summaries, 1);
+        assert_eq!(stats.applied.total(), 0);
+    }
+
+    #[test]
+    fn quiescence_converges_divergent_reps_both_ways() {
+        let a = MemRep::new();
+        let b = MemRep::new();
+        for i in 0..40u64 {
+            let key = [(i % 7 * 31 + 11) as u8, i as u8];
+            a.insert(&key, i + 1, 0);
+            if i % 3 != 0 {
+                b.insert(&key, i + 1, 0);
+            }
+        }
+        b.insert(b"only-on-b", 99, 0);
+        let ra = Repairer::new(a.clone(), vec![Box::new(b.clone())]);
+        let rb = Repairer::new(b.clone(), vec![Box::new(a.clone())]);
+        // Pull-based repair is one-directional; drive both until neither
+        // changes anything.
+        for _ in 0..8 {
+            let qa = ra.run_until_quiescent(8);
+            let qb = rb.run_until_quiescent(8);
+            assert!(qa.quiescent && qb.quiescent);
+            if digests_equal(&a, &b) {
+                break;
+            }
+        }
+        assert!(digests_equal(&a, &b));
+        assert_eq!(*a.buckets.lock().unwrap(), *b.buckets.lock().unwrap());
+    }
+
+    #[test]
+    fn targeted_pull_repairs_only_the_named_bucket() {
+        let a = MemRep::new();
+        let b = MemRep::new();
+        b.insert(b"alpha", 3, 0);
+        b.insert(b"zeta", 7, 0);
+        let repairer = Repairer::new(a.clone(), vec![Box::new(b.clone())]);
+        let applied = repairer.pull_bucket_from(0, bucket_of(b"zeta")).unwrap();
+        assert_eq!(applied.installed, 1);
+        // "alpha" is still missing — only the named bucket was touched.
+        assert!(a.buckets.lock().unwrap()[bucket_of(b"alpha") as usize]
+            .entries
+            .is_empty());
+        assert_eq!(
+            a.buckets.lock().unwrap()[bucket_of(b"zeta") as usize]
+                .entries
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn background_thread_converges_and_stops_cleanly() {
+        let a = MemRep::new();
+        let b = MemRep::new();
+        for i in 0..10u64 {
+            b.insert(&[i as u8 + 40, 1], i + 1, 0);
+        }
+        let repairer = Repairer::new(a.clone(), vec![Box::new(b.clone())]);
+        let handle = repairer.spawn(Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while !digests_equal(&a, &b) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background repair stalled"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        handle.stop();
+        assert_eq!(*a.buckets.lock().unwrap(), *b.buckets.lock().unwrap());
+    }
+
+    #[test]
+    fn sweep_counts_peer_errors_without_stalling_other_peers() {
+        struct DownPeer;
+        impl RepairPeer for DownPeer {
+            fn summary(&self, _: u8, _: u8) -> Result<Vec<Digest>, RepairError> {
+                Err(RepairError::Unavailable)
+            }
+            fn pull(&self, _: u8) -> Result<BucketView, RepairError> {
+                Err(RepairError::Unavailable)
+            }
+        }
+        let a = MemRep::new();
+        let b = MemRep::new();
+        b.insert(b"key", 2, 0);
+        let repairer = Repairer::new(a.clone(), vec![Box::new(DownPeer), Box::new(b.clone())]);
+        let sweep = repairer.run_sweep();
+        assert_eq!(sweep.errors, 1);
+        assert_eq!(sweep.applied.installed, 1);
+        assert!(digests_equal(&a, &b));
+    }
+}

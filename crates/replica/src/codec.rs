@@ -11,6 +11,7 @@ use repdir_core::{
     CoalesceOutcome, InsertOutcome, Key, LookupReply, NeighborReply, RemovedEntry, RepError,
     UserKey, Value, Version,
 };
+use repdir_repair::{BucketEntry, BucketView, Digest};
 use repdir_txn::TxnId;
 
 /// A request to a representative server.
@@ -42,6 +43,19 @@ pub enum Request {
     /// by a [`Response::Batch`] with replies in request order. Envelopes do
     /// not nest.
     Batch(Vec<Request>),
+    /// Anti-entropy: digests of one summary-tree level. Read-only; no
+    /// transaction.
+    Summary {
+        /// Tree level: 0 for the 16 group digests, 1 for a group's leaves.
+        level: u8,
+        /// Group index when `level` is 1; ignored at level 0.
+        path: u8,
+    },
+    /// Anti-entropy: the full view of one summary bucket. Read-only.
+    Pull {
+        /// Leaf bucket index (the keys' leading byte).
+        bucket: u8,
+    },
 }
 
 /// A response from a representative server.
@@ -63,6 +77,10 @@ pub enum Response {
     Err(RepError),
     /// Replies to a [`Request::Batch`], in request order.
     Batch(Vec<Response>),
+    /// Summary-level digests (reply to [`Request::Summary`]).
+    Summary(Vec<Digest>),
+    /// A bucket view (reply to [`Request::Pull`]).
+    Pull(BucketView),
 }
 
 /// Decoding failure: the peer sent bytes this codec cannot parse.
@@ -191,6 +209,8 @@ const RQ_ABORT: u8 = 8;
 const RQ_PRED_CHAIN: u8 = 9;
 const RQ_SUCC_CHAIN: u8 = 10;
 const RQ_BATCH: u8 = 11;
+const RQ_SUMMARY: u8 = 12;
+const RQ_PULL: u8 = 13;
 
 /// Encodes a request.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -255,6 +275,15 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             let parts: Vec<Vec<u8>> = reqs.iter().map(encode_request).collect();
             b.put_slice(&repdir_net::pack_parts(&parts));
         }
+        Request::Summary { level, path } => {
+            b.put_u8(RQ_SUMMARY);
+            b.put_u8(*level);
+            b.put_u8(*path);
+        }
+        Request::Pull { bucket } => {
+            b.put_u8(RQ_PULL);
+            b.put_u8(*bucket);
+        }
     }
     b
 }
@@ -310,6 +339,11 @@ pub fn decode_request(mut b: &[u8]) -> DecodeResult<Request> {
             }
             Ok(Request::Batch(reqs))
         }
+        RQ_SUMMARY => Ok(Request::Summary {
+            level: get_u8(b)?,
+            path: get_u8(b)?,
+        }),
+        RQ_PULL => Ok(Request::Pull { bucket: get_u8(b)? }),
         _ => err("unknown request tag"),
     }
 }
@@ -326,6 +360,8 @@ const RS_COALESCE: u8 = 6;
 const RS_ERR: u8 = 7;
 const RS_CHAIN: u8 = 8;
 const RS_BATCH: u8 = 9;
+const RS_SUMMARY: u8 = 10;
+const RS_PULL: u8 = 11;
 
 const ERR_NO_BOUNDARY: u8 = 0;
 const ERR_SENTINEL: u8 = 1;
@@ -466,6 +502,25 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             let parts: Vec<Vec<u8>> = resps.iter().map(encode_response).collect();
             b.put_slice(&repdir_net::pack_parts(&parts));
         }
+        Response::Summary(digests) => {
+            b.put_u8(RS_SUMMARY);
+            b.put_u32_le(digests.len() as u32);
+            for d in digests {
+                b.put_u64_le(d.hash);
+                b.put_u64_le(d.count);
+            }
+        }
+        Response::Pull(view) => {
+            b.put_u8(RS_PULL);
+            b.put_u64_le(view.lead_gap.get());
+            b.put_u32_le(view.entries.len() as u32);
+            for e in &view.entries {
+                put_user_key(&mut b, &e.key);
+                b.put_u64_le(e.version.get());
+                put_value(&mut b, &e.value);
+                b.put_u64_le(e.gap_after.get());
+            }
+        }
     }
     b
 }
@@ -542,6 +597,31 @@ pub fn decode_response(mut b: &[u8]) -> DecodeResult<Response> {
             }
             Ok(Response::Batch(resps))
         }
+        RS_SUMMARY => {
+            let n = get_u32(b)? as usize;
+            let mut digests = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                digests.push(Digest {
+                    hash: get_u64(b)?,
+                    count: get_u64(b)?,
+                });
+            }
+            Ok(Response::Summary(digests))
+        }
+        RS_PULL => {
+            let lead_gap = Version::new(get_u64(b)?);
+            let n = get_u32(b)? as usize;
+            let mut entries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                entries.push(BucketEntry {
+                    key: get_user_key(b)?,
+                    version: Version::new(get_u64(b)?),
+                    value: get_value(b)?,
+                    gap_after: Version::new(get_u64(b)?),
+                });
+            }
+            Ok(Response::Pull(BucketView { lead_gap, entries }))
+        }
         _ => err("unknown response tag"),
     }
 }
@@ -608,6 +688,10 @@ mod tests {
                 Request::Insert(TxnId(9), k("bulk"), v(2), Value::from("B")),
                 Request::Lookup(TxnId(9), k("bulk")),
             ]),
+            Request::Summary { level: 0, path: 0 },
+            Request::Summary { level: 1, path: 15 },
+            Request::Pull { bucket: 0 },
+            Request::Pull { bucket: 255 },
         ]
     }
 
@@ -693,6 +777,35 @@ mod tests {
                 }]),
                 Response::Err(RepError::Unavailable),
             ]),
+            Response::Summary(vec![]),
+            Response::Summary(vec![
+                Digest { hash: 0, count: 0 },
+                Digest {
+                    hash: u64::MAX,
+                    count: 12,
+                },
+            ]),
+            Response::Pull(BucketView {
+                lead_gap: v(7),
+                entries: vec![],
+            }),
+            Response::Pull(BucketView {
+                lead_gap: v(0),
+                entries: vec![
+                    BucketEntry {
+                        key: UserKey::from("p1"),
+                        version: v(3),
+                        value: Value::from("V"),
+                        gap_after: v(9),
+                    },
+                    BucketEntry {
+                        key: UserKey::from(""),
+                        version: v(1),
+                        value: Value::empty(),
+                        gap_after: v(0),
+                    },
+                ],
+            }),
         ]
     }
 

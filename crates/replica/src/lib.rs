@@ -29,9 +29,11 @@ pub mod codec;
 mod client;
 mod directory;
 mod remote;
+mod repair;
 mod server;
 
 pub use client::SessionClient;
 pub use directory::{DirTxn, ReplicatedDirectory};
 pub use remote::{serve_rep, RemoteSessionClient};
+pub use repair::{LocalRepairPeer, RemoteRepairPeer, RepTarget};
 pub use server::TransactionalRep;

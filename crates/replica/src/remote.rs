@@ -74,6 +74,11 @@ fn dispatch(rep: &TransactionalRep, req: Request) -> Response {
         Request::Batch(reqs) => {
             Response::Batch(reqs.into_iter().map(|r| dispatch(rep, r)).collect())
         }
+        // Anti-entropy endpoints: read-only, no coordinator transaction.
+        Request::Summary { level, path } => {
+            wrap(rep.summary_children(level, path), Response::Summary)
+        }
+        Request::Pull { bucket } => wrap(rep.repair_bucket(bucket), Response::Pull),
     }
 }
 

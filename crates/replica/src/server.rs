@@ -1,18 +1,29 @@
 //! The full transactional directory representative: durable gap-versioned
 //! state + Figure-6 range locking + per-transaction undo.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use repdir_core::sync::Mutex;
 use repdir_core::{
     CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, RepId,
-    RepResult, Value, Version,
+    RepResult, UserKey, Value, Version,
 };
 use repdir_rangelock::{DeadlockDomain, KeyRange, LockError, LockMode, LockStats, RangeLockTable};
+use repdir_repair::{
+    bucket_high, bucket_low, entry_digest, low_gap_digest, ApplyStats, BucketEntry, BucketView,
+    Digest, GapAnchor, RepairPlan, SummaryCache,
+};
 use repdir_storage::{Backend, DurableState, SimDisk};
 use repdir_txn::TxnId;
+
+/// Transaction ids for internal repair transactions, carved out of the top
+/// of the id space so they never collide with coordinator-assigned ids.
+fn next_repair_txn() -> TxnId {
+    static NEXT: AtomicU64 = AtomicU64::new(1 << 62);
+    TxnId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
 
 /// A directory representative with the paper's full §3.1 semantics:
 ///
@@ -47,6 +58,7 @@ pub struct TransactionalRep {
     locks: RangeLockTable,
     lock_timeout: Duration,
     available: AtomicBool,
+    summary: SummaryCache,
 }
 
 impl TransactionalRep {
@@ -75,6 +87,7 @@ impl TransactionalRep {
             locks: RangeLockTable::new(),
             lock_timeout: Self::DEFAULT_LOCK_TIMEOUT,
             available: AtomicBool::new(true),
+            summary: SummaryCache::new(),
         })
     }
 
@@ -91,6 +104,7 @@ impl TransactionalRep {
             locks: RangeLockTable::new(),
             lock_timeout: Self::DEFAULT_LOCK_TIMEOUT,
             available: AtomicBool::new(true),
+            summary: SummaryCache::new(),
         }))
     }
 
@@ -153,11 +167,16 @@ impl TransactionalRep {
     ///
     /// [`RepError::Storage`] if the durable log cannot be replayed.
     pub fn crash_and_recover(&self) -> Result<(), RepError> {
-        let mut state = self.state.lock();
-        let disk = Arc::clone(state.disk());
-        disk.crash(0);
-        *state = DurableState::recover(disk).map_err(|e| RepError::Storage(e.to_string()))?;
-        self.locks.reset();
+        {
+            let mut state = self.state.lock();
+            let disk = Arc::clone(state.disk());
+            disk.crash(0);
+            *state = DurableState::recover(disk).map_err(|e| RepError::Storage(e.to_string()))?;
+            self.locks.reset();
+        }
+        // Outside the state guard: summary digests lock summary-then-state,
+        // so marking must never happen state-then-summary.
+        self.summary.mark_all();
         Ok(())
     }
 
@@ -301,7 +320,11 @@ impl TransactionalRep {
     ) -> RepResult<InsertOutcome> {
         self.check_up()?;
         self.acquire(txn, LockMode::Modify, KeyRange::point(key.clone()))?;
-        self.state.lock().insert(txn, key, version, value.clone())
+        let outcome = self.state.lock().insert(txn, key, version, value.clone())?;
+        if let Key::User(u) = key {
+            self.summary.mark(u.as_bytes());
+        }
+        Ok(outcome)
     }
 
     /// `DirRepCoalesce(l, h, v)` under `RepModify(l, h)`.
@@ -329,7 +352,10 @@ impl TransactionalRep {
             LockMode::Modify,
             KeyRange::new(low.clone(), high.clone()),
         )?;
-        self.state.lock().coalesce(txn, low, high, version)
+        let outcome = self.state.lock().coalesce(txn, low, high, version)?;
+        self.summary
+            .mark_span(bucket_of_key(low), bucket_of_key(high));
+        Ok(outcome)
     }
 
     /// Commits the transaction's effects at this representative (durable
@@ -350,8 +376,12 @@ impl TransactionalRep {
     pub fn abort(&self, txn: TxnId) {
         // Abort proceeds even on an "unavailable" representative: it is the
         // cleanup path for failures.
-        self.state.lock().abort(txn);
+        let undid = self.state.lock().abort(txn);
         self.locks.release_all(txn);
+        if undid {
+            // Undo rewrote arbitrary ranges; re-digest lazily.
+            self.summary.mark_all();
+        }
     }
 
     /// Pings the representative (quorum collection).
@@ -361,6 +391,182 @@ impl TransactionalRep {
     /// [`RepError::Unavailable`] while failed.
     pub fn ping(&self) -> RepResult<()> {
         self.check_up()
+    }
+
+    /// Digests of one summary-tree level (anti-entropy; serves
+    /// `Request::Summary`). Dirty buckets are re-scanned under the state
+    /// mutex but without transaction locks — the digest is advisory (it
+    /// only decides what to pull; every applied step re-validates under
+    /// locks), so racing a concurrent writer at worst costs an extra pull.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed.
+    pub fn summary_children(&self, level: u8, path: u8) -> RepResult<Vec<Digest>> {
+        self.check_up()?;
+        Ok(self.summary.children(level, path, &mut |b| {
+            let state = self.state.lock();
+            let low = bucket_low(b);
+            let high = bucket_high(b);
+            let mut hash = 0u64;
+            let mut count = 0u64;
+            state.visit_range(
+                low.as_ref().map(|a| &a[..]),
+                high.as_ref().map(|a| &a[..]),
+                &mut |key, version, _value, gap_after| {
+                    hash ^= entry_digest(key.as_bytes(), version, gap_after);
+                    count += 1;
+                },
+            );
+            if b == 0 {
+                hash ^= low_gap_digest(state.low_gap());
+            }
+            Digest { hash, count }
+        }))
+    }
+
+    /// The full local view of one summary bucket — its leading gap version
+    /// and every entry with its `gap_after` — read under `RepLookup` range
+    /// locks on an internal transaction so it never observes uncommitted
+    /// data. Serves `Request::Pull`.
+    ///
+    /// # Errors
+    ///
+    /// Availability and lock errors.
+    pub fn repair_bucket(&self, bucket: u8) -> RepResult<BucketView> {
+        self.check_up()?;
+        let txn = next_repair_txn();
+        self.state.lock().begin(txn);
+        let result = self.repair_bucket_locked(txn, bucket);
+        // Read-only: abort just releases the locks.
+        self.abort(txn);
+        result
+    }
+
+    fn repair_bucket_locked(&self, txn: TxnId, bucket: u8) -> RepResult<BucketView> {
+        let low = bucket_low(bucket);
+        let high = bucket_high(bucket);
+        let low_key = low.map_or(Key::Low, |b| Key::User(UserKey::new(&b[..])));
+        let high_key = high.map_or(Key::High, |b| Key::User(UserKey::new(&b[..])));
+        self.acquire(
+            txn,
+            LockMode::Lookup,
+            KeyRange::new(low_key.clone(), high_key),
+        )?;
+        // The gap extending into the bucket from below: the directory's
+        // leading gap for bucket 0, else the gap after the predecessor of
+        // the bucket's lower bound.
+        let lead_gap = match &low_key {
+            Key::Low => self.state.lock().low_gap(),
+            key => self.predecessor(txn, key)?.gap_version,
+        };
+        let mut entries = Vec::new();
+        self.state.lock().visit_range(
+            low.as_ref().map(|a| &a[..]),
+            high.as_ref().map(|a| &a[..]),
+            &mut |key, version, value, gap_after| {
+                entries.push(BucketEntry {
+                    key: key.clone(),
+                    version,
+                    value: value.clone(),
+                    gap_after,
+                });
+            },
+        );
+        Ok(BucketView { lead_gap, entries })
+    }
+
+    /// Applies a repair plan inside one internal transaction, installing
+    /// entries and gap versions **at their pinned version numbers** — sound
+    /// without any quorum by the paper's version rule (versions only grow;
+    /// equal versions carry identical data). Every step re-validates under
+    /// its range lock and is skipped if concurrent progress already
+    /// supersedes it, so versions never move down; the whole apply commits
+    /// or rolls back atomically. Returns what actually changed.
+    ///
+    /// # Errors
+    ///
+    /// Availability, lock, and state errors; on error nothing is applied.
+    pub fn apply_repair(&self, plan: &RepairPlan) -> RepResult<ApplyStats> {
+        self.check_up()?;
+        let mut stats = ApplyStats::default();
+        if plan.is_empty() {
+            return Ok(stats);
+        }
+        let txn = next_repair_txn();
+        self.state.lock().begin(txn);
+        match self.apply_repair_steps(txn, plan, &mut stats) {
+            Ok(()) => {
+                self.commit(txn)?;
+                Ok(stats)
+            }
+            Err(e) => {
+                self.abort(txn);
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_repair_steps(
+        &self,
+        txn: TxnId,
+        plan: &RepairPlan,
+        stats: &mut ApplyStats,
+    ) -> RepResult<()> {
+        for (key, version, value) in &plan.installs {
+            let key = Key::User(key.clone());
+            let reply = self.lookup(txn, &key)?;
+            let apply = if reply.is_present() {
+                // Equal versions are identical already.
+                reply.version() < *version
+            } else {
+                // Ties against a gap go to the entry (same fact, two
+                // encodings); a strictly higher gap is a newer delete.
+                reply.version() <= *version
+            };
+            if apply {
+                self.insert(txn, &key, *version, value)?;
+                stats.installed += 1;
+            }
+        }
+        for (key, covering) in &plan.ghosts {
+            let key = Key::User(key.clone());
+            let reply = self.lookup(txn, &key)?;
+            if !reply.is_present() || reply.version() >= *covering {
+                continue;
+            }
+            let pred = self.predecessor(txn, &key)?;
+            let succ = self.successor(txn, &key)?;
+            // Removing the ghost coalesces its two adjacent gap segments to
+            // `covering`; if either has concurrently moved past it, leave
+            // the key to a later round rather than lower a gap version.
+            if pred.gap_version > *covering || succ.gap_version > *covering {
+                continue;
+            }
+            self.coalesce(txn, &pred.key, &succ.key, *covering)?;
+            stats.ghosts_removed += 1;
+        }
+        for (anchor, to) in &plan.gap_raises {
+            let anchor_key = match anchor {
+                GapAnchor::LowEdge => Key::Low,
+                GapAnchor::After(k) => Key::User(k.clone()),
+            };
+            if let Key::User(_) = &anchor_key {
+                // The anchoring entry may itself have been removed since
+                // the plan was computed; its gap is then owned elsewhere.
+                if !self.lookup(txn, &anchor_key)?.is_present() {
+                    continue;
+                }
+            }
+            let succ = self.successor(txn, &anchor_key)?;
+            if succ.gap_version >= *to {
+                continue;
+            }
+            // Empty interior: this only rewrites the gap's version.
+            self.coalesce(txn, &anchor_key, &succ.key, *to)?;
+            stats.gaps_raised += 1;
+        }
+        Ok(())
     }
 
     fn check_up(&self) -> RepResult<()> {
@@ -378,6 +584,16 @@ impl TransactionalRep {
                 LockError::Timeout => RepError::LockTimeout,
                 LockError::Deadlock => RepError::Deadlock,
             })
+    }
+}
+
+/// The summary bucket containing a coalesce boundary (sentinels clamp to
+/// the edge buckets).
+fn bucket_of_key(key: &Key) -> u8 {
+    match key {
+        Key::Low => 0,
+        Key::User(u) => repdir_repair::bucket_of(u.as_bytes()),
+        Key::High => u8::MAX,
     }
 }
 
@@ -564,5 +780,146 @@ mod tests {
         rep.lookup(t, &k("a")).unwrap();
         rep.commit(t).unwrap();
         assert!(rep.lock_stats().granted >= 1);
+    }
+
+    #[test]
+    fn summary_digests_track_committed_state_only() {
+        let a = TransactionalRep::new(RepId(0));
+        let b = TransactionalRep::new(RepId(1));
+        let digests = |rep: &TransactionalRep| rep.summary_children(0, 0).unwrap();
+        assert_eq!(digests(&a), digests(&b));
+
+        let t = TxnId(1);
+        a.begin(t).unwrap();
+        a.insert(t, &k("apple"), v(1), &val("A")).unwrap();
+        a.commit(t).unwrap();
+        assert_ne!(digests(&a), digests(&b));
+
+        let t = TxnId(2);
+        b.begin(t).unwrap();
+        b.insert(t, &k("apple"), v(1), &val("A")).unwrap();
+        b.commit(t).unwrap();
+        assert_eq!(digests(&a), digests(&b));
+
+        // Aborted work leaves the digests untouched.
+        let t = TxnId(3);
+        a.begin(t).unwrap();
+        a.insert(t, &k("zebra"), v(2), &val("Z")).unwrap();
+        a.abort(t);
+        assert_eq!(digests(&a), digests(&b));
+
+        // Crash recovery re-digests to the same committed state.
+        a.crash_and_recover().unwrap();
+        assert_eq!(digests(&a), digests(&b));
+    }
+
+    #[test]
+    fn repair_bucket_view_carries_lead_and_after_gaps() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t = TxnId(1);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("b"), v(2), &val("B")).unwrap();
+        rep.insert(t, &k("d"), v(4), &val("D")).unwrap();
+        rep.commit(t).unwrap();
+        let t = TxnId(2);
+        rep.begin(t).unwrap();
+        rep.coalesce(t, &k("b"), &k("d"), v(7)).unwrap();
+        rep.commit(t).unwrap();
+
+        // "b" and "d" are one byte apart in different buckets; the (b, d)
+        // gap at version 7 is the `gap_after` of "b" in its bucket and the
+        // lead gap of "d"'s bucket.
+        let view_b = rep.repair_bucket(b'b').unwrap();
+        assert_eq!(view_b.lead_gap, Version::ZERO);
+        assert_eq!(view_b.entries.len(), 1);
+        assert_eq!(view_b.entries[0].version, v(2));
+        assert_eq!(view_b.entries[0].gap_after, v(7));
+        let view_d = rep.repair_bucket(b'd').unwrap();
+        assert_eq!(view_d.lead_gap, v(7));
+        assert_eq!(view_d.entries.len(), 1);
+        // An untouched bucket between them inherits the gap as its lead.
+        let view_c = rep.repair_bucket(b'c').unwrap();
+        assert_eq!(view_c.lead_gap, v(7));
+        assert!(view_c.entries.is_empty());
+        // The repair read released its locks: a write can proceed.
+        let t = TxnId(3);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("bz"), v(8), &val("BZ")).unwrap();
+        rep.commit(t).unwrap();
+    }
+
+    #[test]
+    fn apply_repair_converges_a_stale_rep_without_quorum() {
+        let fresh = TransactionalRep::new(RepId(0));
+        let stale = TransactionalRep::new(RepId(1));
+        // Both saw the initial inserts...
+        for rep in [&fresh, &stale] {
+            let t = TxnId(1);
+            rep.begin(t).unwrap();
+            rep.insert(t, &k("a"), v(1), &val("A")).unwrap();
+            rep.insert(t, &k("b"), v(2), &val("B")).unwrap();
+            rep.insert(t, &k("c"), v(3), &val("C")).unwrap();
+            rep.commit(t).unwrap();
+        }
+        // ...but only `fresh` saw the delete of "b" and the update of "c".
+        let t = TxnId(2);
+        fresh.begin(t).unwrap();
+        fresh.coalesce(t, &k("a"), &k("c"), v(9)).unwrap();
+        fresh.insert(t, &k("c"), v(10), &val("C2")).unwrap();
+        fresh.commit(t).unwrap();
+        assert_ne!(fresh.snapshot(), stale.snapshot());
+
+        // Pull every bucket from `fresh`, merge, apply — no quorum involved.
+        let mut changed = repdir_repair::ApplyStats::default();
+        for bucket in 0..=u8::MAX {
+            let remote = fresh.repair_bucket(bucket).unwrap();
+            let local = stale.repair_bucket(bucket).unwrap();
+            let plan = repdir_repair::diff_bucket(bucket, &local, &remote);
+            changed.absorb(stale.apply_repair(&plan).unwrap());
+        }
+        assert_eq!(fresh.snapshot(), stale.snapshot());
+        assert_eq!(
+            fresh.summary_children(0, 0).unwrap(),
+            stale.summary_children(0, 0).unwrap()
+        );
+        assert_eq!(changed.installed, 1); // c@10
+        assert_eq!(changed.ghosts_removed, 1); // b
+                                               // A second pass is a no-op (idempotence).
+        for bucket in 0..=u8::MAX {
+            let remote = fresh.repair_bucket(bucket).unwrap();
+            let local = stale.repair_bucket(bucket).unwrap();
+            let plan = repdir_repair::diff_bucket(bucket, &local, &remote);
+            assert!(plan.is_empty());
+        }
+    }
+
+    #[test]
+    fn apply_repair_never_moves_versions_down() {
+        let rep = TransactionalRep::new(RepId(0));
+        let t = TxnId(1);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("c"), v(10), &val("C")).unwrap();
+        rep.commit(t).unwrap();
+        let before = rep.snapshot();
+        // A plan computed against an older view: install below the current
+        // version, ghost below the current version, raise below the gap.
+        let plan = repdir_repair::RepairPlan {
+            installs: vec![(repdir_core::UserKey::new(&b"c"[..]), v(5), val("old"))],
+            ghosts: vec![(repdir_core::UserKey::new(&b"c"[..]), v(4))],
+            gap_raises: vec![(repdir_repair::GapAnchor::LowEdge, Version::ZERO)],
+        };
+        let stats = rep.apply_repair(&plan).unwrap();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(rep.snapshot(), before);
+    }
+
+    #[test]
+    fn repair_endpoints_respect_availability() {
+        let rep = TransactionalRep::new(RepId(0));
+        rep.set_available(false);
+        assert_eq!(rep.summary_children(0, 0), Err(RepError::Unavailable));
+        assert_eq!(rep.repair_bucket(0), Err(RepError::Unavailable));
+        let plan = repdir_repair::RepairPlan::default();
+        assert_eq!(rep.apply_repair(&plan), Err(RepError::Unavailable));
     }
 }

@@ -5,8 +5,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use repdir_core::{
-    CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, Value,
-    Version,
+    CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, UserKey,
+    Value, Version,
 };
 use repdir_txn::{undo_for_coalesce, undo_for_insert, TxnId, UndoRecord};
 
@@ -105,6 +105,23 @@ impl DurableState {
     /// A [`GapMap`] copy of the current (including uncommitted) state.
     pub fn map(&self) -> GapMap {
         self.state.to_gapmap()
+    }
+
+    /// Version of the leading gap (between `LOW` and the first entry).
+    pub fn low_gap(&self) -> Version {
+        self.state.low_gap()
+    }
+
+    /// Visits entries with byte keys in `[low, high)` in key order as
+    /// `(key, version, value, gap_after)` without copying the state; see
+    /// [`DirState::visit_range`](crate::DirState::visit_range).
+    pub fn visit_range(
+        &self,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+    ) {
+        self.state.visit_range(low, high, visit);
     }
 
     /// Number of stored entries.
@@ -222,14 +239,19 @@ impl DurableState {
     }
 
     /// Aborts: rolls memory back via the undo log (reverse order) and logs
-    /// an abort record. Idempotent.
-    pub fn abort(&mut self, txn: TxnId) {
+    /// an abort record. Idempotent. Returns whether any state change was
+    /// rolled back (lets callers skip cache invalidation for read-only
+    /// transactions).
+    pub fn abort(&mut self, txn: TxnId) -> bool {
         if let Some(mut undo) = self.undo.remove(&txn) {
+            let undid = !undo.is_empty();
             while let Some(rec) = undo.pop() {
                 apply_undo_dyn(self.state.as_mut(), rec);
             }
             self.wal.append(&WalRecord::Abort { txn: txn.0 });
+            return undid;
         }
+        false
     }
 
     /// Writes a checkpoint so recovery need not replay the whole log.

@@ -321,6 +321,25 @@ impl GapBTree {
         Iter { stack }
     }
 
+    /// Version of the leading gap (between `LOW` and the first entry).
+    pub fn low_gap(&self) -> Version {
+        self.low_gap
+    }
+
+    /// Visits entries with byte keys in `[low, high)` in key order as
+    /// `(key, version, value, gap_after)`, pruning subtrees entirely
+    /// outside the range via separator keys. `None` bounds run to the
+    /// corresponding sentinel. The `gap_after` versions let range
+    /// summaries (repair subtree hashes) cover gap-only divergence.
+    pub fn range_scan(
+        &self,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+    ) {
+        visit_closed_open_range(&self.root, low, high, visit);
+    }
+
     /// The gaps in key order; a tree with `n` entries yields `n + 1` gaps.
     pub fn gaps(&self) -> Vec<GapInfo> {
         let mut entries = Vec::with_capacity(self.len);
@@ -720,6 +739,54 @@ fn collect_open_range(
                     }
                 }
                 collect_open_range(child, low, high, out);
+            }
+        }
+    }
+}
+
+/// Visits entries with keys in `[low, high)` — `None` bounds mean the
+/// corresponding sentinel. Prunes subtrees entirely outside the range via
+/// separator keys (same descent as [`collect_open_range`], but inclusive
+/// on the low side and exposing the full leaf record).
+fn visit_closed_open_range(
+    node: &Node,
+    low: Option<&[u8]>,
+    high: Option<&[u8]>,
+    visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+) {
+    match node {
+        Node::Leaf { entries } => {
+            for (k, rec) in entries {
+                if low.is_some_and(|lo| k.as_bytes() < lo) {
+                    continue;
+                }
+                if high.is_some_and(|hi| k.as_bytes() >= hi) {
+                    break;
+                }
+                visit(k, rec.version, &rec.value, rec.gap_after);
+            }
+        }
+        Node::Internal {
+            separators,
+            children,
+        } => {
+            for (i, child) in children.iter().enumerate() {
+                if i > 0 {
+                    // Keys in this child are >= separators[i-1]; if that
+                    // bound already reaches high, nothing here qualifies.
+                    if high.is_some_and(|hi| separators[i - 1].as_bytes() >= hi) {
+                        break;
+                    }
+                }
+                if i < separators.len() {
+                    // Keys in this child are < separators[i]; if that stays
+                    // at or below low, skip ahead (low is inclusive, so a
+                    // separator equal to low still excludes this child).
+                    if low.is_some_and(|lo| separators[i].as_bytes() <= lo) {
+                        continue;
+                    }
+                }
+                visit_closed_open_range(child, low, high, visit);
             }
         }
     }

@@ -89,6 +89,20 @@ pub trait DirState: Send + fmt::Debug {
     /// As [`GapMap::set_gap_after`](repdir_core::GapMap::set_gap_after).
     fn set_gap_after(&mut self, low: &Key, version: Version) -> Result<(), RepError>;
 
+    /// Version of the leading gap (between `LOW` and the first entry).
+    fn low_gap(&self) -> Version;
+
+    /// Visits entries with byte keys in `[low, high)` in key order as
+    /// `(key, version, value, gap_after)`; `None` bounds run to the
+    /// corresponding sentinel. Used by the repair subsystem to hash key
+    /// ranges into summary-tree buckets without copying the state.
+    fn visit_range(
+        &self,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+    );
+
     /// A [`GapMap`] copy of the full state (snapshots, checkpoints,
     /// cross-backend comparison).
     fn to_gapmap(&self) -> GapMap;
@@ -138,6 +152,17 @@ impl DirState for GapMap {
     fn set_gap_after(&mut self, low: &Key, version: Version) -> Result<(), RepError> {
         GapMap::set_gap_after(self, low, version)
     }
+    fn low_gap(&self) -> Version {
+        GapMap::low_gap(self)
+    }
+    fn visit_range(
+        &self,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+    ) {
+        GapMap::range_scan(self, low, high, visit);
+    }
     fn to_gapmap(&self) -> GapMap {
         self.clone()
     }
@@ -186,6 +211,17 @@ impl DirState for GapBTree {
     }
     fn set_gap_after(&mut self, low: &Key, version: Version) -> Result<(), RepError> {
         GapBTree::set_gap_after(self, low, version)
+    }
+    fn low_gap(&self) -> Version {
+        GapBTree::low_gap(self)
+    }
+    fn visit_range(
+        &self,
+        low: Option<&[u8]>,
+        high: Option<&[u8]>,
+        visit: &mut dyn FnMut(&UserKey, Version, &Value, Version),
+    ) {
+        GapBTree::range_scan(self, low, high, visit);
     }
     fn to_gapmap(&self) -> GapMap {
         let mut map = GapMap::new();
@@ -297,6 +333,46 @@ mod tests {
         let mut map2 = GapMap::new();
         DirState::load(&mut map2, &map);
         assert_eq!(map2, map);
+    }
+
+    #[test]
+    fn visit_range_is_half_open_and_backend_agnostic() {
+        type Row = (UserKey, Version, Value, Version);
+        fn collect(state: &dyn DirState, low: Option<&[u8]>, high: Option<&[u8]>) -> Vec<Row> {
+            let mut rows = Vec::new();
+            state.visit_range(low, high, &mut |k, ver, val, gap| {
+                rows.push((k.clone(), ver, val.clone(), gap));
+            });
+            rows
+        }
+        let mut expected = None;
+        for backend in [Backend::GapMap, Backend::GapBTree { order: 3 }] {
+            let mut state = backend.new_state();
+            for key in ["b", "d", "f", "h", "j", "l"] {
+                state.insert(&k(key), v(1), val(key)).unwrap();
+            }
+            // A coalesce gives interior entries distinct gap_after versions.
+            state.coalesce(&k("d"), &k("f"), v(5)).unwrap();
+            let all = collect(state.as_ref(), None, None);
+            assert_eq!(all.len(), 6, "unbounded visits everything");
+            assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "key order");
+            // [d, j): inclusive low, exclusive high.
+            let mid = collect(state.as_ref(), Some(b"d"), Some(b"j"));
+            assert_eq!(
+                mid.iter().map(|r| r.0.clone()).collect::<Vec<_>>(),
+                ["d", "f", "h"].map(UserKey::from).to_vec()
+            );
+            assert_eq!(mid[0].3, v(5), "d's trailing gap carries the coalesce");
+            assert!(collect(state.as_ref(), Some(b"x"), None).is_empty());
+            match &expected {
+                None => expected = Some((all, mid)),
+                Some((a, m)) => {
+                    assert_eq!(&collect(state.as_ref(), None, None), a);
+                    assert_eq!(&collect(state.as_ref(), Some(b"d"), Some(b"j")), m);
+                }
+            }
+            assert_eq!(state.low_gap(), Version::ZERO);
+        }
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! Metrics dump: what the obs subsystem sees during a short workload.
 //!
-//! Runs a handful of operations against a 3-2-2 suite, then prints the
+//! Runs a handful of operations against a 3-2-2 suite — including a brief
+//! partition so reads observe stale votes (`repair.stale_votes_observed`)
+//! — then an anti-entropy round between two representatives (the global
+//! `repair.rounds` / `repair.subtrees_walked` / `repair.keys_pulled` /
+//! `repair.bytes` counters and the `repair.round` span), and prints the
 //! suite's own registry (per-member message/ping counters, reply-time
 //! EWMAs, quorum wave counts, operation spans) followed by the
 //! process-global registry the subsystem crates (net, rangelock, storage,
-//! txn, replica) record into.
+//! txn, replica, repair) record into.
 //!
 //! ```text
 //! cargo run --example obs_dump            # human-readable text
@@ -12,7 +16,11 @@
 //! ```
 
 use repdir::core::suite::{DirSuite, SuiteConfig};
-use repdir::core::{Key, Value};
+use repdir::core::{Key, RepId, Value, Version};
+use repdir::repair::Repairer;
+use repdir::replica::{LocalRepairPeer, RepTarget, TransactionalRep};
+use repdir::txn::TxnId;
+use std::sync::Arc;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let json = std::env::args().any(|a| a == "--json");
@@ -29,6 +37,38 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dir.lookup(&Key::from("passwd"))?;
     }
     dir.delete(&Key::from("hosts"))?;
+    // Partition member 2 for one write, heal, and read until a quorum
+    // straddles it: the stale votes land in `repair.stale_votes_observed`
+    // and the queue drains through `take_stale_votes`.
+    dir.member(2).set_available(false);
+    dir.update(&Key::from("motd"), &Value::from("inode 100"))?;
+    dir.member(2).set_available(true);
+    for _ in 0..8 {
+        dir.lookup(&Key::from("motd"))?;
+    }
+    let stale = dir.take_stale_votes();
+
+    // One anti-entropy round between two representatives fills in the
+    // global `repair.*` counters: a fresh rep pulls the whole directory
+    // from a seeded peer through the summary tree.
+    let fresh = TransactionalRep::new(RepId(10));
+    let seeded = TransactionalRep::new(RepId(11));
+    let txn = TxnId(1);
+    seeded.begin(txn)?;
+    for (i, name) in ["passwd", "motd", "group"].iter().enumerate() {
+        seeded.insert(
+            txn,
+            &Key::from(*name),
+            Version::new(i as u64 + 1),
+            &Value::from(*name),
+        )?;
+    }
+    seeded.commit(txn)?;
+    let repairer = Repairer::new(
+        Arc::new(RepTarget::new(Arc::clone(&fresh))),
+        vec![Box::new(LocalRepairPeer::new(seeded))],
+    );
+    let quiesce = repairer.run_until_quiescent(4);
 
     // Per-suite registry: everything the coordinator recorded. The same
     // numbers back `message_counts()` / `ping_counts()` /
@@ -46,6 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             global.render_json()
         );
     } else {
+        println!(
+            "stale votes drained for read-repair: {} (repair quiesced after {} sweeps)\n",
+            stale.len(),
+            quiesce.sweeps
+        );
         println!("== suite registry ==\n{}", suite_obs.render_text());
         println!("== global registry ==\n{}", global.render_text());
     }
