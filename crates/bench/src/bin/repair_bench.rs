@@ -25,21 +25,29 @@
 //! straddle the stale member queue `StaleVote`s and bump
 //! `repair.stale_votes_observed`.
 //!
+//! With `--driver` a third strategy runs on a fresh fixture with the same
+//! divergence: post-heal reads straddling the stale member push
+//! `StaleVote`s into a [`StaleVoteQueue`], and a [`RepairDriver`] drains
+//! them into bucket-targeted pulls — no summary walk at all. Its message
+//! count is compared against the summary-sweep cost (what a fixed-interval
+//! background sweeper pays per convergence).
+//!
 //! ```text
-//! cargo run --release -p repdir-bench --bin repair_bench [-- --quick] [--check]
+//! cargo run --release -p repdir-bench --bin repair_bench [-- --quick] [--check] [--driver]
 //! ```
 //!
 //! `--check` exits nonzero unless summary-tree repair converges the stale
-//! member with at least 2x fewer fabric messages than the full copy. Every
-//! run rewrites `BENCH_repair.json` at the repo root.
+//! member with at least 2x fewer fabric messages than the full copy (and,
+//! with `--driver`, unless vote-targeted pulls beat summary sweeping by
+//! another 2x). Every run rewrites `BENCH_repair.json` at the repo root.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use repdir_core::suite::{DirSuite, RandomPolicy, SuiteConfig};
+use repdir_core::suite::{DirSuite, FixedPolicy, RandomPolicy, StaleVoteQueue, SuiteConfig};
 use repdir_core::{Key, RepId, UserKey, Value, Version};
 use repdir_net::{FaultPlan, LatencyModel, Network, NodeId, RpcClient, ServerHandle};
-use repdir_repair::{RepairPeer, Repairer};
+use repdir_repair::{Pacing, RepairDriver, RepairPeer, Repairer};
 use repdir_replica::{
     serve_rep, RemoteRepairPeer, RemoteSessionClient, RepTarget, TransactionalRep,
 };
@@ -115,6 +123,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let check = args.iter().any(|a| a == "--check");
+    let driver_mode = args.iter().any(|a| a == "--driver");
 
     let keys = if quick { 128 } else { 256 };
     let updates = keys / 20; // ~5% of the directory goes stale
@@ -205,6 +214,78 @@ fn main() {
         "full copy did not reproduce member 0"
     );
 
+    // Strategy 3 (`--driver`): stale-vote-targeted pulls by a
+    // [`RepairDriver`], on a fresh fixture with identical divergence. The
+    // baseline it races is strategy 1 — the cost a fixed-interval
+    // background sweeper pays to converge the same member.
+    let driver_stats = if driver_mode {
+        let mut fx2 = build(keys, hop, timeout, 0x4E7A);
+        fx2.net
+            .set_node_drop(NodeId(100 + STALE_MEMBER as u32), 1.0);
+        for u in 0..updates {
+            let k = key_of(u * (keys / updates));
+            fx2.suite
+                .update(&k, &Value::from("v2"))
+                .expect("update through the surviving write quorum");
+        }
+        fx2.net
+            .set_node_drop(NodeId(100 + STALE_MEMBER as u32), 0.0);
+
+        // Route stale votes to a shared queue, then read every updated key
+        // through a read quorum pinned to {0, stale}: each divergent key
+        // coalesces into one queued vote naming the stale member.
+        let queue = Arc::new(StaleVoteQueue::new());
+        fx2.suite.set_stale_vote_sink(Some(Arc::clone(&queue)));
+        fx2.suite
+            .set_policy(Box::new(FixedPolicy::with_order(vec![0, STALE_MEMBER, 1])));
+        // The member's availability score is still depressed from the
+        // partition, so early reads may hedge past it and settle their
+        // quorum on {0, 1}; repeat the pass until every stale key has been
+        // read *through* the stale member and voted (votes coalesce, so
+        // re-reads never inflate the queue).
+        let mut passes = 0;
+        while queue.len() < updates {
+            for u in 0..updates {
+                let k = key_of(u * (keys / updates));
+                fx2.suite.lookup(&k).expect("straddling post-heal lookup");
+            }
+            passes += 1;
+            assert!(
+                passes < 16,
+                "straddling reads never voted all {updates} stale keys ({} queued)",
+                queue.len()
+            );
+        }
+        for i in 0..MEMBERS as usize {
+            fx2.suite.member(i).commit().expect("commit workload txn");
+        }
+
+        let repairer = Repairer::new(
+            Arc::new(RepTarget::new(Arc::clone(&fx2.reps[STALE_MEMBER]))),
+            vec![Box::new(RemoteRepairPeer::new(
+                Arc::clone(&fx2.rpc),
+                NodeId(100),
+            ))],
+        );
+        let vote_queue = Arc::clone(&queue);
+        let mut driver = RepairDriver::new(repairer, Pacing::default())
+            .with_vote_source(Box::new(move || vote_queue.drain_member(STALE_MEMBER)));
+        let before = fx2.net.stats().sent;
+        let t = Instant::now();
+        let tick = driver.drain_and_pull();
+        let driver_elapsed = t.elapsed();
+        let driver_msgs = fx2.net.stats().sent - before;
+        assert_eq!(tick.unrepaired, 0, "driver left voted buckets unrepaired");
+        assert_eq!(
+            fx2.reps[0].snapshot(),
+            fx2.reps[STALE_MEMBER].snapshot(),
+            "vote-targeted pulls did not converge the stale member"
+        );
+        Some((driver_msgs, tick, driver_elapsed))
+    } else {
+        None
+    };
+
     let msg_ratio = copy_msgs as f64 / repair_msgs.max(1) as f64;
     println!(
         "{:<12} {:>10} {:>12} {:>12} {:>12}",
@@ -226,9 +307,29 @@ fn main() {
         "-",
         copy_elapsed.as_micros()
     );
+    let driver_ratio = driver_stats
+        .as_ref()
+        .map(|(msgs, _, _)| repair_msgs as f64 / (*msgs).max(1) as f64);
+    if let Some((driver_msgs, tick, driver_elapsed)) = &driver_stats {
+        println!(
+            "{:<12} {:>10} {:>12} {:>12} {:>10}us",
+            "driver",
+            driver_msgs,
+            tick.applied.total(),
+            "-",
+            driver_elapsed.as_micros()
+        );
+    }
     println!();
     println!("stale votes observed by reads: {stale_votes} (counter {stale_votes_counter})");
     println!("message ratio (full copy / repair): {msg_ratio:.2}x");
+    if let (Some(ratio), Some((_, tick, _))) = (driver_ratio, &driver_stats) {
+        println!(
+            "driver mode: {} votes -> {} buckets -> {} targeted pulls; \
+             message ratio (sweep / driver): {ratio:.2}x",
+            tick.votes, tick.buckets, tick.pulls
+        );
+    }
 
     let doc = format!(
         concat!(
@@ -238,7 +339,7 @@ fn main() {
             "  \"repair_msgs\": {}, \"repair_keys_pulled\": {}, \"repair_bytes\": {},\n",
             "  \"repair_elapsed_us\": {}, \"repair_sweeps\": {},\n",
             "  \"fullcopy_msgs\": {}, \"fullcopy_keys\": {}, \"fullcopy_elapsed_us\": {},\n",
-            "  \"stale_votes_observed\": {},\n",
+            "  \"stale_votes_observed\": {},\n{}",
             "  \"msg_ratio\": {:.3}\n}}\n"
         ),
         if quick { "quick" } else { "full" },
@@ -257,6 +358,21 @@ fn main() {
         copy_keys,
         copy_elapsed.as_micros(),
         stale_votes_counter,
+        match (&driver_stats, driver_ratio) {
+            (Some((driver_msgs, tick, driver_elapsed)), Some(ratio)) => format!(
+                concat!(
+                    "  \"driver_msgs\": {}, \"driver_votes\": {}, \"driver_buckets\": {},\n",
+                    "  \"driver_pulls\": {}, \"driver_elapsed_us\": {}, \"driver_ratio\": {:.3},\n"
+                ),
+                driver_msgs,
+                tick.votes,
+                tick.buckets,
+                tick.pulls,
+                driver_elapsed.as_micros(),
+                ratio
+            ),
+            _ => String::new(),
+        },
         msg_ratio
     );
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -279,5 +395,14 @@ fn main() {
         println!(
             "CHECK PASSED: repair converged with {msg_ratio:.2}x fewer messages (gate {GATE}x)"
         );
+        if let Some(ratio) = driver_ratio {
+            if ratio < GATE {
+                eprintln!("FAIL: driver ratio {ratio:.2}x below the {GATE}x gate");
+                std::process::exit(1);
+            }
+            println!(
+                "CHECK PASSED: vote-targeted pulls beat summary sweeping {ratio:.2}x (gate {GATE}x)"
+            );
+        }
     }
 }

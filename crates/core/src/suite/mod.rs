@@ -256,6 +256,103 @@ pub struct StaleVote {
     pub latest: Version,
 }
 
+/// A shared, deduplicating queue of [`StaleVote`]s, the hand-off point
+/// between the read path (any number of [`DirSuite`]s pushing via
+/// [`set_stale_vote_sink`](DirSuite::set_stale_vote_sink)) and the repair
+/// drivers draining votes for the member they heal.
+///
+/// Votes are coalesced per `(member, key)`: a key that keeps getting read
+/// while stale produces one queued vote (carrying the latest observation),
+/// not one redundant bucket pull per read. Per-member wakers let a driver
+/// sleep until evidence for *its* member actually arrives.
+#[derive(Default)]
+pub struct StaleVoteQueue {
+    votes: crate::sync::Mutex<Vec<StaleVote>>,
+    wakers: crate::sync::Mutex<Vec<Option<VoteWaker>>>,
+}
+
+/// Callback fired after a vote for a member is queued; see
+/// [`StaleVoteQueue::set_waker`].
+pub type VoteWaker = Box<dyn Fn() + Send + Sync>;
+
+impl StaleVoteQueue {
+    /// An empty queue with no wakers.
+    pub fn new() -> Self {
+        StaleVoteQueue::default()
+    }
+
+    /// Queues one vote, coalescing with any queued vote for the same
+    /// `(member, key)` — the newer observation replaces the older in place,
+    /// so queue order stays oldest-first per target. The member's waker (if
+    /// registered) fires after the push.
+    pub fn push(&self, vote: StaleVote) {
+        let member = vote.member;
+        {
+            let mut votes = self.votes.lock();
+            match votes
+                .iter_mut()
+                .find(|v| v.member == vote.member && v.key == vote.key)
+            {
+                Some(existing) => *existing = vote,
+                None => votes.push(vote),
+            }
+        }
+        let wakers = self.wakers.lock();
+        if let Some(Some(waker)) = wakers.get(member) {
+            waker();
+        }
+    }
+
+    /// Drains every queued vote naming `member`, oldest observation first.
+    pub fn drain_member(&self, member: usize) -> Vec<StaleVote> {
+        let mut votes = self.votes.lock();
+        let mut out = Vec::new();
+        votes.retain(|v| {
+            if v.member == member {
+                out.push(v.clone());
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Drains the whole queue, oldest first.
+    pub fn drain_all(&self) -> Vec<StaleVote> {
+        std::mem::take(&mut *self.votes.lock())
+    }
+
+    /// Number of queued (coalesced) votes.
+    pub fn len(&self) -> usize {
+        self.votes.lock().len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Installs (or clears) the waker called after a vote for `member` is
+    /// queued. The callback runs on the reading thread and must not block:
+    /// typical implementations send a wake message to a driver channel.
+    pub fn set_waker(&self, member: usize, waker: Option<VoteWaker>) {
+        let mut wakers = self.wakers.lock();
+        if wakers.len() <= member {
+            wakers.resize_with(member + 1, || None);
+        }
+        wakers[member] = waker;
+    }
+}
+
+impl std::fmt::Debug for StaleVoteQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StaleVoteQueue")
+            .field("queued", &self.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// A quorum held across the hops of one bulk operation (scan, the deletes'
 /// copy+coalesce chain) instead of being re-collected per hop.
 ///
@@ -343,8 +440,13 @@ pub struct DirSuite<C: RepClient> {
     /// inline read-repair (default). Off is the no-repair baseline.
     repair: bool,
     /// Stale votes observed by quorum reads, drained by
-    /// [`take_stale_votes`](DirSuite::take_stale_votes).
+    /// [`take_stale_votes`](DirSuite::take_stale_votes). Coalesced per
+    /// `(member, key)`; unused when a shared sink is installed.
     stale_votes: Vec<StaleVote>,
+    /// Shared sink stale votes are routed to instead of the local queue —
+    /// the hand-off to background repair drivers
+    /// ([`set_stale_vote_sink`](DirSuite::set_stale_vote_sink)).
+    stale_sink: Option<Arc<StaleVoteQueue>>,
     /// EWMA sample recorded when a member RPC fails; defaults to
     /// [`FAILED_RPC_PENALTY`].
     penalty_sample: Duration,
@@ -399,6 +501,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
             hedge_delay: None,
             repair: true,
             stale_votes: Vec::new(),
+            stale_sink: None,
             penalty_sample: FAILED_RPC_PENALTY,
             obs,
         })
@@ -591,9 +694,19 @@ impl<C: RepClient + 'static> DirSuite<C> {
     /// Drains the queue of stale votes observed by quorum reads since the
     /// last drain, oldest first. Feed these to the repair subsystem; the
     /// reads that produced them were already correct (the version rule
-    /// masked the stale replies), so draining lazily is safe.
+    /// masked the stale replies), so draining lazily is safe. Empty while a
+    /// shared sink is installed — the votes went to the sink instead.
     pub fn take_stale_votes(&mut self) -> Vec<StaleVote> {
         std::mem::take(&mut self.stale_votes)
+    }
+
+    /// Routes observed stale votes to a shared [`StaleVoteQueue`] instead of
+    /// the suite-local queue — the hook a `ReplicatedDirectory` uses to feed
+    /// one queue from every transaction's suite so background repair drivers
+    /// can drain it. `None` restores the local queue. Anything already
+    /// queued locally stays until [`take_stale_votes`] drains it.
+    pub fn set_stale_vote_sink(&mut self, sink: Option<Arc<StaleVoteQueue>>) {
+        self.stale_sink = sink;
     }
 
     /// Overrides the reply-time EWMA sample recorded for a failed member
@@ -1890,15 +2003,6 @@ impl<C: RepClient + 'static> DirSuite<C> {
         pong
     }
 
-    /// Spawns a detached worker that runs `call` against member `i` and
-    /// reports `(i, result)` on `tx`. Unlike the scoped [`fan_out`]
-    /// threads, the worker owns clones of the client and the obs handles,
-    /// so it keeps recording (EWMA, reply histogram, availability, failure
-    /// penalty) even after the coordinator stopped listening at the vote
-    /// threshold; its send simply fails once the receiver is gone. A
-    /// panicking client scores as [`RepError::Unavailable`] — out here it
-    /// is indistinguishable from a dead one — rather than poisoning the
-    /// coordinator.
     /// Compares each member's lookup vote against the merged winner and
     /// queues the stale ones for the repair layer. A member is stale when
     /// its reply version (entry or gap) is strictly below the winner's: by
@@ -1913,16 +2017,39 @@ impl<C: RepClient + 'static> DirSuite<C> {
             let seen = reply.version();
             if seen < latest {
                 self.obs.stale_votes.inc();
-                self.stale_votes.push(StaleVote {
+                let vote = StaleVote {
                     member: *member,
                     key: key.clone(),
                     seen,
                     latest,
-                });
+                };
+                match &self.stale_sink {
+                    Some(sink) => sink.push(vote),
+                    // Coalesce per (member, key), keeping the latest
+                    // observation: a key that is read repeatedly while
+                    // stale must cost one targeted pull, not one per read.
+                    None => match self
+                        .stale_votes
+                        .iter_mut()
+                        .find(|v| v.member == *member && v.key == *key)
+                    {
+                        Some(existing) => *existing = vote,
+                        None => self.stale_votes.push(vote),
+                    },
+                }
             }
         }
     }
 
+    /// Spawns a detached worker that runs `call` against member `i` and
+    /// reports `(i, result)` on `tx`. Unlike the scoped [`fan_out`]
+    /// threads, the worker owns clones of the client and the obs handles,
+    /// so it keeps recording (EWMA, reply histogram, availability, failure
+    /// penalty) even after the coordinator stopped listening at the vote
+    /// threshold; its send simply fails once the receiver is gone. A
+    /// panicking client scores as [`RepError::Unavailable`] — out here it
+    /// is indistinguishable from a dead one — rather than poisoning the
+    /// coordinator.
     fn spawn_rpc_worker<T, F>(
         &self,
         i: usize,
@@ -3883,6 +4010,106 @@ mod tests {
         // A fresh read re-observes the still-stale member.
         s.lookup(&k("b")).unwrap();
         assert_eq!(s.take_stale_votes().len(), 1);
+    }
+
+    #[test]
+    fn repeated_stale_reads_coalesce_to_one_queued_vote() {
+        // Regression: repeated lookups of the same stale key used to queue
+        // one StaleVote per read, so the repair layer issued one redundant
+        // bucket pull per read. The queue must coalesce per (member, key),
+        // keeping the latest observation.
+        let mut s = suite_322(66);
+        let registry = Registry::new();
+        s.set_obs_registry(registry.clone());
+        s.set_policy(fixed(&[0, 1]));
+        s.insert(&k("b"), &val("B")).unwrap();
+        s.set_policy(fixed(&[1, 2]));
+        for _ in 0..5 {
+            s.lookup(&k("b")).unwrap();
+        }
+        // Every observation is counted, but the queue holds one vote.
+        assert_eq!(registry.counter("repair.stale_votes_observed").get(), 5);
+        let votes = s.take_stale_votes();
+        assert_eq!(
+            votes,
+            vec![StaleVote {
+                member: 2,
+                key: k("b"),
+                seen: Version::ZERO,
+                latest: Version::new(1),
+            }]
+        );
+        // The member falls further behind; the coalesced vote must carry
+        // the *latest* winner, not the first one observed.
+        s.set_policy(fixed(&[0, 1]));
+        s.update(&k("b"), &val("B2")).unwrap();
+        s.set_policy(fixed(&[1, 2]));
+        s.lookup(&k("b")).unwrap();
+        s.set_policy(fixed(&[0, 1]));
+        s.update(&k("b"), &val("B3")).unwrap();
+        s.set_policy(fixed(&[1, 2]));
+        s.lookup(&k("b")).unwrap();
+        let votes = s.take_stale_votes();
+        assert_eq!(votes.len(), 1);
+        assert_eq!(votes[0].latest, Version::new(3));
+    }
+
+    #[test]
+    fn stale_votes_route_to_a_shared_sink_and_wake_the_member() {
+        let mut s = suite_322(67);
+        s.set_policy(fixed(&[0, 1]));
+        s.insert(&k("b"), &val("B")).unwrap();
+        let queue = Arc::new(StaleVoteQueue::new());
+        let woken = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let count = Arc::clone(&woken);
+        queue.set_waker(
+            2,
+            Some(Box::new(move || {
+                count.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            })),
+        );
+        s.set_stale_vote_sink(Some(Arc::clone(&queue)));
+        s.set_policy(fixed(&[1, 2]));
+        for _ in 0..3 {
+            s.lookup(&k("b")).unwrap();
+        }
+        // Votes bypass the local queue, land (coalesced) in the sink, and
+        // each observation fires the stale member's waker.
+        assert!(s.take_stale_votes().is_empty());
+        assert_eq!(woken.load(std::sync::atomic::Ordering::SeqCst), 3);
+        assert!(queue.drain_member(0).is_empty());
+        let votes = queue.drain_member(2);
+        assert_eq!(votes.len(), 1);
+        assert_eq!(votes[0].key, k("b"));
+        assert!(queue.is_empty());
+        // Uninstalling the sink restores the suite-local queue.
+        s.set_stale_vote_sink(None);
+        s.lookup(&k("b")).unwrap();
+        assert_eq!(s.take_stale_votes().len(), 1);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn stale_vote_queue_coalesces_and_drains_per_member() {
+        let queue = StaleVoteQueue::new();
+        let vote = |member: usize, key: &str, latest: u64| StaleVote {
+            member,
+            key: k(key),
+            seen: Version::ZERO,
+            latest: Version::new(latest),
+        };
+        queue.push(vote(0, "a", 1));
+        queue.push(vote(1, "a", 1));
+        queue.push(vote(0, "b", 2));
+        queue.push(vote(0, "a", 5)); // coalesces with (0, "a"), keeps latest
+        assert_eq!(queue.len(), 3);
+        let m0 = queue.drain_member(0);
+        assert_eq!(m0.len(), 2);
+        assert_eq!(m0[0].key, k("a"));
+        assert_eq!(m0[0].latest, Version::new(5));
+        assert_eq!(m0[1].key, k("b"));
+        assert_eq!(queue.drain_all(), vec![vote(1, "a", 1)]);
+        assert!(queue.is_empty());
     }
 
     #[test]

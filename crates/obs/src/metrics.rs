@@ -36,6 +36,13 @@ impl Counter {
     pub fn reset(&self) {
         self.0.store(0, Ordering::Relaxed);
     }
+
+    /// Overwrites the value — turns the counter into a gauge for
+    /// level-style readings (e.g. a driver's current backoff interval).
+    /// Monotone counters never call this.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
 }
 
 /// Number of histogram buckets: upper bounds 1, 2, 4, … 2²⁰ microseconds

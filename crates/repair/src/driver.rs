@@ -1,0 +1,522 @@
+//! The self-driving repair loop: stale-vote-fed targeted pulls with
+//! adaptive pacing.
+//!
+//! A [`RepairDriver`] wraps a [`Repairer`] with the policy layer the
+//! ROADMAP left open: *what* to repair and *when*. It drains a stale-vote
+//! source (the evidence quorum reads collect for free), coalesces the
+//! votes into distinct summary buckets, and issues bucket-targeted pulls —
+//! no summary walk, two fabric messages per divergent bucket. Only when
+//! the queue is dry does it fall back to periodic summary sweeps, and the
+//! sweep interval adapts ([`Pacing`]): geometric backoff while sweeps
+//! quiesce, snap-back to the floor on evidence of work (stale votes,
+//! applied changes, a member-recovery signal, or a *fresh* peer error).
+//!
+//! The driver runs on a background thread behind a [`DriverHandle`] that
+//! stops and joins on drop, and is woken early through [`DriverWaker`]s —
+//! one wired to the stale-vote queue, one to the representative's recovery
+//! hook.
+
+use std::collections::BTreeSet;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use repdir_core::suite::StaleVote;
+use repdir_core::Key;
+
+use crate::repairer::{ApplyStats, Repairer, RoundStats};
+use crate::summary::bucket_of;
+
+/// Adaptive pacing bounds for a repair driver.
+///
+/// The driver's tick interval starts at `floor`, multiplies by `factor`
+/// after every quiescent tick (a sweep that found nothing and failed
+/// nothing), saturates at `cap`, and snaps back to `floor` whenever there
+/// is evidence of work to do. A fixed-interval loop is the degenerate
+/// [`Pacing::fixed`] configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pacing {
+    /// Shortest tick interval; activity snaps the driver back here.
+    pub floor: Duration,
+    /// Longest tick interval; geometric backoff stops growing here.
+    pub cap: Duration,
+    /// Interval multiplier applied after each quiescent tick (≥ 1.0).
+    pub factor: f64,
+}
+
+impl Default for Pacing {
+    /// 25 ms floor, 3.2 s cap, doubling — an idle fleet settles to one
+    /// summary exchange every few seconds, while a stale vote or recovery
+    /// pulls the next tick to within 25 ms.
+    fn default() -> Self {
+        Pacing {
+            floor: Duration::from_millis(25),
+            cap: Duration::from_millis(3200),
+            factor: 2.0,
+        }
+    }
+}
+
+impl Pacing {
+    /// A non-adaptive configuration: every tick `interval` apart — the
+    /// pre-driver `Repairer::spawn` behaviour.
+    pub fn fixed(interval: Duration) -> Self {
+        Pacing {
+            floor: interval,
+            cap: interval,
+            factor: 1.0,
+        }
+    }
+}
+
+/// The pacing state machine, kept separate from the thread loop so the
+/// backoff schedule is unit-testable without any clock.
+///
+/// Transitions (from the current delay `d`):
+///
+/// * [`note_quiet`](Pacer::note_quiet) — quiescent sweep: `d ← min(d ×
+///   factor, cap)`.
+/// * [`note_activity`](Pacer::note_activity) — stale votes drained,
+///   changes applied, or a recovery signal: `d ← floor`.
+/// * [`note_errors`](Pacer::note_errors) — a tick that only failed: the
+///   *first* error after a healthy tick snaps to the floor (a transient
+///   worth retrying soon); consecutive error ticks back off like
+///   quiescence, so a dead-majority fabric is probed ever more slowly
+///   instead of being spun against at the floor.
+#[derive(Clone, Debug)]
+pub struct Pacer {
+    pacing: Pacing,
+    delay: Duration,
+    consecutive_errors: u32,
+}
+
+impl Pacer {
+    /// A pacer at the floor of `pacing`.
+    pub fn new(pacing: Pacing) -> Self {
+        Pacer {
+            pacing,
+            delay: pacing.floor,
+            consecutive_errors: 0,
+        }
+    }
+
+    /// The interval to sleep before the next tick.
+    pub fn delay(&self) -> Duration {
+        self.delay
+    }
+
+    fn back_off(&mut self) {
+        let grown = self.delay.as_secs_f64() * self.pacing.factor.max(1.0);
+        self.delay = Duration::from_secs_f64(grown).min(self.pacing.cap);
+    }
+
+    /// A tick swept and found nothing to do: back off geometrically.
+    pub fn note_quiet(&mut self) {
+        self.consecutive_errors = 0;
+        self.back_off();
+    }
+
+    /// Evidence of work (votes, applied changes, recovery): snap to floor.
+    pub fn note_activity(&mut self) {
+        self.consecutive_errors = 0;
+        self.delay = self.pacing.floor;
+    }
+
+    /// A tick that only saw errors (no progress).
+    pub fn note_errors(&mut self) {
+        self.consecutive_errors += 1;
+        if self.consecutive_errors == 1 {
+            self.delay = self.pacing.floor;
+        } else {
+            self.back_off();
+        }
+    }
+}
+
+/// What one driver tick's vote-drain accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TickStats {
+    /// Stale votes drained from the source.
+    pub votes: u64,
+    /// Distinct buckets the votes coalesced into.
+    pub buckets: u64,
+    /// Targeted bucket-pull attempts issued (≥ `buckets` when peers
+    /// failed and the driver rotated).
+    pub pulls: u64,
+    /// Pull attempts that failed with a transient error.
+    pub errors: u64,
+    /// Buckets every peer failed on; their evidence is dropped — the next
+    /// read of a still-stale key re-queues it, and the fallback sweep
+    /// covers divergence nothing reads.
+    pub unrepaired: u64,
+    /// What the applied plans changed.
+    pub applied: ApplyStats,
+}
+
+/// Messages a driver thread sleeps on.
+enum Msg {
+    /// New stale votes are queued for this driver's member.
+    Votes,
+    /// This driver's representative recovered (healed or replayed its log).
+    Recovery,
+    /// Stop and join.
+    Shutdown,
+}
+
+/// Wakes a [`RepairDriver`] ahead of its timer. Cloneable and cheap; safe
+/// to call from any thread (sends are fire-and-forget once the driver is
+/// gone).
+#[derive(Clone)]
+pub struct DriverWaker {
+    tx: mpsc::Sender<Msg>,
+}
+
+impl DriverWaker {
+    /// Signals that stale votes are available to drain.
+    pub fn wake_votes(&self) {
+        let _ = self.tx.send(Msg::Votes);
+    }
+
+    /// Signals that the driver's representative recovered: pacing snaps to
+    /// the floor so the post-recovery sweep happens promptly.
+    pub fn wake_recovery(&self) {
+        let _ = self.tx.send(Msg::Recovery);
+    }
+}
+
+/// RAII handle to a background repair driver; stops and joins on drop.
+pub struct DriverHandle {
+    tx: Option<mpsc::Sender<Msg>>,
+    join: Option<JoinHandle<()>>,
+}
+
+impl DriverHandle {
+    /// A waker for this driver (stale-vote queue and recovery hooks).
+    pub fn waker(&self) -> DriverWaker {
+        DriverWaker {
+            tx: self.tx.clone().expect("driver running"),
+        }
+    }
+
+    /// Stops the driver and waits for the in-flight tick to finish.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for DriverHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Source of stale votes for one driver — typically a closure draining a
+/// `StaleVoteQueue` for the driver's member.
+pub type VoteSource = Box<dyn FnMut() -> Vec<StaleVote> + Send>;
+
+/// The summary bucket a stale vote names. Sentinel keys map to the edge
+/// buckets (`Low` lives in bucket 0 with the leading gap; `High`'s
+/// trailing gap hangs off the last bucket).
+fn vote_bucket(key: &Key) -> u8 {
+    match key {
+        Key::Low => 0,
+        Key::User(k) => bucket_of(k.as_bytes()),
+        Key::High => u8::MAX,
+    }
+}
+
+/// Drives anti-entropy for one representative: stale-vote-targeted pulls
+/// first, adaptively paced summary sweeps as the fallback.
+pub struct RepairDriver {
+    repairer: Repairer,
+    votes: Option<VoteSource>,
+    pacing: Pacing,
+    next_peer: usize,
+}
+
+impl RepairDriver {
+    /// A driver over `repairer` with no vote source: every tick is a
+    /// summary sweep round, paced by `pacing`.
+    pub fn new(repairer: Repairer, pacing: Pacing) -> Self {
+        RepairDriver {
+            repairer,
+            votes: None,
+            pacing,
+            next_peer: 0,
+        }
+    }
+
+    /// Attaches the stale-vote source this driver drains on every tick.
+    pub fn with_vote_source(mut self, votes: VoteSource) -> Self {
+        self.votes = Some(votes);
+        self
+    }
+
+    /// The wrapped repairer.
+    pub fn repairer(&self) -> &Repairer {
+        &self.repairer
+    }
+
+    /// Synchronously drains the vote source and issues one targeted bucket
+    /// pull per distinct divergent bucket, rotating to the next peer when
+    /// one fails mid-pull. This is the exact work a background tick does
+    /// when votes are pending; it is public so tests and benches can drive
+    /// it deterministically.
+    pub fn drain_and_pull(&mut self) -> TickStats {
+        let mut tick = TickStats::default();
+        let Some(source) = self.votes.as_mut() else {
+            return tick;
+        };
+        let votes = source();
+        if votes.is_empty() {
+            return tick;
+        }
+        tick.votes = votes.len() as u64;
+        // Coalesce per bucket: ten stale keys under one leading byte cost
+        // one pull, which ships the whole bucket anyway.
+        let buckets: BTreeSet<u8> = votes.iter().map(|v| vote_bucket(&v.key)).collect();
+        tick.buckets = buckets.len() as u64;
+        let reg = repdir_obs::global();
+        let targeted = reg.counter("repair.driver.targeted_pulls");
+        let peer_errors = reg.counter("repair.peer_errors");
+        let peer_count = self.repairer.peer_count();
+        for bucket in buckets {
+            let mut repaired = false;
+            for attempt in 0..peer_count {
+                let peer = (self.next_peer + attempt) % peer_count;
+                targeted.inc();
+                tick.pulls += 1;
+                match self.repairer.pull_bucket_from(peer, bucket) {
+                    Ok(applied) => {
+                        tick.applied.absorb(applied);
+                        // Stick with a working peer; rotate off a dead one.
+                        self.next_peer = peer;
+                        repaired = true;
+                        break;
+                    }
+                    Err(_) => {
+                        tick.errors += 1;
+                        peer_errors.inc();
+                    }
+                }
+            }
+            if !repaired {
+                tick.unrepaired += 1;
+            }
+        }
+        tick
+    }
+
+    /// One fallback summary-sweep round against the next peer round-robin.
+    fn sweep_once(&mut self) -> (RoundStats, bool) {
+        let peer_count = self.repairer.peer_count();
+        if peer_count == 0 {
+            return (RoundStats::default(), false);
+        }
+        let peer = self.next_peer % peer_count;
+        self.next_peer = (self.next_peer + 1) % peer_count;
+        match self.repairer.run_round(peer) {
+            Ok(stats) => (stats, false),
+            Err(_) => {
+                repdir_obs::global().counter("repair.peer_errors").inc();
+                (RoundStats::default(), true)
+            }
+        }
+    }
+
+    /// Runs the driver on a background thread. The returned handle stops
+    /// and joins the thread on drop; [`DriverHandle::waker`] produces the
+    /// wake endpoints for the stale-vote queue and the recovery hook.
+    pub fn spawn(mut self) -> DriverHandle {
+        let (tx, rx) = mpsc::channel::<Msg>();
+        let join = std::thread::Builder::new()
+            .name("repdir-repair-driver".into())
+            .spawn(move || {
+                let reg = repdir_obs::global();
+                let wakes = reg.counter("repair.driver.wakes");
+                let sweeps = reg.counter("repair.driver.sweeps");
+                let backoff_ms = reg.counter("repair.driver.backoff_ms");
+                let mut pacer = Pacer::new(self.pacing);
+                backoff_ms.set(pacer.delay().as_millis() as u64);
+                loop {
+                    let first = rx.recv_timeout(pacer.delay());
+                    let mut timed_out = false;
+                    let mut recovered = false;
+                    match first {
+                        Ok(Msg::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
+                        Ok(Msg::Recovery) => recovered = true,
+                        Ok(Msg::Votes) => {}
+                        Err(RecvTimeoutError::Timeout) => timed_out = true,
+                    }
+                    // Collapse the wake burst: one tick drains everything
+                    // queued so far, so pending wake messages for it are
+                    // absorbed rather than re-ticked.
+                    loop {
+                        match rx.try_recv() {
+                            Ok(Msg::Shutdown) | Err(mpsc::TryRecvError::Disconnected) => return,
+                            Ok(Msg::Recovery) => recovered = true,
+                            Ok(Msg::Votes) => {}
+                            Err(mpsc::TryRecvError::Empty) => break,
+                        }
+                    }
+                    wakes.inc();
+                    let tick = self.drain_and_pull();
+                    let mut swept_errors = false;
+                    let mut swept_applied = 0;
+                    // Dry queue on a timer tick → fall back to a summary
+                    // sweep round. Vote wakes stay targeted-only, and the
+                    // recovery wake just snaps pacing: the recovered member
+                    // gets its sweep on the next (floor-delayed) tick.
+                    if timed_out && tick.votes == 0 {
+                        sweeps.inc();
+                        let (stats, errored) = self.sweep_once();
+                        swept_errors = errored;
+                        swept_applied = stats.applied.total();
+                    }
+                    if recovered || tick.votes > 0 || tick.applied.total() > 0 || swept_applied > 0
+                    {
+                        pacer.note_activity();
+                    } else if tick.errors > 0 || swept_errors {
+                        pacer.note_errors();
+                    } else if timed_out {
+                        pacer.note_quiet();
+                    }
+                    backoff_ms.set(pacer.delay().as_millis() as u64);
+                }
+            })
+            .expect("spawn repair driver thread");
+        DriverHandle {
+            tx: Some(tx),
+            join: Some(join),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pacing(floor_ms: u64, cap_ms: u64, factor: f64) -> Pacing {
+        Pacing {
+            floor: Duration::from_millis(floor_ms),
+            cap: Duration::from_millis(cap_ms),
+            factor,
+        }
+    }
+
+    #[test]
+    fn pacer_backs_off_geometrically_to_the_cap() {
+        let mut p = Pacer::new(pacing(10, 80, 2.0));
+        assert_eq!(p.delay(), Duration::from_millis(10));
+        p.note_quiet();
+        assert_eq!(p.delay(), Duration::from_millis(20));
+        p.note_quiet();
+        assert_eq!(p.delay(), Duration::from_millis(40));
+        p.note_quiet();
+        assert_eq!(p.delay(), Duration::from_millis(80));
+        p.note_quiet();
+        assert_eq!(p.delay(), Duration::from_millis(80), "saturates at cap");
+    }
+
+    #[test]
+    fn pacer_snaps_back_to_floor_on_activity() {
+        let mut p = Pacer::new(pacing(10, 80, 2.0));
+        for _ in 0..4 {
+            p.note_quiet();
+        }
+        assert_eq!(p.delay(), Duration::from_millis(80));
+        p.note_activity(); // stale votes, applied changes, or recovery
+        assert_eq!(p.delay(), Duration::from_millis(10));
+        p.note_quiet();
+        assert_eq!(p.delay(), Duration::from_millis(20), "backoff restarts");
+    }
+
+    #[test]
+    fn pacer_first_error_snaps_then_consecutive_errors_back_off() {
+        let mut p = Pacer::new(pacing(10, 80, 2.0));
+        for _ in 0..4 {
+            p.note_quiet();
+        }
+        assert_eq!(p.delay(), Duration::from_millis(80));
+        // A fresh error is a transient: retry soon.
+        p.note_errors();
+        assert_eq!(p.delay(), Duration::from_millis(10));
+        // But a fabric that keeps failing must not be spun against.
+        p.note_errors();
+        assert_eq!(p.delay(), Duration::from_millis(20));
+        p.note_errors();
+        assert_eq!(p.delay(), Duration::from_millis(40));
+        p.note_errors();
+        assert_eq!(p.delay(), Duration::from_millis(80));
+        p.note_errors();
+        assert_eq!(p.delay(), Duration::from_millis(80), "error backoff caps");
+        // Any success resets the error streak: the next error snaps again.
+        p.note_quiet();
+        p.note_errors();
+        assert_eq!(p.delay(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn pacer_fixed_configuration_never_moves() {
+        let mut p = Pacer::new(Pacing::fixed(Duration::from_millis(7)));
+        for _ in 0..3 {
+            p.note_quiet();
+            p.note_errors();
+            p.note_activity();
+        }
+        assert_eq!(p.delay(), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn pacer_schedule_under_a_fake_clock() {
+        // Replay a full scenario on a virtual clock: the wake times are a
+        // pure function of the transition sequence, so CI timing never
+        // enters. Floor 10 ms, cap 80 ms, doubling.
+        let mut p = Pacer::new(pacing(10, 80, 2.0));
+        let mut clock_ms = 0u64;
+        let mut wake_times = Vec::new();
+        // Six quiescent ticks, then a stale vote lands, then two more
+        // quiescent ticks.
+        for step in 0..9 {
+            clock_ms += p.delay().as_millis() as u64;
+            wake_times.push(clock_ms);
+            if step == 6 {
+                p.note_activity();
+            } else {
+                p.note_quiet();
+            }
+        }
+        assert_eq!(
+            wake_times,
+            vec![
+                10,  // floor
+                30,  // +20
+                70,  // +40
+                150, // +80 (cap)
+                230, // +80
+                310, // +80
+                390, // +80 — this tick drains the vote, snaps to floor
+                400, // +10
+                420, // +20
+            ]
+        );
+    }
+
+    #[test]
+    fn vote_buckets_cover_sentinel_keys() {
+        use repdir_core::UserKey;
+        assert_eq!(vote_bucket(&Key::Low), 0);
+        assert_eq!(vote_bucket(&Key::High), 255);
+        assert_eq!(vote_bucket(&Key::User(UserKey::new(vec![0x41, 1]))), 0x41);
+        assert_eq!(vote_bucket(&Key::User(UserKey::new(Vec::new()))), 0);
+    }
+}

@@ -16,7 +16,13 @@
 //! * [`merge_bucket`] computes the pointwise-latest state of two bucket
 //!   views and [`plan_bucket`] turns it into a [`RepairPlan`] of entry
 //!   installs at **pinned** version numbers, ghost removals, and gap-version
-//!   raises.
+//!   raises;
+//! * a [`RepairDriver`] closes the loop automatically: it drains the
+//!   suite's stale-vote queue into bucket-targeted pulls (two messages per
+//!   divergent bucket, no walk), falls back to summary sweeps when the
+//!   queue is dry, and adapts the sweep interval ([`Pacing`]) — geometric
+//!   backoff while quiescent, snap-back to the floor on stale votes,
+//!   applied repairs, or a member-recovery signal.
 //!
 //! Soundness rests on the paper's version-number update rule: at every
 //! point of the key space the version only grows, a higher version always
@@ -30,16 +36,16 @@
 //! [`RepairPeer`] / [`RepairTarget`] traits (implemented in
 //! `repdir-replica` for in-process and networked reps).
 
+mod driver;
 mod merge;
 mod repairer;
 mod summary;
 
+pub use driver::{DriverHandle, DriverWaker, Pacer, Pacing, RepairDriver, TickStats, VoteSource};
 pub use merge::{
     diff_bucket, merge_bucket, plan_bucket, BucketEntry, BucketView, GapAnchor, RepairPlan,
 };
-pub use repairer::{
-    ApplyStats, RepairError, RepairHandle, RepairPeer, RepairTarget, Repairer, RoundStats,
-};
+pub use repairer::{ApplyStats, RepairError, RepairPeer, RepairTarget, Repairer, RoundStats};
 pub use summary::{
     bucket_high, bucket_low, bucket_of, entry_digest, fold_children, low_gap_digest, Digest,
     SummaryCache, BUCKETS, FANOUT, GROUPS,

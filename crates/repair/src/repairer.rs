@@ -16,12 +16,9 @@
 //! test).
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
 
+use crate::driver::{DriverHandle, Pacing, RepairDriver};
 use crate::merge::{diff_bucket, BucketView, RepairPlan};
 use crate::summary::{Digest, FANOUT};
 
@@ -137,16 +134,11 @@ const SUMMARY_WIRE_BYTES: u64 = 2 + FANOUT as u64 * 16;
 pub struct Repairer {
     target: Arc<dyn RepairTarget>,
     peers: Vec<Box<dyn RepairPeer>>,
-    next_peer: AtomicUsize,
 }
 
 impl Repairer {
     pub fn new(target: Arc<dyn RepairTarget>, peers: Vec<Box<dyn RepairPeer>>) -> Self {
-        Repairer {
-            target,
-            peers,
-            next_peer: AtomicUsize::new(0),
-        }
+        Repairer { target, peers }
     }
 
     pub fn peer_count(&self) -> usize {
@@ -268,60 +260,14 @@ impl Repairer {
         out
     }
 
-    /// Runs the repairer on a background thread: one round against the
-    /// next peer (round-robin) every `interval`. Errors are absorbed into
-    /// the `repair.peer_errors` counter and retried on a later tick.
-    pub fn spawn(self, interval: Duration) -> RepairHandle {
-        let (tx, rx) = mpsc::channel::<()>();
-        let join = std::thread::Builder::new()
-            .name("repdir-repair".into())
-            .spawn(move || loop {
-                match rx.recv_timeout(interval) {
-                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
-                    Err(RecvTimeoutError::Timeout) => {
-                        if self.peers.is_empty() {
-                            continue;
-                        }
-                        let idx = self.next_peer.fetch_add(1, Ordering::Relaxed) % self.peers.len();
-                        if self.run_round(idx).is_err() {
-                            repdir_obs::global().counter("repair.peer_errors").inc();
-                        }
-                    }
-                }
-            })
-            .expect("spawn repair thread");
-        RepairHandle {
-            stop: Some(tx),
-            join: Some(join),
-        }
-    }
-}
-
-/// Handle to a background repair thread; stops and joins on drop.
-pub struct RepairHandle {
-    stop: Option<mpsc::Sender<()>>,
-    join: Option<JoinHandle<()>>,
-}
-
-impl RepairHandle {
-    /// Stops the repair thread and waits for the in-flight round to end.
-    pub fn stop(mut self) {
-        self.shutdown();
-    }
-
-    fn shutdown(&mut self) {
-        if let Some(stop) = self.stop.take() {
-            let _ = stop.send(());
-        }
-        if let Some(join) = self.join.take() {
-            let _ = join.join();
-        }
-    }
-}
-
-impl Drop for RepairHandle {
-    fn drop(&mut self) {
-        self.shutdown();
+    /// Runs the repairer on a background thread: one summary-sweep round
+    /// against the next peer (round-robin) per tick, paced by `pacing`.
+    /// Errors are absorbed into the `repair.peer_errors` counter and
+    /// retried on a later tick. This is the vote-less configuration of
+    /// [`RepairDriver`]; attach a stale-vote source via
+    /// [`RepairDriver::with_vote_source`] to get targeted pulls too.
+    pub fn spawn(self, pacing: Pacing) -> DriverHandle {
+        RepairDriver::new(self, pacing).spawn()
     }
 }
 
@@ -332,6 +278,7 @@ mod tests {
     use crate::summary::{bucket_of, entry_digest, low_gap_digest, SummaryCache, BUCKETS};
     use repdir_core::{UserKey, Value, Version};
     use std::sync::Mutex;
+    use std::time::Duration;
 
     /// A toy representative storing bucket views directly — exercises the
     /// walk/pull/apply loop without the full storage stack (the real
@@ -579,7 +526,7 @@ mod tests {
             b.insert(&[i as u8 + 40, 1], i + 1, 0);
         }
         let repairer = Repairer::new(a.clone(), vec![Box::new(b.clone())]);
-        let handle = repairer.spawn(Duration::from_millis(1));
+        let handle = repairer.spawn(Pacing::fixed(Duration::from_millis(1)));
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         while !digests_equal(&a, &b) {
             assert!(

@@ -7,11 +7,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use repdir_core::suite::LookupOutcome;
-use repdir_core::suite::{DirSuite, QuorumPolicy, RandomPolicy, SuiteConfig};
+use repdir_core::suite::{
+    DirSuite, QuorumPolicy, RandomPolicy, StaleVote, StaleVoteQueue, SuiteConfig,
+};
+use repdir_core::sync::Mutex;
 use repdir_core::{ConfigError, Key, RepError, RepId, SuiteError, UserKey, Value};
+use repdir_repair::{DriverHandle, Pacing, RepairDriver, Repairer};
 use repdir_txn::TxnManager;
 
 use crate::client::SessionClient;
+use crate::repair::{LocalRepairPeer, RepTarget};
 use crate::server::TransactionalRep;
 use repdir_storage::{Backend, SimDisk};
 
@@ -44,6 +49,12 @@ pub struct ReplicatedDirectory {
     txns: Arc<TxnManager>,
     policy_seed: AtomicU64,
     max_attempts: u32,
+    /// Shared stale-vote sink. Per-transaction suites are ephemeral, so
+    /// every suite this directory creates routes its stale votes here —
+    /// the evidence outlives the transaction that observed it and feeds
+    /// the repair drivers.
+    stale_votes: Arc<StaleVoteQueue>,
+    repair_drivers: Mutex<Vec<DriverHandle>>,
 }
 
 impl ReplicatedDirectory {
@@ -109,6 +120,8 @@ impl ReplicatedDirectory {
             txns: Arc::new(TxnManager::new()),
             policy_seed: AtomicU64::new(seed),
             max_attempts: 8,
+            stale_votes: Arc::new(StaleVoteQueue::new()),
+            repair_drivers: Mutex::new(Vec::new()),
         })
     }
 
@@ -148,8 +161,9 @@ impl ReplicatedDirectory {
                 SessionClient::new(Arc::clone(rep), id)
             })
             .collect();
-        let suite = DirSuite::new(clients, self.config.clone(), policy)
+        let mut suite = DirSuite::new(clients, self.config.clone(), policy)
             .expect("rep count matches config by construction");
+        suite.set_stale_vote_sink(Some(Arc::clone(&self.stale_votes)));
         DirTxn {
             dir: self,
             id,
@@ -280,6 +294,75 @@ impl ReplicatedDirectory {
     /// As [`DirSuite::scan`], after retries.
     pub fn scan(&self) -> Result<Vec<(UserKey, Value)>, SuiteError> {
         self.run(|suite| suite.scan())
+    }
+
+    /// The shared stale-vote queue every transaction's suite reports into.
+    pub fn stale_vote_queue(&self) -> &Arc<StaleVoteQueue> {
+        &self.stale_votes
+    }
+
+    /// Drains every queued stale vote (for inspection or a hand-rolled
+    /// repair loop; the spawned drivers normally consume these).
+    pub fn take_stale_votes(&self) -> Vec<StaleVote> {
+        self.stale_votes.drain_all()
+    }
+
+    /// Starts one background [`RepairDriver`] per representative: each
+    /// drains this directory's stale-vote queue for its member into
+    /// bucket-targeted pulls from the other representatives, falling back
+    /// to adaptively paced summary sweeps when the queue is dry. The queue
+    /// wakes a driver the moment a read observes its member voting stale,
+    /// and each representative's recovery hook snaps its driver's pacing
+    /// back to the floor. Idempotent: a second call replaces the fleet.
+    pub fn spawn_repair_drivers(&self, pacing: Pacing) {
+        self.stop_repair_drivers();
+        let mut handles = Vec::with_capacity(self.reps.len());
+        for (member, rep) in self.reps.iter().enumerate() {
+            let target = Arc::new(RepTarget::new(Arc::clone(rep)));
+            let peers = self
+                .reps
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != member)
+                .map(|(_, peer)| {
+                    Box::new(LocalRepairPeer::new(Arc::clone(peer)))
+                        as Box<dyn repdir_repair::RepairPeer>
+                })
+                .collect();
+            let queue = Arc::clone(&self.stale_votes);
+            let driver = RepairDriver::new(Repairer::new(target, peers), pacing)
+                .with_vote_source(Box::new(move || queue.drain_member(member)));
+            let handle = driver.spawn();
+            let vote_waker = handle.waker();
+            self.stale_votes
+                .set_waker(member, Some(Box::new(move || vote_waker.wake_votes())));
+            let recovery_waker = handle.waker();
+            rep.set_recovery_hook(Some(Box::new(move || recovery_waker.wake_recovery())));
+            handles.push(handle);
+        }
+        *self.repair_drivers.lock() = handles;
+    }
+
+    /// Stops the repair-driver fleet: unhooks the wakers, then joins every
+    /// driver thread. Queued stale votes are kept — a later fleet (or
+    /// [`take_stale_votes`](ReplicatedDirectory::take_stale_votes)) can
+    /// still consume them.
+    pub fn stop_repair_drivers(&self) {
+        let handles = std::mem::take(&mut *self.repair_drivers.lock());
+        if handles.is_empty() {
+            return;
+        }
+        for (member, rep) in self.reps.iter().enumerate() {
+            self.stale_votes.set_waker(member, None);
+            rep.set_recovery_hook(None);
+        }
+        drop(handles); // joins each driver thread
+    }
+}
+
+impl Drop for ReplicatedDirectory {
+    fn drop(&mut self) {
+        self.stop_repair_drivers();
     }
 }
 

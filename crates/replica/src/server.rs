@@ -51,7 +51,6 @@ fn next_repair_txn() -> TxnId {
 /// rep.commit(t)?;
 /// # Ok::<(), repdir_core::RepError>(())
 /// ```
-#[derive(Debug)]
 pub struct TransactionalRep {
     id: RepId,
     state: Mutex<DurableState>,
@@ -59,6 +58,21 @@ pub struct TransactionalRep {
     lock_timeout: Duration,
     available: AtomicBool,
     summary: SummaryCache,
+    /// Fired whenever this representative comes back — healed from an
+    /// injected failure or recovered from a crash. The repair layer hooks
+    /// this to snap its driver's pacing to the floor (see
+    /// `ReplicatedDirectory::spawn_repair_drivers`).
+    recovery_hook: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
+}
+
+impl std::fmt::Debug for TransactionalRep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransactionalRep")
+            .field("id", &self.id)
+            .field("available", &self.is_available())
+            .field("len", &self.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl TransactionalRep {
@@ -88,6 +102,7 @@ impl TransactionalRep {
             lock_timeout: Self::DEFAULT_LOCK_TIMEOUT,
             available: AtomicBool::new(true),
             summary: SummaryCache::new(),
+            recovery_hook: Mutex::new(None),
         })
     }
 
@@ -105,6 +120,7 @@ impl TransactionalRep {
             lock_timeout: Self::DEFAULT_LOCK_TIMEOUT,
             available: AtomicBool::new(true),
             summary: SummaryCache::new(),
+            recovery_hook: Mutex::new(None),
         }))
     }
 
@@ -114,9 +130,28 @@ impl TransactionalRep {
     }
 
     /// Injects or heals a failure: while unavailable every operation
-    /// (including pings) fails with [`RepError::Unavailable`].
+    /// (including pings) fails with [`RepError::Unavailable`]. Healing (a
+    /// false→true transition) fires the recovery hook.
     pub fn set_available(&self, available: bool) {
-        self.available.store(available, Ordering::SeqCst);
+        let was = self.available.swap(available, Ordering::SeqCst);
+        if available && !was {
+            self.fire_recovery_hook();
+        }
+    }
+
+    /// Installs (or clears) the hook fired when this representative comes
+    /// back up — after [`set_available`](TransactionalRep::set_available)
+    /// heals an injected failure or
+    /// [`crash_and_recover`](TransactionalRep::crash_and_recover) replays
+    /// the log. The hook runs on the caller's thread and must not block.
+    pub fn set_recovery_hook(&self, hook: Option<Box<dyn Fn() + Send + Sync>>) {
+        *self.recovery_hook.lock() = hook;
+    }
+
+    fn fire_recovery_hook(&self) {
+        if let Some(hook) = self.recovery_hook.lock().as_ref() {
+            hook();
+        }
     }
 
     /// Whether the representative currently serves requests.
@@ -177,6 +212,7 @@ impl TransactionalRep {
         // Outside the state guard: summary digests lock summary-then-state,
         // so marking must never happen state-then-summary.
         self.summary.mark_all();
+        self.fire_recovery_hook();
         Ok(())
     }
 
@@ -911,6 +947,31 @@ mod tests {
         let stats = rep.apply_repair(&plan).unwrap();
         assert_eq!(stats.total(), 0);
         assert_eq!(rep.snapshot(), before);
+    }
+
+    #[test]
+    fn recovery_hook_fires_on_heal_and_crash_recovery() {
+        let rep = TransactionalRep::new(RepId(0));
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = Arc::clone(&fired);
+        rep.set_recovery_hook(Some(Box::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        })));
+        // Already up: no transition, no fire.
+        rep.set_available(true);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        // Going down is not a recovery.
+        rep.set_available(false);
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        rep.set_available(true);
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        rep.crash_and_recover().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        // Cleared hook stays silent.
+        rep.set_recovery_hook(None);
+        rep.set_available(false);
+        rep.set_available(true);
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -22,9 +22,12 @@
 #    provisioning + hedged RPCs beat the minimal-prefix baseline by >= 2x
 #    median lookup latency on a fabric with one flaky + one slow member,
 #    spending at most the 2x over-provision cap in extra pings.
-# 9. Runs the repair_bench in quick mode, which fails unless summary-tree
-#    anti-entropy converges a member that missed ~5% of the keys with >= 2x
-#    fewer fabric messages than a naive full-directory copy.
+# 9. Runs the repair_bench in quick mode with --driver, which fails unless
+#    summary-tree anti-entropy converges a member that missed ~5% of the
+#    keys with >= 2x fewer fabric messages than a naive full-directory
+#    copy, AND the stale-vote-fed RepairDriver's bucket-targeted pulls
+#    converge the same member with >= 2x fewer messages than the summary
+#    sweep itself.
 # 10. cargo fmt --check and cargo clippy -D warnings keep the tree formatted
 #    and lint-clean.
 #
@@ -102,8 +105,8 @@ gate "hedge_bench --quick --check (adaptive waves + hedging >= 2x on a flaky fab
 cargo run --release --offline -p repdir-bench --bin hedge_bench -- --quick --check
 gate_done
 
-gate "repair_bench --quick --check (anti-entropy >= 2x fewer messages than full copy at ~5% stale)"
-cargo run --release --offline -p repdir-bench --bin repair_bench -- --quick --check
+gate "repair_bench --quick --check --driver (anti-entropy >= 2x vs full copy; vote-targeted pulls >= 2x vs sweeping)"
+cargo run --release --offline -p repdir-bench --bin repair_bench -- --quick --check --driver
 gate_done
 
 gate "cargo fmt --check"
