@@ -53,7 +53,7 @@ fn bench_recovery(c: &mut Criterion) {
         // The same history with a checkpoint at the end replays instantly
         // past the log body.
         let mut st2 = DurableState::recover(Arc::clone(&disk)).expect("recover");
-        st2.checkpoint();
+        st2.checkpoint().expect("checkpoint");
         let disk2 = Arc::clone(st2.disk());
         group.bench_function(BenchmarkId::new("replay_checkpointed", committed), |b| {
             b.iter(|| DurableState::recover(Arc::clone(&disk2)).expect("recover"))

@@ -1,0 +1,330 @@
+//! Streamed snapshot catch-up vs per-bucket repair pulls for a
+//! far-diverged member.
+//!
+//! Per-bucket anti-entropy is the right tool when a handful of buckets
+//! diverged: two messages per dirty bucket, nothing for the clean ones.
+//! But a member that missed a *long* outage has most of its buckets dirty,
+//! and the per-bucket protocol pays its two messages per bucket — up to
+//! 512 messages for a 256-bucket walk — when a single resumable stream
+//! could carry the same entries in a few bounded frames.
+//!
+//! The fixture is the repair bench's: a 3-member suite (R=2, W=2) over the
+//! simulated network, all representatives byte-identical, member 2
+//! partitioned while the surviving quorum {0, 1} updates more than half
+//! the keys and deletes a slice of them — ~70% of the directory stale (the
+//! full run dirties ~70% of the 256 summary buckets, the quick run ~35%).
+//! Two identically-diverged fixtures then race:
+//!
+//! * **bucket pulls**: every one of the 256 buckets is pulled from member
+//!   0 and diffed/applied into the stale member (what the repair layer's
+//!   sweep degenerates to at this divergence);
+//! * **snapshot**: a [`SnapshotInstaller`] streams member 0's manifest and
+//!   chunked frames into the stale member through the same guarded install
+//!   path, then a summary sweep verifies there is nothing left to mop up.
+//!
+//! Messages are counted by the fabric itself (`NetStats::sent`), so both
+//! strategies pay for requests and replies alike.
+//!
+//! ```text
+//! cargo run --release -p repdir-bench --bin snapshot_bench [-- --quick] [--check]
+//! ```
+//!
+//! `--check` exits nonzero unless the snapshot stream converges the stale
+//! member with at least 2x fewer fabric messages than the 256 bucket
+//! pulls. Every run rewrites `BENCH_snapshot.json` at the repo root.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use repdir_core::suite::{DirSuite, RandomPolicy, SuiteConfig};
+use repdir_core::{Key, RepId, UserKey, Value, Version};
+use repdir_net::{FaultPlan, LatencyModel, Network, NodeId, RpcClient, ServerHandle};
+use repdir_repair::{CatchupStream, RepairPeer, RepairTarget, Repairer};
+use repdir_replica::{
+    serve_rep, RemoteRepairPeer, RemoteSessionClient, RemoteSnapshotPeer, RepTarget,
+    TransactionalRep,
+};
+use repdir_snapshot::SnapshotInstaller;
+use repdir_txn::TxnId;
+
+const MEMBERS: u32 = 3;
+const READ_QUORUM: u32 = 2;
+const WRITE_QUORUM: u32 = 2;
+/// Member index partitioned during the update burst.
+const STALE_MEMBER: usize = 2;
+
+/// Key `i`, spread across summary buckets by its leading byte.
+fn key_of(i: usize) -> Key {
+    Key::User(UserKey::new(vec![(i % 251) as u8, (i / 251) as u8]))
+}
+
+struct Fixture {
+    suite: DirSuite<RemoteSessionClient>,
+    reps: Vec<Arc<TransactionalRep>>,
+    net: Arc<Network>,
+    rpc: Arc<RpcClient>,
+    _handles: Vec<ServerHandle>,
+}
+
+/// Builds the networked suite with all representatives pre-loaded with
+/// `keys` identical committed entries.
+fn build(keys: usize, hop: Duration, timeout: Duration, seed: u64) -> Fixture {
+    let net = Arc::new(Network::new(seed));
+    net.set_fault_plan(FaultPlan {
+        drop_prob: 0.0,
+        duplicate_prob: 0.0,
+        latency: LatencyModel::fixed(hop),
+    });
+    let mut handles = Vec::new();
+    let mut clients = Vec::new();
+    let mut reps = Vec::new();
+    let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+    for i in 0..MEMBERS {
+        let rep = TransactionalRep::new(RepId(i));
+        let seed_txn = TxnId(900 + u64::from(i));
+        rep.begin(seed_txn).expect("begin seed txn");
+        for k in 0..keys {
+            rep.insert(seed_txn, &key_of(k), Version::new(1), &Value::from("v1"))
+                .expect("seed insert");
+        }
+        rep.commit(seed_txn).expect("commit seed txn");
+        reps.push(Arc::clone(&rep));
+        handles.push(serve_rep(Arc::clone(&net), NodeId(100 + i), rep));
+        let mut client =
+            RemoteSessionClient::new(Arc::clone(&rpc), NodeId(100 + i), RepId(i), TxnId(1));
+        client.set_timeout(timeout);
+        // A begin is idempotent, so a scheduler hiccup stretching one
+        // round-trip past the RPC timeout is worth a couple of retries
+        // rather than a flaky fixture.
+        retry(|| client.begin(), "begin on a healthy fabric");
+        clients.push(client);
+    }
+    let config = SuiteConfig::symmetric(MEMBERS, READ_QUORUM, WRITE_QUORUM)
+        .expect("3-2-2 is a valid weighted-voting config");
+    let suite = DirSuite::new(clients, config, Box::new(RandomPolicy::new(seed)))
+        .expect("client count matches config");
+    Fixture {
+        suite,
+        reps,
+        net,
+        rpc,
+        _handles: handles,
+    }
+}
+
+/// Retries `op` a few times before giving up: the fixture runs real RPC
+/// timeouts over the simulated fabric, and a single OS-scheduler stall can
+/// push an otherwise healthy round-trip past the deadline. Every retried
+/// operation here is idempotent for the fixture's purposes (a re-driven
+/// update or delete just re-commits the same fact at a fresh version).
+fn retry<T, E: std::fmt::Debug>(mut op: impl FnMut() -> Result<T, E>, what: &str) -> T {
+    let mut last = None;
+    for _ in 0..8 {
+        match op() {
+            Ok(v) => return v,
+            Err(e) => last = Some(e),
+        }
+    }
+    panic!("{what}: {last:?}");
+}
+
+/// Partitions the stale member and pushes the divergence through the
+/// surviving quorum: updates on `updates` keys, deletes on `deletes` more.
+fn diverge(fx: &mut Fixture, updates: usize, deletes: usize) {
+    fx.net.set_node_drop(NodeId(100 + STALE_MEMBER as u32), 1.0);
+    for u in 0..updates {
+        retry(
+            || fx.suite.update(&key_of(u), &Value::from("v2")),
+            "update through the surviving write quorum",
+        );
+    }
+    for d in 0..deletes {
+        retry(
+            || fx.suite.delete(&key_of(updates + d)),
+            "delete through the surviving write quorum",
+        );
+    }
+    fx.net.set_node_drop(NodeId(100 + STALE_MEMBER as u32), 0.0);
+    // Release the workload transaction's two-phase locks so repair's
+    // internal transactions can read and install.
+    for i in 0..MEMBERS as usize {
+        retry(|| fx.suite.member(i).commit(), "commit workload txn");
+    }
+}
+
+/// Number of summary buckets on which the two representatives disagree
+/// (computed in-process; costs no fabric messages).
+fn divergent_buckets(a: &TransactionalRep, b: &TransactionalRep) -> usize {
+    let mut dirty = 0;
+    for g in 0..16u8 {
+        let da = a.summary_children(1, g).expect("summary of healthy rep");
+        let db = b.summary_children(1, g).expect("summary of healthy rep");
+        dirty += da.iter().zip(&db).filter(|(x, y)| x != y).count();
+    }
+    dirty
+}
+
+fn main() {
+    // `REPDIR_OBS_FLUSH=stderr|json|<path>` attaches an interval metrics
+    // flusher to the global registry for the whole run.
+    let _flush = repdir_obs::Flusher::from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+
+    let keys = if quick { 128 } else { 256 };
+    let updates = keys * 6 / 10; // 60% of the directory goes stale
+    let deletes = keys / 10; // and another 10% disappears entirely
+    let (hop, timeout) = if quick {
+        (Duration::from_micros(200), Duration::from_millis(20))
+    } else {
+        (Duration::from_millis(1), Duration::from_millis(40))
+    };
+
+    println!(
+        "snapshot_bench: {MEMBERS} members (R={READ_QUORUM}, W={WRITE_QUORUM}), {keys} keys, \
+         member {STALE_MEMBER} partitioned for {updates} updates + {deletes} deletes \
+         (~{:.0}% stale)",
+        (updates + deletes) as f64 / keys as f64 * 100.0
+    );
+    println!();
+
+    // Strategy 1: the per-bucket walk — pull all 256 buckets from member 0
+    // and diff/apply each into the stale member.
+    let mut fx1 = build(keys, hop, timeout, 0x54A9);
+    diverge(&mut fx1, updates, deletes);
+    let dirty = divergent_buckets(&fx1.reps[0], &fx1.reps[STALE_MEMBER]);
+    let pull_peer = RemoteRepairPeer::new(Arc::clone(&fx1.rpc), NodeId(100));
+    let pull_target = RepTarget::new(Arc::clone(&fx1.reps[STALE_MEMBER]));
+    let before = fx1.net.stats().sent;
+    let t = Instant::now();
+    let mut pull_keys = 0u64;
+    for bucket in 0..=255u8 {
+        let view = pull_peer.pull(bucket).expect("bucket pull");
+        pull_keys += view.entries.len() as u64;
+        let local = RepairTarget::bucket(&pull_target, bucket).expect("local bucket view");
+        let plan = repdir_repair::diff_bucket(bucket, &local, &view);
+        RepairTarget::apply(&pull_target, &plan).expect("bucket apply");
+    }
+    let pull_elapsed = t.elapsed();
+    let pull_msgs = fx1.net.stats().sent - before;
+    assert_eq!(
+        fx1.reps[0].snapshot(),
+        fx1.reps[STALE_MEMBER].snapshot(),
+        "per-bucket pulls did not converge the stale member"
+    );
+
+    // Strategy 2: the snapshot stream, on an identically-diverged fixture.
+    let mut fx2 = build(keys, hop, timeout, 0x54A9);
+    diverge(&mut fx2, updates, deletes);
+    let target: Arc<dyn RepairTarget> =
+        Arc::new(RepTarget::new(Arc::clone(&fx2.reps[STALE_MEMBER])));
+    let mut installer = SnapshotInstaller::new(vec![Box::new(RemoteSnapshotPeer::new(
+        Arc::clone(&fx2.rpc),
+        NodeId(100),
+    ))]);
+    let before = fx2.net.stats().sent;
+    let t = Instant::now();
+    let stats = installer.stream(0, &target).expect("snapshot stream");
+    // The driver's post-install mop-up: a summary sweep confirming the
+    // stream left nothing behind (its cost is part of the strategy).
+    let repairer = Repairer::new(
+        Arc::clone(&target),
+        vec![Box::new(RemoteRepairPeer::new(
+            Arc::clone(&fx2.rpc),
+            NodeId(100),
+        ))],
+    );
+    let sweep = repairer.run_sweep();
+    let snap_elapsed = t.elapsed();
+    let snap_msgs = fx2.net.stats().sent - before;
+    assert!(stats.root_matched, "manifest digest mismatch after install");
+    assert_eq!(sweep.mismatched_buckets, 0, "stream left dirty buckets");
+    assert_eq!(
+        fx2.reps[0].snapshot(),
+        fx2.reps[STALE_MEMBER].snapshot(),
+        "snapshot stream did not converge the stale member"
+    );
+
+    let msg_ratio = pull_msgs as f64 / snap_msgs.max(1) as f64;
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>12}",
+        "strategy", "msgs", "keys moved", "bytes", "elapsed"
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}us",
+        "bucket pulls",
+        pull_msgs,
+        pull_keys,
+        "-",
+        pull_elapsed.as_micros()
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}us",
+        "snapshot",
+        snap_msgs,
+        stats.entries,
+        stats.bytes,
+        snap_elapsed.as_micros()
+    );
+    println!();
+    println!(
+        "divergent buckets: {dirty}/256 ({:.0}%), snapshot frames: {} ({} installs applied)",
+        dirty as f64 / 256.0 * 100.0,
+        stats.chunks,
+        stats.applied.total()
+    );
+    println!("message ratio (bucket pulls / snapshot): {msg_ratio:.2}x");
+
+    let doc = format!(
+        concat!(
+            "{{\n  \"bench\": \"snapshot\",\n  \"mode\": \"{}\",\n",
+            "  \"members\": {}, \"read_quorum\": {}, \"write_quorum\": {},\n",
+            "  \"keys\": {}, \"stale_updates\": {}, \"stale_deletes\": {},\n",
+            "  \"divergent_buckets\": {},\n",
+            "  \"pull_msgs\": {}, \"pull_keys\": {}, \"pull_elapsed_us\": {},\n",
+            "  \"snapshot_msgs\": {}, \"snapshot_chunks\": {}, \"snapshot_entries\": {},\n",
+            "  \"snapshot_bytes\": {}, \"snapshot_installs\": {}, \"snapshot_elapsed_us\": {},\n",
+            "  \"msg_ratio\": {:.3}\n}}\n"
+        ),
+        if quick { "quick" } else { "full" },
+        MEMBERS,
+        READ_QUORUM,
+        WRITE_QUORUM,
+        keys,
+        updates,
+        deletes,
+        dirty,
+        pull_msgs,
+        pull_keys,
+        pull_elapsed.as_micros(),
+        snap_msgs,
+        stats.chunks,
+        stats.entries,
+        stats.bytes,
+        stats.applied.total(),
+        snap_elapsed.as_micros(),
+        msg_ratio
+    );
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_snapshot.json");
+    match std::fs::write(&path, doc) {
+        Ok(()) => println!("\nwrote {}", path.canonicalize().unwrap_or(path).display()),
+        Err(e) => {
+            eprintln!("failed to write BENCH_snapshot.json: {e}");
+            std::process::exit(2);
+        }
+    }
+
+    if check {
+        const GATE: f64 = 2.0;
+        if msg_ratio < GATE {
+            eprintln!("FAIL: message ratio {msg_ratio:.2}x below the {GATE}x gate");
+            std::process::exit(1);
+        }
+        println!(
+            "CHECK PASSED: snapshot converged with {msg_ratio:.2}x fewer messages (gate {GATE}x)"
+        );
+    }
+}

@@ -16,7 +16,8 @@ mod set;
 
 pub use config::SuiteConfig;
 pub use quorum::{
-    FixedPolicy, LatencyPolicy, LocalityPolicy, QuorumPolicy, RandomPolicy, StickyPolicy,
+    FixedPolicy, LatencyPolicy, LocalityPolicy, QuorumPolicy, RandomPolicy, RepairHealth,
+    StickyPolicy,
 };
 pub use set::DirSet;
 
@@ -269,11 +270,16 @@ pub struct StaleVote {
 pub struct StaleVoteQueue {
     votes: crate::sync::Mutex<Vec<StaleVote>>,
     wakers: crate::sync::Mutex<Vec<Option<VoteWaker>>>,
+    spill: crate::sync::Mutex<Option<VoteSpill>>,
 }
 
 /// Callback fired after a vote for a member is queued; see
 /// [`StaleVoteQueue::set_waker`].
 pub type VoteWaker = Box<dyn Fn() + Send + Sync>;
+
+/// Durability hook fired on every [`StaleVoteQueue::push`]; see
+/// [`StaleVoteQueue::set_spill`].
+pub type VoteSpill = Box<dyn Fn(&StaleVote) + Send + Sync>;
 
 impl StaleVoteQueue {
     /// An empty queue with no wakers.
@@ -288,6 +294,15 @@ impl StaleVoteQueue {
     pub fn push(&self, vote: StaleVote) {
         let member = vote.member;
         {
+            // Spill before queueing/waking: the driver that the waker
+            // rouses should find the vote already durable, so a crash
+            // between observe and pull replays it on restart.
+            let spill = self.spill.lock();
+            if let Some(spill) = spill.as_ref() {
+                spill(&vote);
+            }
+        }
+        {
             let mut votes = self.votes.lock();
             match votes
                 .iter_mut()
@@ -300,6 +315,20 @@ impl StaleVoteQueue {
         let wakers = self.wakers.lock();
         if let Some(Some(waker)) = wakers.get(member) {
             waker();
+        }
+    }
+
+    /// Re-queues a vote recovered from durable storage: coalesces like
+    /// [`push`](Self::push) but fires neither the spill hook (it is already
+    /// durable) nor the waker (recovery happens before drivers spawn).
+    pub fn restore(&self, vote: StaleVote) {
+        let mut votes = self.votes.lock();
+        match votes
+            .iter_mut()
+            .find(|v| v.member == vote.member && v.key == vote.key)
+        {
+            Some(existing) => *existing = vote,
+            None => votes.push(vote),
         }
     }
 
@@ -342,6 +371,16 @@ impl StaleVoteQueue {
             wakers.resize_with(member + 1, || None);
         }
         wakers[member] = waker;
+    }
+
+    /// Installs (or clears) the durability hook called with every vote
+    /// *before* it is queued. Typical implementations append a
+    /// `WalRecord::StaleVote` sidecar to the stale member's log so a
+    /// restarted process resumes targeted pulls instead of waiting for the
+    /// fallback sweep. The hook runs on the reading thread: it may sync a
+    /// WAL (one small record) but must not block on the network.
+    pub fn set_spill(&self, spill: Option<VoteSpill>) {
+        *self.spill.lock() = spill;
     }
 }
 
@@ -447,6 +486,10 @@ pub struct DirSuite<C: RepClient> {
     /// the hand-off to background repair drivers
     /// ([`set_stale_vote_sink`](DirSuite::set_stale_vote_sink)).
     stale_sink: Option<Arc<StaleVoteQueue>>,
+    /// Per-member repair-health flags attached to [`latency_policy`]
+    /// (`DirSuite::latency_policy`) snapshots so readers demote members
+    /// whose drivers report unhealed buckets.
+    repair_health: Option<Arc<RepairHealth>>,
     /// EWMA sample recorded when a member RPC fails; defaults to
     /// [`FAILED_RPC_PENALTY`].
     penalty_sample: Duration,
@@ -502,6 +545,7 @@ impl<C: RepClient + 'static> DirSuite<C> {
             repair: true,
             stale_votes: Vec::new(),
             stale_sink: None,
+            repair_health: None,
             penalty_sample: FAILED_RPC_PENALTY,
             obs,
         })
@@ -709,6 +753,14 @@ impl<C: RepClient + 'static> DirSuite<C> {
         self.stale_sink = sink;
     }
 
+    /// Attaches shared per-member repair-health flags: subsequent
+    /// [`latency_policy`](DirSuite::latency_policy) snapshots demote any
+    /// member its repair driver flags as holding unhealed buckets. `None`
+    /// detaches (future snapshots rank purely by latency/availability).
+    pub fn set_repair_health(&mut self, health: Option<Arc<RepairHealth>>) {
+        self.repair_health = health;
+    }
+
     /// Overrides the reply-time EWMA sample recorded for a failed member
     /// RPC (default [`FAILED_RPC_PENALTY`], 1 s). A dead member often fails
     /// *fast*, so the penalty — not the measured duration — is what demotes
@@ -862,11 +914,18 @@ impl<C: RepClient + 'static> DirSuite<C> {
     }
 
     /// A [`LatencyPolicy`] wired to this suite's reply-time EWMAs and
-    /// availability trackers. Install with
+    /// availability trackers — and, when
+    /// [`set_repair_health`](DirSuite::set_repair_health) attached flags,
+    /// to the repair drivers' unhealed-bucket reports. Install with
     /// [`set_policy`](DirSuite::set_policy) to route reads to the measured
     /// R fastest members, discounted by how often each actually answers.
     pub fn latency_policy(&self) -> LatencyPolicy {
-        LatencyPolicy::with_availability(self.member_reply_ewmas(), self.member_avails())
+        let policy =
+            LatencyPolicy::with_availability(self.member_reply_ewmas(), self.member_avails());
+        match &self.repair_health {
+            Some(health) => policy.with_repair_health(Arc::clone(health)),
+            None => policy,
+        }
     }
 
     /// `DirSuiteLookup(x)` (Fig. 8): queries a read quorum and returns the

@@ -18,13 +18,14 @@
 
 use std::collections::BTreeSet;
 use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use repdir_core::suite::StaleVote;
 use repdir_core::Key;
 
-use crate::repairer::{ApplyStats, Repairer, RoundStats};
+use crate::repairer::{ApplyStats, RepairError, RepairTarget, Repairer, RoundStats};
 use crate::summary::bucket_of;
 
 /// Adaptive pacing bounds for a repair driver.
@@ -42,17 +43,27 @@ pub struct Pacing {
     pub cap: Duration,
     /// Interval multiplier applied after each quiescent tick (≥ 1.0).
     pub factor: f64,
+    /// Divergence threshold for snapshot-assisted catch-up: when a sweep's
+    /// summary walk finds *more* than this many dirty buckets (out of 256)
+    /// and a [`CatchupStream`] is attached, the driver streams a full
+    /// snapshot from the sweep peer instead of pulling bucket by bucket,
+    /// then mops up the remainder with targeted pulls. The default (64,
+    /// a quarter of the tree) is where per-bucket set-difference sync
+    /// starts losing to shipping state wholesale.
+    pub snapshot_threshold: u32,
 }
 
 impl Default for Pacing {
     /// 25 ms floor, 3.2 s cap, doubling — an idle fleet settles to one
     /// summary exchange every few seconds, while a stale vote or recovery
-    /// pulls the next tick to within 25 ms.
+    /// pulls the next tick to within 25 ms. Snapshot catch-up kicks in
+    /// past 64 dirty buckets.
     fn default() -> Self {
         Pacing {
             floor: Duration::from_millis(25),
             cap: Duration::from_millis(3200),
             factor: 2.0,
+            snapshot_threshold: 64,
         }
     }
 }
@@ -65,6 +76,7 @@ impl Pacing {
             floor: interval,
             cap: interval,
             factor: 1.0,
+            ..Pacing::default()
         }
     }
 }
@@ -223,6 +235,54 @@ impl Drop for DriverHandle {
 /// `StaleVoteQueue` for the driver's member.
 pub type VoteSource = Box<dyn FnMut() -> Vec<StaleVote> + Send>;
 
+/// Sink for the driver's repair-health transitions — typically a closure
+/// flipping this member's `RepairHealth` flag so `LatencyPolicy` demotes it
+/// while buckets stay unhealed. Called with `true` when a tick leaves
+/// buckets unrepaired, `false` once a later tick heals cleanly.
+pub type HealthSink = Box<dyn Fn(bool) + Send>;
+
+/// Full-state catch-up for a far-diverged representative, plugged into a
+/// [`RepairDriver`] via [`with_catchup`](RepairDriver::with_catchup).
+///
+/// When a sweep's summary walk finds more dirty buckets than
+/// [`Pacing::snapshot_threshold`], the driver calls
+/// [`stream`](CatchupStream::stream) instead of issuing per-bucket pulls:
+/// the implementation (the `repdir-snapshot` installer) pulls a chunked
+/// snapshot from the named peer and applies it through the target's
+/// guarded plan path. Implementations keep their own resume cursor, so a
+/// failed stream continues where it stopped on the next call rather than
+/// restarting.
+pub trait CatchupStream: Send {
+    /// Streams a snapshot from repair peer `peer_idx` into `target`.
+    /// Transient errors abandon the attempt (progress is kept for resume)
+    /// and the driver falls back to its normal pacing.
+    fn stream(
+        &mut self,
+        peer_idx: usize,
+        target: &Arc<dyn RepairTarget>,
+    ) -> Result<CatchupStats, RepairError>;
+}
+
+/// Cost and effect of one completed snapshot catch-up stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatchupStats {
+    /// Chunk frames fetched (manifest excluded).
+    pub chunks: u64,
+    /// Entries received across all chunks.
+    pub entries: u64,
+    /// Approximate payload bytes received.
+    pub bytes: u64,
+    /// Whether this stream resumed a previously interrupted install
+    /// (the chunk cursor was honored rather than starting over).
+    pub resumed: bool,
+    /// What the guarded applies actually changed.
+    pub applied: ApplyStats,
+    /// Whether the local summary root matched the manifest root after
+    /// install. `false` is not an error — concurrent writes during the
+    /// install legitimately move the root past the frozen snapshot.
+    pub root_matched: bool,
+}
+
 /// The summary bucket a stale vote names. Sentinel keys map to the edge
 /// buckets (`Low` lives in bucket 0 with the leading gap; `High`'s
 /// trailing gap hangs off the last bucket).
@@ -239,6 +299,8 @@ fn vote_bucket(key: &Key) -> u8 {
 pub struct RepairDriver {
     repairer: Repairer,
     votes: Option<VoteSource>,
+    catchup: Option<Box<dyn CatchupStream>>,
+    health_sink: Option<HealthSink>,
     pacing: Pacing,
     next_peer: usize,
 }
@@ -250,6 +312,8 @@ impl RepairDriver {
         RepairDriver {
             repairer,
             votes: None,
+            catchup: None,
+            health_sink: None,
             pacing,
             next_peer: 0,
         }
@@ -258,6 +322,20 @@ impl RepairDriver {
     /// Attaches the stale-vote source this driver drains on every tick.
     pub fn with_vote_source(mut self, votes: VoteSource) -> Self {
         self.votes = Some(votes);
+        self
+    }
+
+    /// Attaches a snapshot catch-up stream, enabling the
+    /// [`Pacing::snapshot_threshold`] switch in fallback sweeps.
+    pub fn with_catchup(mut self, catchup: Box<dyn CatchupStream>) -> Self {
+        self.catchup = Some(catchup);
+        self
+    }
+
+    /// Attaches the repair-health sink this driver reports unhealed-bucket
+    /// transitions to (quorum demotion; see `RepairHealth`).
+    pub fn with_health_sink(mut self, sink: HealthSink) -> Self {
+        self.health_sink = Some(sink);
         self
     }
 
@@ -317,6 +395,13 @@ impl RepairDriver {
     }
 
     /// One fallback summary-sweep round against the next peer round-robin.
+    ///
+    /// The sweep walks the summary tree first and counts dirty buckets.
+    /// Past [`Pacing::snapshot_threshold`] (and given a [`CatchupStream`]),
+    /// it streams a full snapshot from the sweep peer, re-walks, and mops
+    /// up the remainder with targeted pulls; otherwise it pulls the dirty
+    /// buckets one by one — the same message cost as the classic
+    /// `run_round`.
     fn sweep_once(&mut self) -> (RoundStats, bool) {
         let peer_count = self.repairer.peer_count();
         if peer_count == 0 {
@@ -324,13 +409,70 @@ impl RepairDriver {
         }
         let peer = self.next_peer % peer_count;
         self.next_peer = (self.next_peer + 1) % peer_count;
-        match self.repairer.run_round(peer) {
-            Ok(stats) => (stats, false),
+        let reg = repdir_obs::global();
+        let mut dirty = match self.repairer.divergent_buckets(peer) {
+            Ok(d) => d,
             Err(_) => {
-                repdir_obs::global().counter("repair.peer_errors").inc();
-                (RoundStats::default(), true)
+                reg.counter("repair.peer_errors").inc();
+                return (RoundStats::default(), true);
+            }
+        };
+        // One summary walk happened above, whichever path follows.
+        let mut stats = RoundStats {
+            summaries: 1,
+            ..RoundStats::default()
+        };
+        let mut errored = false;
+        if dirty.len() as u32 > self.pacing.snapshot_threshold {
+            if let Some(catchup) = self.catchup.as_mut() {
+                let _span = reg.span("repair.snapshot.install");
+                match catchup.stream(peer, self.repairer.target()) {
+                    Ok(cs) => {
+                        reg.counter("repair.snapshot.installs").inc();
+                        reg.counter("repair.snapshot.chunks").add(cs.chunks);
+                        reg.counter("repair.snapshot.bytes").add(cs.bytes);
+                        if cs.resumed {
+                            reg.counter("repair.snapshot.resumes").inc();
+                        }
+                        stats.keys_pulled += cs.entries;
+                        stats.bytes += cs.bytes;
+                        stats.applied.absorb(cs.applied);
+                        // Re-walk: the snapshot was frozen when the stream
+                        // began, so buckets written meanwhile (or ahead of
+                        // this peer) still need their targeted pulls.
+                        dirty = match self.repairer.divergent_buckets(peer) {
+                            Ok(d) => d,
+                            Err(_) => {
+                                reg.counter("repair.peer_errors").inc();
+                                return (stats, true);
+                            }
+                        };
+                    }
+                    Err(_) => {
+                        // The installer kept its cursor; the next sweep
+                        // resumes the stream instead of hammering a dead
+                        // peer with hundreds of per-bucket pulls now.
+                        reg.counter("repair.snapshot.aborts").inc();
+                        reg.counter("repair.peer_errors").inc();
+                        return (stats, true);
+                    }
+                }
             }
         }
+        for bucket in dirty {
+            match self.repairer.pull_bucket_from(peer, bucket) {
+                Ok(applied) => {
+                    stats.mismatched_buckets += 1;
+                    stats.applied.absorb(applied);
+                }
+                Err(_) => {
+                    reg.counter("repair.peer_errors").inc();
+                    stats.errors += 1;
+                    errored = true;
+                }
+            }
+        }
+        (stats, errored)
     }
 
     /// Runs the driver on a background thread. The returned handle stops
@@ -347,6 +489,9 @@ impl RepairDriver {
                 let backoff_ms = reg.counter("repair.driver.backoff_ms");
                 let mut pacer = Pacer::new(self.pacing);
                 backoff_ms.set(pacer.delay().as_millis() as u64);
+                // Tracks the last state reported to the health sink so
+                // transitions fire once, not every tick.
+                let mut unhealthy = false;
                 loop {
                     let first = rx.recv_timeout(pacer.delay());
                     let mut timed_out = false;
@@ -370,6 +515,7 @@ impl RepairDriver {
                     }
                     wakes.inc();
                     let tick = self.drain_and_pull();
+                    let mut swept = false;
                     let mut swept_errors = false;
                     let mut swept_applied = 0;
                     // Dry queue on a timer tick → fall back to a summary
@@ -379,8 +525,27 @@ impl RepairDriver {
                     if timed_out && tick.votes == 0 {
                         sweeps.inc();
                         let (stats, errored) = self.sweep_once();
+                        swept = true;
                         swept_errors = errored;
                         swept_applied = stats.applied.total();
+                    }
+                    // Report unhealed-bucket transitions: flag this member
+                    // the moment a tick leaves buckets it could not heal
+                    // (`unrepaired > 0`); clear once a later tick repairs
+                    // everything its votes asked for or an error-free
+                    // summary sweep confirms the member caught up.
+                    if let Some(sink) = &self.health_sink {
+                        if tick.unrepaired > 0 {
+                            if !unhealthy {
+                                unhealthy = true;
+                                sink(true);
+                            }
+                        } else if unhealthy
+                            && ((tick.votes > 0 && tick.errors == 0) || (swept && !swept_errors))
+                        {
+                            unhealthy = false;
+                            sink(false);
+                        }
                     }
                     if recovered || tick.votes > 0 || tick.applied.total() > 0 || swept_applied > 0
                     {
@@ -410,6 +575,7 @@ mod tests {
             floor: Duration::from_millis(floor_ms),
             cap: Duration::from_millis(cap_ms),
             factor,
+            ..Pacing::default()
         }
     }
 

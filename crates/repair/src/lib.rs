@@ -41,7 +41,10 @@ mod merge;
 mod repairer;
 mod summary;
 
-pub use driver::{DriverHandle, DriverWaker, Pacer, Pacing, RepairDriver, TickStats, VoteSource};
+pub use driver::{
+    CatchupStats, CatchupStream, DriverHandle, DriverWaker, HealthSink, Pacer, Pacing,
+    RepairDriver, TickStats, VoteSource,
+};
 pub use merge::{
     diff_bucket, merge_bucket, plan_bucket, BucketEntry, BucketView, GapAnchor, RepairPlan,
 };

@@ -66,6 +66,14 @@ pub trait RepairTarget: Send + Sync {
     /// each step against concurrent progress (only ever move versions up)
     /// and report what actually changed.
     fn apply(&self, plan: &RepairPlan) -> Result<ApplyStats, RepairError>;
+    /// Lands a durable checkpoint of the current state, if the target
+    /// supports one. A snapshot install calls this once on completion so
+    /// recovery replays from the freshly caught-up state (and retired
+    /// stale-vote spills drop out of the log); failures are non-fatal —
+    /// the default does nothing.
+    fn checkpoint(&self) -> Result<(), RepairError> {
+        Ok(())
+    }
 }
 
 /// What an apply pass actually changed (guarded steps that were already
@@ -143,6 +151,33 @@ impl Repairer {
 
     pub fn peer_count(&self) -> usize {
         self.peers.len()
+    }
+
+    /// The local representative being repaired — handed to a
+    /// [`CatchupStream`](crate::CatchupStream) when the driver switches to
+    /// snapshot mode.
+    pub fn target(&self) -> &Arc<dyn RepairTarget> {
+        &self.target
+    }
+
+    /// Walks the summary tree against peer `peer_idx` and returns every
+    /// bucket whose digest disagrees, without pulling any of them — the
+    /// driver uses the count to pick between per-bucket pulls and a
+    /// snapshot stream.
+    pub fn divergent_buckets(&self, peer_idx: usize) -> Result<Vec<u8>, RepairError> {
+        let peer = self
+            .peers
+            .get(peer_idx)
+            .ok_or_else(|| RepairError::Protocol(format!("no peer {peer_idx}")))?;
+        let mut stats = RoundStats::default();
+        let groups = self.compare_level(peer.as_ref(), 0, 0, &mut stats)?;
+        let mut buckets = Vec::new();
+        for g in groups {
+            for leaf in self.compare_level(peer.as_ref(), 1, g, &mut stats)? {
+                buckets.push(g * FANOUT as u8 + leaf);
+            }
+        }
+        Ok(buckets)
     }
 
     /// One full round against peer `peer_idx`: walk the summary tree

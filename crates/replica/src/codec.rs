@@ -12,6 +12,7 @@ use repdir_core::{
     UserKey, Value, Version,
 };
 use repdir_repair::{BucketEntry, BucketView, Digest};
+use repdir_snapshot::{SnapshotChunk, SnapshotManifest};
 use repdir_txn::TxnId;
 
 /// A request to a representative server.
@@ -56,6 +57,18 @@ pub enum Request {
         /// Leaf bucket index (the keys' leading byte).
         bucket: u8,
     },
+    /// Snapshot catch-up: the manifest of the peer's current state.
+    /// Read-only; no transaction.
+    SnapshotBegin,
+    /// Snapshot catch-up: one bounded frame of entries strictly after the
+    /// cursor (from the lowest key when `None`). Read-only.
+    SnapshotChunk {
+        /// Resume cursor: the last key already installed, or `None` to
+        /// start from the beginning of the key space.
+        after: Option<UserKey>,
+        /// Maximum number of entries in the frame.
+        max: u32,
+    },
 }
 
 /// A response from a representative server.
@@ -81,6 +94,10 @@ pub enum Response {
     Summary(Vec<Digest>),
     /// A bucket view (reply to [`Request::Pull`]).
     Pull(BucketView),
+    /// A snapshot manifest (reply to [`Request::SnapshotBegin`]).
+    SnapshotManifest(SnapshotManifest),
+    /// A snapshot frame (reply to [`Request::SnapshotChunk`]).
+    SnapshotChunk(SnapshotChunk),
 }
 
 /// Decoding failure: the peer sent bytes this codec cannot parse.
@@ -211,6 +228,8 @@ const RQ_SUCC_CHAIN: u8 = 10;
 const RQ_BATCH: u8 = 11;
 const RQ_SUMMARY: u8 = 12;
 const RQ_PULL: u8 = 13;
+const RQ_SNAP_BEGIN: u8 = 14;
+const RQ_SNAP_CHUNK: u8 = 15;
 
 /// Encodes a request.
 pub fn encode_request(req: &Request) -> Vec<u8> {
@@ -284,6 +303,18 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             b.put_u8(RQ_PULL);
             b.put_u8(*bucket);
         }
+        Request::SnapshotBegin => b.put_u8(RQ_SNAP_BEGIN),
+        Request::SnapshotChunk { after, max } => {
+            b.put_u8(RQ_SNAP_CHUNK);
+            match after {
+                Some(key) => {
+                    b.put_u8(1);
+                    put_user_key(&mut b, key);
+                }
+                None => b.put_u8(0),
+            }
+            b.put_u32_le(*max);
+        }
     }
     b
 }
@@ -344,6 +375,18 @@ pub fn decode_request(mut b: &[u8]) -> DecodeResult<Request> {
             path: get_u8(b)?,
         }),
         RQ_PULL => Ok(Request::Pull { bucket: get_u8(b)? }),
+        RQ_SNAP_BEGIN => Ok(Request::SnapshotBegin),
+        RQ_SNAP_CHUNK => {
+            let after = match get_u8(b)? {
+                0 => None,
+                1 => Some(get_user_key(b)?),
+                _ => return err("bad snapshot cursor flag"),
+            };
+            Ok(Request::SnapshotChunk {
+                after,
+                max: get_u32(b)?,
+            })
+        }
         _ => err("unknown request tag"),
     }
 }
@@ -362,6 +405,8 @@ const RS_CHAIN: u8 = 8;
 const RS_BATCH: u8 = 9;
 const RS_SUMMARY: u8 = 10;
 const RS_PULL: u8 = 11;
+const RS_SNAP_MANIFEST: u8 = 12;
+const RS_SNAP_CHUNK: u8 = 13;
 
 const ERR_NO_BOUNDARY: u8 = 0;
 const ERR_SENTINEL: u8 = 1;
@@ -521,6 +566,23 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 b.put_u64_le(e.gap_after.get());
             }
         }
+        Response::SnapshotManifest(m) => {
+            b.put_u8(RS_SNAP_MANIFEST);
+            b.put_u64_le(m.root.hash);
+            b.put_u64_le(m.root.count);
+            b.put_u64_le(m.low_gap.get());
+        }
+        Response::SnapshotChunk(chunk) => {
+            b.put_u8(RS_SNAP_CHUNK);
+            b.put_u8(u8::from(chunk.done));
+            b.put_u32_le(chunk.entries.len() as u32);
+            for e in &chunk.entries {
+                put_user_key(&mut b, &e.key);
+                b.put_u64_le(e.version.get());
+                put_value(&mut b, &e.value);
+                b.put_u64_le(e.gap_after.get());
+            }
+        }
     }
     b
 }
@@ -622,6 +684,31 @@ pub fn decode_response(mut b: &[u8]) -> DecodeResult<Response> {
             }
             Ok(Response::Pull(BucketView { lead_gap, entries }))
         }
+        RS_SNAP_MANIFEST => Ok(Response::SnapshotManifest(SnapshotManifest {
+            root: Digest {
+                hash: get_u64(b)?,
+                count: get_u64(b)?,
+            },
+            low_gap: Version::new(get_u64(b)?),
+        })),
+        RS_SNAP_CHUNK => {
+            let done = match get_u8(b)? {
+                0 => false,
+                1 => true,
+                _ => return err("bad snapshot done flag"),
+            };
+            let n = get_u32(b)? as usize;
+            let mut entries = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                entries.push(BucketEntry {
+                    key: get_user_key(b)?,
+                    version: Version::new(get_u64(b)?),
+                    value: get_value(b)?,
+                    gap_after: Version::new(get_u64(b)?),
+                });
+            }
+            Ok(Response::SnapshotChunk(SnapshotChunk { entries, done }))
+        }
         _ => err("unknown response tag"),
     }
 }
@@ -692,6 +779,19 @@ mod tests {
             Request::Summary { level: 1, path: 15 },
             Request::Pull { bucket: 0 },
             Request::Pull { bucket: 255 },
+            Request::SnapshotBegin,
+            Request::SnapshotChunk {
+                after: None,
+                max: 512,
+            },
+            Request::SnapshotChunk {
+                after: Some(UserKey::from("cursor")),
+                max: 1,
+            },
+            Request::SnapshotChunk {
+                after: Some(UserKey::from("")),
+                max: u32::MAX,
+            },
         ]
     }
 
@@ -805,6 +905,34 @@ mod tests {
                         gap_after: v(0),
                     },
                 ],
+            }),
+            Response::SnapshotManifest(SnapshotManifest {
+                root: Digest {
+                    hash: 0xdead_beef,
+                    count: 42,
+                },
+                low_gap: v(6),
+            }),
+            Response::SnapshotChunk(SnapshotChunk {
+                entries: vec![],
+                done: true,
+            }),
+            Response::SnapshotChunk(SnapshotChunk {
+                entries: vec![
+                    BucketEntry {
+                        key: UserKey::from("s1"),
+                        version: v(2),
+                        value: Value::from("S"),
+                        gap_after: v(0),
+                    },
+                    BucketEntry {
+                        key: UserKey::from("s2"),
+                        version: v(5),
+                        value: Value::empty(),
+                        gap_after: v(8),
+                    },
+                ],
+                done: false,
             }),
         ]
     }

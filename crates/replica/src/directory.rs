@@ -8,16 +8,18 @@ use std::time::Duration;
 
 use repdir_core::suite::LookupOutcome;
 use repdir_core::suite::{
-    DirSuite, QuorumPolicy, RandomPolicy, StaleVote, StaleVoteQueue, SuiteConfig,
+    DirSuite, QuorumPolicy, RandomPolicy, RepairHealth, StaleVote, StaleVoteQueue, SuiteConfig,
 };
 use repdir_core::sync::Mutex;
 use repdir_core::{ConfigError, Key, RepError, RepId, SuiteError, UserKey, Value};
 use repdir_repair::{DriverHandle, Pacing, RepairDriver, Repairer};
+use repdir_snapshot::SnapshotInstaller;
 use repdir_txn::TxnManager;
 
 use crate::client::SessionClient;
 use crate::repair::{LocalRepairPeer, RepTarget};
 use crate::server::TransactionalRep;
+use crate::snapshot::LocalSnapshotPeer;
 use repdir_storage::{Backend, SimDisk};
 
 /// A complete replicated directory service over transactional
@@ -54,6 +56,11 @@ pub struct ReplicatedDirectory {
     /// the evidence outlives the transaction that observed it and feeds
     /// the repair drivers.
     stale_votes: Arc<StaleVoteQueue>,
+    /// Per-member "has unhealed buckets" flags, fed by the repair drivers'
+    /// health sinks and consulted by every latency-based quorum policy the
+    /// directory's suites build — a member known to be behind is ranked
+    /// last, not first, however fast it replies.
+    repair_health: Arc<RepairHealth>,
     repair_drivers: Mutex<Vec<DriverHandle>>,
 }
 
@@ -121,6 +128,7 @@ impl ReplicatedDirectory {
             policy_seed: AtomicU64::new(seed),
             max_attempts: 8,
             stale_votes: Arc::new(StaleVoteQueue::new()),
+            repair_health: Arc::new(RepairHealth::new()),
             repair_drivers: Mutex::new(Vec::new()),
         })
     }
@@ -164,6 +172,7 @@ impl ReplicatedDirectory {
         let mut suite = DirSuite::new(clients, self.config.clone(), policy)
             .expect("rep count matches config by construction");
         suite.set_stale_vote_sink(Some(Arc::clone(&self.stale_votes)));
+        suite.set_repair_health(Some(Arc::clone(&self.repair_health)));
         DirTxn {
             dir: self,
             id,
@@ -301,6 +310,11 @@ impl ReplicatedDirectory {
         &self.stale_votes
     }
 
+    /// The per-member repair-health flags quorum policies consult.
+    pub fn repair_health(&self) -> &Arc<RepairHealth> {
+        &self.repair_health
+    }
+
     /// Drains every queued stale vote (for inspection or a hand-rolled
     /// repair loop; the spawned drivers normally consume these).
     pub fn take_stale_votes(&self) -> Vec<StaleVote> {
@@ -316,22 +330,47 @@ impl ReplicatedDirectory {
     /// back to the floor. Idempotent: a second call replaces the fleet.
     pub fn spawn_repair_drivers(&self, pacing: Pacing) {
         self.stop_repair_drivers();
+        // Reseed the queue from each representative's WAL sidecar: votes
+        // spilled before a crash survive it and re-enter the queue here
+        // (coalesced, no re-spill, no waker — the fleet below drains them).
+        for rep in &self.reps {
+            for vote in rep.spilled_stale_votes() {
+                self.stale_votes.restore(vote);
+            }
+        }
+        // From now on every pushed vote is spilled to the stale member's
+        // WAL before it becomes observable in the queue, so the
+        // observe-then-pull window has no durability hole.
+        let spill_reps = self.reps.clone();
+        self.stale_votes.set_spill(Some(Box::new(move |vote| {
+            if let Some(rep) = spill_reps.get(vote.member) {
+                // Best-effort: an unavailable member just misses the hint.
+                let _ = rep.spill_stale_vote(vote);
+            }
+        })));
         let mut handles = Vec::with_capacity(self.reps.len());
         for (member, rep) in self.reps.iter().enumerate() {
             let target = Arc::new(RepTarget::new(Arc::clone(rep)));
-            let peers = self
-                .reps
-                .iter()
-                .enumerate()
-                .filter(|(j, _)| *j != member)
-                .map(|(_, peer)| {
-                    Box::new(LocalRepairPeer::new(Arc::clone(peer)))
-                        as Box<dyn repdir_repair::RepairPeer>
-                })
-                .collect();
+            let mut peers: Vec<Box<dyn repdir_repair::RepairPeer>> = Vec::new();
+            let mut snap_peers: Vec<Box<dyn repdir_snapshot::SnapshotPeer>> = Vec::new();
+            // Snapshot peers are aligned index-for-index with repair peers,
+            // so the driver's sticky peer choice addresses the same member
+            // on both the per-bucket and the streamed path.
+            for (j, peer) in self.reps.iter().enumerate() {
+                if j == member {
+                    continue;
+                }
+                peers.push(Box::new(LocalRepairPeer::new(Arc::clone(peer))));
+                snap_peers.push(Box::new(LocalSnapshotPeer::new(Arc::clone(peer))));
+            }
             let queue = Arc::clone(&self.stale_votes);
+            let health = Arc::clone(&self.repair_health);
             let driver = RepairDriver::new(Repairer::new(target, peers), pacing)
-                .with_vote_source(Box::new(move || queue.drain_member(member)));
+                .with_vote_source(Box::new(move || queue.drain_member(member)))
+                .with_catchup(Box::new(SnapshotInstaller::new(snap_peers)))
+                .with_health_sink(Box::new(move |unrepaired| {
+                    health.set_unrepaired(member, unrepaired);
+                }));
             let handle = driver.spawn();
             let vote_waker = handle.waker();
             self.stale_votes
@@ -352,6 +391,7 @@ impl ReplicatedDirectory {
         if handles.is_empty() {
             return;
         }
+        self.stale_votes.set_spill(None);
         for (member, rep) in self.reps.iter().enumerate() {
             self.stale_votes.set_waker(member, None);
             rep.set_recovery_hook(None);

@@ -79,6 +79,12 @@ fn dispatch(rep: &TransactionalRep, req: Request) -> Response {
             wrap(rep.summary_children(level, path), Response::Summary)
         }
         Request::Pull { bucket } => wrap(rep.repair_bucket(bucket), Response::Pull),
+        // Snapshot catch-up endpoints: read-only, cursor-addressed.
+        Request::SnapshotBegin => wrap(rep.snapshot_manifest(), Response::SnapshotManifest),
+        Request::SnapshotChunk { after, max } => wrap(
+            rep.snapshot_chunk(after.as_ref(), max),
+            Response::SnapshotChunk,
+        ),
     }
 }
 

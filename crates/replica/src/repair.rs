@@ -19,7 +19,7 @@ use repdir_repair::{
 use crate::codec::{decode_response, encode_request, Request, Response};
 use crate::server::TransactionalRep;
 
-fn map_rep_error(e: RepError) -> RepairError {
+pub(crate) fn map_rep_error(e: RepError) -> RepairError {
     match e {
         RepError::Unavailable => RepairError::Unavailable,
         RepError::LockTimeout | RepError::Deadlock => RepairError::Contended,
@@ -140,6 +140,10 @@ impl RepairTarget for RepTarget {
 
     fn apply(&self, plan: &RepairPlan) -> Result<ApplyStats, RepairError> {
         self.rep.apply_repair(plan).map_err(map_rep_error)
+    }
+
+    fn checkpoint(&self) -> Result<(), RepairError> {
+        self.rep.checkpoint().map_err(map_rep_error)
     }
 }
 

@@ -5,6 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+use repdir_core::suite::StaleVote;
 use repdir_core::sync::Mutex;
 use repdir_core::{
     CoalesceOutcome, GapMap, InsertOutcome, Key, LookupReply, NeighborReply, RepError, RepId,
@@ -12,10 +13,11 @@ use repdir_core::{
 };
 use repdir_rangelock::{DeadlockDomain, KeyRange, LockError, LockMode, LockStats, RangeLockTable};
 use repdir_repair::{
-    bucket_high, bucket_low, entry_digest, low_gap_digest, ApplyStats, BucketEntry, BucketView,
-    Digest, GapAnchor, RepairPlan, SummaryCache,
+    bucket_high, bucket_low, entry_digest, fold_children, low_gap_digest, ApplyStats, BucketEntry,
+    BucketView, Digest, GapAnchor, RepairPlan, SummaryCache,
 };
-use repdir_storage::{Backend, DurableState, SimDisk};
+use repdir_snapshot::{SnapshotChunk, SnapshotManifest};
+use repdir_storage::{decode_log, stale_votes_after, Backend, DurableState, SimDisk};
 use repdir_txn::TxnId;
 
 /// Transaction ids for internal repair transactions, carved out of the top
@@ -605,6 +607,153 @@ impl TransactionalRep {
         Ok(())
     }
 
+    /// The snapshot manifest of the current committed state: the
+    /// summary-tree root digest (hash + total entry count) and the leading
+    /// gap version. Serves `Request::SnapshotBegin`.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed.
+    pub fn snapshot_manifest(&self) -> RepResult<SnapshotManifest> {
+        let root = fold_children(&self.summary_children(0, 0)?);
+        let low_gap = self.state.lock().low_gap();
+        Ok(SnapshotManifest { root, low_gap })
+    }
+
+    /// One bounded snapshot frame: up to `max` entries strictly after
+    /// `after` (from the lowest key when `None`), in ascending key order,
+    /// read under `RepLookup` range locks on an internal transaction so the
+    /// frame never observes uncommitted data. `done` means the frame
+    /// reached the end of the key space. Serves `Request::SnapshotChunk`.
+    ///
+    /// The stream serves **live** committed state rather than a true
+    /// freeze: entries that change behind the cursor are simply missed and
+    /// left to the repair driver's post-install sweep.
+    ///
+    /// # Errors
+    ///
+    /// Availability and lock errors.
+    pub fn snapshot_chunk(&self, after: Option<&UserKey>, max: u32) -> RepResult<SnapshotChunk> {
+        self.check_up()?;
+        let txn = next_repair_txn();
+        self.state.lock().begin(txn);
+        let result = self.snapshot_chunk_locked(txn, after, max);
+        // Read-only: abort just releases the locks.
+        self.abort(txn);
+        result
+    }
+
+    fn snapshot_chunk_locked(
+        &self,
+        txn: TxnId,
+        after: Option<&UserKey>,
+        max: u32,
+    ) -> RepResult<SnapshotChunk> {
+        let max = max.max(1) as usize;
+        // Strictly-after lower bound: the smallest byte string above
+        // `after` is `after ++ 0x00`.
+        let low: Option<Vec<u8>> = after.map(|k| {
+            let mut b = k.as_bytes().to_vec();
+            b.push(0);
+            b
+        });
+        // Peek (under the state mutex only) at the span this frame will
+        // cover, then lock exactly that span and re-read. The digest-style
+        // unlocked peek is advisory; the locked re-read is what's served.
+        let mut peek_last: Option<UserKey> = None;
+        {
+            let state = self.state.lock();
+            let mut n = 0usize;
+            state.visit_range(low.as_deref(), None, &mut |key, _, _, _| {
+                if n < max {
+                    peek_last = Some(key.clone());
+                    n += 1;
+                }
+            });
+        }
+        let low_key = after.map_or(Key::Low, |k| Key::User(k.clone()));
+        let high_key = peek_last.clone().map_or(Key::High, Key::User);
+        self.acquire(txn, LockMode::Lookup, KeyRange::new(low_key, high_key))?;
+        let mut entries = Vec::new();
+        let mut beyond = false;
+        self.state.lock().visit_range(
+            low.as_deref(),
+            None,
+            &mut |key, version, value, gap_after| {
+                // When the peek saw nothing the lock covers the whole tail,
+                // so anything committed before the lock is fair game.
+                let in_span = peek_last.as_ref().is_none_or(|last| key <= last);
+                if in_span && entries.len() < max {
+                    entries.push(BucketEntry {
+                        key: key.clone(),
+                        version,
+                        value: value.clone(),
+                        gap_after,
+                    });
+                } else {
+                    beyond = true;
+                }
+            },
+        );
+        Ok(SnapshotChunk {
+            entries,
+            done: !beyond,
+        })
+    }
+
+    /// Forces a WAL checkpoint of the committed state, retiring replay
+    /// history (snapshot installs land one on completion so recovery
+    /// replays the installed image, not the pre-divergence log).
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed; [`RepError::Storage`] if
+    /// transactions are in flight ([`repdir_storage::WalError::CheckpointBusy`]).
+    pub fn checkpoint(&self) -> RepResult<()> {
+        self.check_up()?;
+        self.state
+            .lock()
+            .checkpoint()
+            .map_err(|e| RepError::Storage(e.to_string()))
+    }
+
+    /// Durably records a stale-vote observation in the WAL sidecar so a
+    /// crash between observing staleness and repairing it does not lose
+    /// the repair hint.
+    ///
+    /// # Errors
+    ///
+    /// [`RepError::Unavailable`] while failed.
+    pub fn spill_stale_vote(&self, vote: &StaleVote) -> RepResult<()> {
+        self.check_up()?;
+        self.state.lock().spill_stale_vote(
+            vote.member as u64,
+            vote.key.clone(),
+            vote.seen,
+            vote.latest,
+        );
+        Ok(())
+    }
+
+    /// Stale votes spilled since the last checkpoint, decoded from the
+    /// on-disk log — used to reseed the driver's queue after recovery.
+    pub fn spilled_stale_votes(&self) -> Vec<StaleVote> {
+        let data = {
+            let state = self.state.lock();
+            state.disk().read_all()
+        };
+        let (records, _) = decode_log(&data);
+        stale_votes_after(&records)
+            .into_iter()
+            .map(|(member, key, seen, latest)| StaleVote {
+                member: member as usize,
+                key,
+                seen,
+                latest,
+            })
+            .collect()
+    }
+
     fn check_up(&self) -> RepResult<()> {
         if self.is_available() {
             Ok(())
@@ -982,5 +1131,108 @@ mod tests {
         assert_eq!(rep.repair_bucket(0), Err(RepError::Unavailable));
         let plan = repdir_repair::RepairPlan::default();
         assert_eq!(rep.apply_repair(&plan), Err(RepError::Unavailable));
+        assert_eq!(rep.snapshot_manifest(), Err(RepError::Unavailable));
+        assert_eq!(rep.snapshot_chunk(None, 8), Err(RepError::Unavailable));
+        assert_eq!(rep.checkpoint(), Err(RepError::Unavailable));
+    }
+
+    /// Seeds `n` committed entries `k000..` with versions `1..=n`.
+    fn seeded(n: u64) -> Arc<TransactionalRep> {
+        let rep = TransactionalRep::new(RepId(0));
+        let t = TxnId(1);
+        rep.begin(t).unwrap();
+        for i in 0..n {
+            rep.insert(t, &k(&format!("k{i:03}")), v(i + 1), &val("x"))
+                .unwrap();
+        }
+        rep.commit(t).unwrap();
+        rep
+    }
+
+    #[test]
+    fn snapshot_chunks_walk_the_key_space_and_match_the_manifest() {
+        let rep = seeded(10);
+        let manifest = rep.snapshot_manifest().unwrap();
+        assert_eq!(manifest.root.count, 10);
+        assert_eq!(manifest.low_gap, rep.snapshot().low_gap());
+
+        // Walk in frames of 4: 4 + 4 + 2, cursor-addressed.
+        let mut seen = Vec::new();
+        let mut after: Option<UserKey> = None;
+        loop {
+            let chunk = rep.snapshot_chunk(after.as_ref(), 4).unwrap();
+            assert!(chunk.done || !chunk.entries.is_empty());
+            after = chunk.entries.last().map(|e| e.key.clone());
+            seen.extend(chunk.entries.into_iter().map(|e| (e.key, e.version)));
+            if chunk.done {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 10);
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "entries arrive in ascending key order");
+        // The independently-computed source digest agrees with the manifest.
+        use repdir_snapshot::SnapshotPeer;
+        let source = repdir_snapshot::SnapshotSource::new(rep.snapshot());
+        assert_eq!(source.manifest().unwrap().root, manifest.root);
+    }
+
+    #[test]
+    fn snapshot_chunk_serves_committed_state_only() {
+        let rep = seeded(3);
+        let t = TxnId(7);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("k999"), v(99), &val("uncommitted"))
+            .unwrap();
+        // The frame covers only keys outside the writer's lock, so ask for
+        // the tail strictly after the committed span: blocked by the
+        // writer's lock rather than leaking uncommitted data.
+        let err = rep
+            .snapshot_chunk(Some(&UserKey::new(*b"k998")), 4)
+            .unwrap_err();
+        assert_eq!(err, RepError::LockTimeout);
+        rep.abort(t);
+        let chunk = rep
+            .snapshot_chunk(Some(&UserKey::new(*b"k998")), 4)
+            .unwrap();
+        assert!(chunk.done);
+        assert!(chunk.entries.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_compacts_the_log_and_survives_recovery() {
+        let rep = seeded(5);
+        rep.checkpoint().unwrap();
+        // A transaction in flight makes the checkpoint refuse, not panic.
+        let t = TxnId(9);
+        rep.begin(t).unwrap();
+        rep.insert(t, &k("zz"), v(9), &val("Z")).unwrap();
+        match rep.checkpoint() {
+            Err(RepError::Storage(msg)) => assert!(msg.contains("1")),
+            other => panic!("expected Storage error, got {other:?}"),
+        }
+        rep.commit(t).unwrap();
+        rep.checkpoint().unwrap();
+        rep.crash_and_recover().unwrap();
+        assert_eq!(rep.len(), 6);
+    }
+
+    #[test]
+    fn spilled_stale_votes_survive_crash_and_retire_on_checkpoint() {
+        let rep = seeded(2);
+        let vote = StaleVote {
+            member: 1,
+            key: k("k001"),
+            seen: v(1),
+            latest: v(4),
+        };
+        rep.spill_stale_vote(&vote).unwrap();
+        rep.crash_and_recover().unwrap();
+        let spilled = rep.spilled_stale_votes();
+        assert_eq!(spilled, vec![vote]);
+        // A checkpoint marks the spilled votes consumed.
+        rep.checkpoint().unwrap();
+        assert!(rep.spilled_stale_votes().is_empty());
     }
 }

@@ -1,0 +1,169 @@
+//! Snapshot catch-up adapters: plugging a [`TransactionalRep`] into the
+//! `repdir-snapshot` [`SnapshotPeer`] trait, in-process and across the
+//! simulated network.
+//!
+//! A typical deployment gives each representative's
+//! [`RepairDriver`](repdir_repair::RepairDriver) a
+//! [`SnapshotInstaller`](repdir_snapshot::SnapshotInstaller) whose peers
+//! are [`RemoteSnapshotPeer`]s for the other members (aligned with the
+//! repair peer order, so the driver's sticky peer index addresses the same
+//! member on both paths), or [`LocalSnapshotPeer`]s in single-process
+//! tests.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use repdir_net::{NodeId, RpcClient};
+use repdir_repair::RepairError;
+use repdir_snapshot::{SnapshotChunk, SnapshotManifest, SnapshotPeer};
+
+use crate::codec::{decode_response, encode_request, Request, Response};
+use crate::repair::map_rep_error;
+use crate::server::TransactionalRep;
+
+use repdir_core::UserKey;
+
+/// A snapshot peer reached over the simulated network via the wire codec
+/// ([`Request::SnapshotBegin`] / [`Request::SnapshotChunk`]).
+#[derive(Debug)]
+pub struct RemoteSnapshotPeer {
+    rpc: Arc<RpcClient>,
+    server: NodeId,
+    timeout: Duration,
+}
+
+impl RemoteSnapshotPeer {
+    /// Default per-call deadline.
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(2);
+
+    /// A peer served at `server`, called through `rpc`.
+    pub fn new(rpc: Arc<RpcClient>, server: NodeId) -> Self {
+        RemoteSnapshotPeer {
+            rpc,
+            server,
+            timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Overrides the per-call deadline.
+    pub fn set_timeout(&mut self, timeout: Duration) {
+        self.timeout = timeout;
+    }
+
+    fn call(&self, req: Request) -> Result<Response, RepairError> {
+        let reply = self
+            .rpc
+            .call(self.server, encode_request(&req), self.timeout)
+            // An unreachable peer looks exactly like an unavailable one.
+            .map_err(|_| RepairError::Unavailable)?;
+        let resp = decode_response(&reply).map_err(|e| RepairError::Protocol(e.to_string()))?;
+        match resp {
+            Response::Err(e) => Err(map_rep_error(e)),
+            ok => Ok(ok),
+        }
+    }
+}
+
+impl SnapshotPeer for RemoteSnapshotPeer {
+    fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+        match self.call(Request::SnapshotBegin)? {
+            Response::SnapshotManifest(m) => Ok(m),
+            other => Err(RepairError::Protocol(format!(
+                "unexpected reply to SnapshotBegin: {other:?}"
+            ))),
+        }
+    }
+
+    fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError> {
+        match self.call(Request::SnapshotChunk {
+            after: after.cloned(),
+            max,
+        })? {
+            Response::SnapshotChunk(chunk) => Ok(chunk),
+            other => Err(RepairError::Protocol(format!(
+                "unexpected reply to SnapshotChunk: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// An in-process snapshot peer (no network) — handy in tests and
+/// single-process simulations.
+#[derive(Debug)]
+pub struct LocalSnapshotPeer {
+    rep: Arc<TransactionalRep>,
+}
+
+impl LocalSnapshotPeer {
+    /// Wraps a representative as a snapshot peer.
+    pub fn new(rep: Arc<TransactionalRep>) -> Self {
+        LocalSnapshotPeer { rep }
+    }
+}
+
+impl SnapshotPeer for LocalSnapshotPeer {
+    fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+        self.rep.snapshot_manifest().map_err(map_rep_error)
+    }
+
+    fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError> {
+        self.rep.snapshot_chunk(after, max).map_err(map_rep_error)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::serve_rep;
+    use repdir_core::{Key, RepId, Value, Version};
+    use repdir_net::Network;
+    use repdir_repair::{CatchupStream, RepairTarget};
+    use repdir_snapshot::SnapshotInstaller;
+    use repdir_txn::TxnId;
+
+    fn seed(rep: &TransactionalRep, txn: u64, keys: &[(&str, u64)]) {
+        let t = TxnId(txn);
+        rep.begin(t).unwrap();
+        for (key, ver) in keys {
+            rep.insert(t, &Key::from(*key), Version::new(*ver), &Value::from(*key))
+                .unwrap();
+        }
+        rep.commit(t).unwrap();
+    }
+
+    #[test]
+    fn networked_snapshot_stream_converges_an_empty_member() {
+        let net = Arc::new(Network::new(7));
+        let fresh = TransactionalRep::new(RepId(0));
+        let stale = TransactionalRep::new(RepId(1));
+        seed(&fresh, 1, &[("a", 1), ("b", 2), ("c", 3), ("d", 4)]);
+
+        let _server = serve_rep(Arc::clone(&net), NodeId(10), Arc::clone(&fresh));
+        let rpc = Arc::new(RpcClient::new(Arc::clone(&net), NodeId(0)));
+        let peer = RemoteSnapshotPeer::new(rpc, NodeId(10));
+        let mut installer = SnapshotInstaller::new(vec![Box::new(peer)]).with_chunk_entries(2);
+        let target: Arc<dyn RepairTarget> =
+            Arc::new(crate::repair::RepTarget::new(Arc::clone(&stale)));
+        let stats = installer.stream(0, &target).unwrap();
+        assert!(stats.root_matched);
+        assert_eq!(stats.entries, 4);
+        assert!(stats.chunks >= 2);
+        assert_eq!(fresh.snapshot(), stale.snapshot());
+    }
+
+    #[test]
+    fn local_peer_mirrors_the_remote_endpoints() {
+        let rep = TransactionalRep::new(RepId(0));
+        seed(&rep, 1, &[("x", 1), ("y", 2)]);
+        let peer = LocalSnapshotPeer::new(Arc::clone(&rep));
+        let manifest = peer.manifest().unwrap();
+        assert_eq!(manifest.root.count, 2);
+        let chunk = peer.chunk(None, 8).unwrap();
+        assert!(chunk.done);
+        assert_eq!(chunk.entries.len(), 2);
+        // Dead peers surface as Unavailable, the installer's retry signal.
+        rep.set_available(false);
+        assert_eq!(peer.manifest(), Err(RepairError::Unavailable));
+        assert_eq!(peer.chunk(None, 8), Err(RepairError::Unavailable));
+    }
+}

@@ -1,0 +1,851 @@
+//! # repdir-snapshot
+//!
+//! Streamed full-state catch-up for far-diverged representatives.
+//!
+//! Summary-tree repair (`repdir-repair`) wins when divergence is sparse:
+//! one walk finds the `k` dirty buckets and `2k` messages fix them. A
+//! member that was down long enough to diverge in *most* buckets inverts
+//! the trade — up to 256 pulls plus per-key merge work to transfer what is
+//! essentially the whole directory. Past that threshold, directory
+//! reconciliation is cheapest done wholesale: stream the peer's state in
+//! key order as bounded chunks and install it in one pass.
+//!
+//! * [`SnapshotSource`] walks a frozen [`GapMap`] view in key order,
+//!   serving a [`SnapshotManifest`] (root digest, entry count, leading-gap
+//!   version) and bounded [`SnapshotChunk`] frames strictly after a cursor
+//!   key — the resume point a receiver persists as it flushes buckets.
+//! * [`SnapshotPeer`] abstracts the transport; `repdir-replica` provides
+//!   in-process and RPC-backed adapters mirroring the repair peers.
+//! * [`SnapshotInstaller`] implements the driver-facing
+//!   [`CatchupStream`]: it buffers incoming entries per summary bucket and
+//!   flushes each completed bucket through the target's **guarded** repair
+//!   plan path ([`diff_bucket`] → `RepairTarget::apply`), so an install
+//!   never moves a version down and concurrent local writes win by
+//!   version. On completion it lands a WAL checkpoint (best-effort) and
+//!   verifies the local summary root against the manifest.
+//!
+//! Soundness is the paper's version rule, unchanged from bucket repair: a
+//! version pins exact content and only ever grows, so pointwise
+//! "higher version wins" install of a remote snapshot needs **no quorum**
+//! — it transfers facts the suite already committed. Resume after a crash
+//! or peer death is sound for the same reason: re-fetching from the last
+//! *flushed* key re-applies idempotent guarded steps, and buckets flushed
+//! from an older freeze are caught by the driver's post-install mop-up
+//! walk.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use repdir_core::{GapMap, UserKey, Version};
+use repdir_repair::{
+    bucket_of, diff_bucket, entry_digest, fold_children, low_gap_digest, BucketEntry, BucketView,
+    CatchupStats, CatchupStream, Digest, GapAnchor, RepairError, RepairPlan, RepairTarget, BUCKETS,
+    FANOUT, GROUPS,
+};
+
+/// Default number of entries per [`SnapshotChunk`] frame.
+pub const DEFAULT_CHUNK_ENTRIES: u32 = 512;
+
+/// What a snapshot stream promises before the first chunk: the digest of
+/// the frozen state (root hash + total entry count) and the leading-gap
+/// version the receiver seeds bucket 0 with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SnapshotManifest {
+    /// Summary-tree root digest of the frozen state; `root.count` is the
+    /// total number of entries the stream will carry.
+    pub root: Digest,
+    /// Version of the gap between `LOW` and the first entry.
+    pub low_gap: Version,
+}
+
+impl SnapshotManifest {
+    /// Approximate serialized size, for wire-cost accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        24
+    }
+}
+
+/// One bounded frame of a snapshot stream: entries in ascending key order,
+/// strictly after the requested cursor, each carrying its pinned version,
+/// value, and trailing-gap version (the `WalRecord::checkpoint_of` entry
+/// shape).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Entries in ascending key order.
+    pub entries: Vec<BucketEntry>,
+    /// Whether this frame reaches the end of the key space. A non-`done`
+    /// frame must carry at least one entry.
+    pub done: bool,
+}
+
+impl SnapshotChunk {
+    /// Approximate serialized size, for wire-cost accounting.
+    pub fn wire_bytes(&self) -> u64 {
+        let mut n = 1u64; // done flag
+        for e in &self.entries {
+            n += e.key.len() as u64 + e.value.len() as u64 + 24;
+        }
+        n
+    }
+}
+
+/// A remote representative as seen by the snapshot installer: a manifest
+/// endpoint and a cursor-addressed chunk endpoint. Implementations live in
+/// `repdir-replica` (in-process and RPC-backed); [`SnapshotSource`] is the
+/// in-memory reference.
+pub trait SnapshotPeer: Send + Sync {
+    /// The manifest of the peer's current state.
+    fn manifest(&self) -> Result<SnapshotManifest, RepairError>;
+    /// Up to `max` entries strictly after `after` (from the lowest key
+    /// when `None`), in ascending key order.
+    fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError>;
+}
+
+/// Serves snapshot frames from a frozen [`GapMap`] view — the reference
+/// [`SnapshotPeer`], used directly in tests and benches and as the model
+/// the replica-layer endpoints mirror.
+#[derive(Clone, Debug)]
+pub struct SnapshotSource {
+    map: GapMap,
+}
+
+impl SnapshotSource {
+    /// Freezes `map` as the served state (clone it out of live storage at
+    /// freeze time).
+    pub fn new(map: GapMap) -> Self {
+        SnapshotSource { map }
+    }
+
+    /// The frozen state's summary-tree root digest, computed the same way
+    /// the incremental `SummaryCache` folds it: 256 bucket digests → 16
+    /// group digests → root.
+    pub fn root(&self) -> Digest {
+        let mut buckets = vec![Digest::default(); BUCKETS];
+        self.map.range_scan(None, None, &mut |k, v, _val, gap| {
+            let b = bucket_of(k.as_bytes()) as usize;
+            buckets[b].hash ^= entry_digest(k.as_bytes(), v, gap);
+            buckets[b].count += 1;
+        });
+        buckets[0].hash ^= low_gap_digest(self.map.low_gap());
+        fold_digest_tree(&buckets)
+    }
+}
+
+/// Folds 256 bucket digests into the summary-tree root (16 groups of
+/// [`FANOUT`], then one fold over the groups) — the shape
+/// `RepairTarget::children(0, 0)` exposes one level of.
+fn fold_digest_tree(buckets: &[Digest]) -> Digest {
+    debug_assert_eq!(buckets.len(), BUCKETS);
+    let groups: Vec<Digest> = (0..GROUPS)
+        .map(|g| fold_children(&buckets[g * FANOUT..(g + 1) * FANOUT]))
+        .collect();
+    fold_children(&groups)
+}
+
+/// The local summary root as seen through a [`RepairTarget`]: one
+/// root-level fetch folded to a single digest, comparable against a
+/// [`SnapshotManifest::root`].
+pub fn target_root(target: &dyn RepairTarget) -> Result<Digest, RepairError> {
+    Ok(fold_children(&target.children(0, 0)?))
+}
+
+impl SnapshotPeer for SnapshotSource {
+    fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+        Ok(SnapshotManifest {
+            root: self.root(),
+            low_gap: self.map.low_gap(),
+        })
+    }
+
+    fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError> {
+        // Strictly-after lower bound: the smallest byte string above `k`
+        // is `k ++ 0x00`.
+        let low: Option<Vec<u8>> = after.map(|k| {
+            let mut b = k.as_bytes().to_vec();
+            b.push(0);
+            b
+        });
+        let max = max.max(1) as usize;
+        let mut entries = Vec::new();
+        let mut overflow = false;
+        self.map
+            .range_scan(low.as_deref(), None, &mut |k, v, val, gap| {
+                if entries.len() < max {
+                    entries.push(BucketEntry {
+                        key: k.clone(),
+                        version: v,
+                        value: val.clone(),
+                        gap_after: gap,
+                    });
+                } else {
+                    overflow = true;
+                }
+            });
+        Ok(SnapshotChunk {
+            entries,
+            done: !overflow,
+        })
+    }
+}
+
+impl SnapshotPeer for Arc<SnapshotSource> {
+    fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+        self.as_ref().manifest()
+    }
+
+    fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError> {
+        self.as_ref().chunk(after, max)
+    }
+}
+
+/// Durable resume state of an interrupted install: everything needed to
+/// continue from the last *flushed* bucket instead of restarting.
+#[derive(Clone, Debug)]
+struct Progress {
+    /// Manifest of the stream being installed.
+    manifest: SnapshotManifest,
+    /// Next bucket to flush (`0..=256`; 256 means all flushed).
+    bucket: u16,
+    /// Last flushed entry key; chunk fetches resume strictly after it.
+    cursor: Option<UserKey>,
+    /// Gap version extending into `bucket` from below.
+    lead: Version,
+}
+
+/// Streams a snapshot from one of a set of [`SnapshotPeer`]s into a
+/// [`RepairTarget`], implementing the repair driver's [`CatchupStream`].
+///
+/// Entries are buffered per summary bucket and flushed bucket-at-a-time
+/// through [`diff_bucket`] + `RepairTarget::apply` — the same guarded plan
+/// path bucket repair uses, so versions never move down and deletions
+/// propagate via gap raises (an empty bucket view carrying the snapshot's
+/// covering gap dominates the target's stale entries).
+///
+/// A failed stream keeps its [`Progress`] — cursor, next bucket, carried
+/// gap — and the next call resumes there (`CatchupStats::resumed`);
+/// buffered-but-unflushed entries are simply re-fetched. Peer indices are
+/// expected to align with the driver's repair peers, so the driver's
+/// sticky-peer choice picks the same member for both modes.
+pub struct SnapshotInstaller {
+    peers: Vec<Box<dyn SnapshotPeer>>,
+    chunk_entries: u32,
+    progress: Option<Progress>,
+}
+
+impl fmt::Debug for SnapshotInstaller {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SnapshotInstaller")
+            .field("peers", &self.peers.len())
+            .field("chunk_entries", &self.chunk_entries)
+            .field("in_progress", &self.progress.is_some())
+            .finish()
+    }
+}
+
+impl SnapshotInstaller {
+    /// An installer over `peers` with the default chunk size.
+    pub fn new(peers: Vec<Box<dyn SnapshotPeer>>) -> Self {
+        SnapshotInstaller {
+            peers,
+            chunk_entries: DEFAULT_CHUNK_ENTRIES,
+            progress: None,
+        }
+    }
+
+    /// Overrides the number of entries requested per chunk.
+    #[must_use]
+    pub fn with_chunk_entries(mut self, entries: u32) -> Self {
+        self.chunk_entries = entries.max(1);
+        self
+    }
+
+    /// Whether an interrupted install is pending resume.
+    pub fn in_progress(&self) -> bool {
+        self.progress.is_some()
+    }
+
+    /// The resume cursor of the pending install, if any: the last key
+    /// whose bucket was flushed.
+    pub fn resume_cursor(&self) -> Option<&UserKey> {
+        self.progress.as_ref().and_then(|p| p.cursor.as_ref())
+    }
+
+    /// The gap raise carried between flushes: the segment directly after
+    /// the last flushed entry (or the low edge, before any entry) must
+    /// rise to that entry's `gap_after` (or the manifest's `low_gap`).
+    fn carry_raise(prog: &Progress) -> (GapAnchor, Version) {
+        match &prog.cursor {
+            Some(k) => (GapAnchor::After(k.clone()), prog.lead),
+            None => (GapAnchor::LowEdge, prog.lead),
+        }
+    }
+
+    /// Flushes one bucket: diff the buffered snapshot view against the
+    /// local bucket and apply the guarded plan, then advance the durable
+    /// progress (cursor, carried gap, next bucket).
+    ///
+    /// Trailing gap raises are **deferred by one entry**: `apply` realizes
+    /// a raise by coalescing up to the *local* successor of its anchor, so
+    /// raising directly after this view's last entry — before the next
+    /// streamed entry is installed — would overshoot on a sparse receiver
+    /// (worst case all the way to `HIGH`), stamping a gap version over
+    /// remote entries it was never a fact about and locking their install
+    /// out. Instead each flush applies the raise carried from the
+    /// *previous* entry, whose stream successor is this view's first
+    /// entry, installed by this very plan — the coalesce then lands
+    /// exactly on the remote segment boundary. The pending carry is
+    /// `(cursor, lead)`, already part of the durable progress, so an
+    /// interrupted stream resumes it for free.
+    fn flush_bucket(
+        prog: &mut Progress,
+        target: &Arc<dyn RepairTarget>,
+        stats: &mut CatchupStats,
+        entries: Vec<BucketEntry>,
+    ) -> Result<(), RepairError> {
+        let bucket = prog.bucket as u8;
+        let view = BucketView {
+            lead_gap: prog.lead,
+            entries,
+        };
+        let local = target.bucket(bucket)?;
+        let mut plan = diff_bucket(bucket, &local, &view);
+        match view.entries.last() {
+            Some(last) => {
+                plan.gap_raises.retain(|(anchor, _)| match anchor {
+                    GapAnchor::LowEdge => false,
+                    GapAnchor::After(k) => *k != last.key,
+                });
+                plan.gap_raises.push(Self::carry_raise(prog));
+            }
+            // An empty view contributes no raise of its own (its whole
+            // range is covered by the pending carry), and the lead raise
+            // diff emits for an empty bucket 0 is the carry itself.
+            None => plan
+                .gap_raises
+                .retain(|(anchor, _)| !matches!(anchor, GapAnchor::LowEdge)),
+        }
+        if !plan.is_empty() {
+            stats.applied.absorb(target.apply(&plan)?);
+        }
+        if let Some(last) = view.entries.last() {
+            prog.lead = last.gap_after;
+            prog.cursor = Some(last.key.clone());
+        }
+        prog.bucket += 1;
+        Ok(())
+    }
+
+    /// The streaming loop, separated so a transient error can stash
+    /// `prog` for resume at the call site.
+    fn run(
+        peer: &dyn SnapshotPeer,
+        chunk_entries: u32,
+        prog: &mut Progress,
+        target: &Arc<dyn RepairTarget>,
+        stats: &mut CatchupStats,
+    ) -> Result<(), RepairError> {
+        // Working state, re-derived from the durable progress: the fetch
+        // cursor runs ahead of the flush cursor by at most one buffered
+        // bucket, and drops back to it on resume.
+        let mut fetch_cursor = prog.cursor.clone();
+        let mut pending: Vec<BucketEntry> = Vec::new();
+        loop {
+            let chunk = peer.chunk(fetch_cursor.as_ref(), chunk_entries)?;
+            stats.chunks += 1;
+            stats.bytes += chunk.wire_bytes();
+            if chunk.entries.is_empty() && !chunk.done {
+                return Err(RepairError::Protocol(
+                    "snapshot chunk carried no entries before done".into(),
+                ));
+            }
+            for entry in chunk.entries {
+                if fetch_cursor.as_ref().is_some_and(|c| entry.key <= *c) {
+                    return Err(RepairError::Protocol(format!(
+                        "snapshot chunk out of order at {:?}",
+                        entry.key
+                    )));
+                }
+                fetch_cursor = Some(entry.key.clone());
+                stats.entries += 1;
+                let bucket = bucket_of(entry.key.as_bytes()) as u16;
+                if bucket < prog.bucket {
+                    // A key written on the peer behind our flush point
+                    // (the peer serves live committed state, not a true
+                    // freeze). Its bucket is already flushed; the driver's
+                    // post-install walk mops it up.
+                    continue;
+                }
+                while prog.bucket < bucket {
+                    let batch = std::mem::take(&mut pending);
+                    Self::flush_bucket(prog, target, stats, batch)?;
+                }
+                pending.push(entry);
+            }
+            if chunk.done {
+                break;
+            }
+        }
+        // Flush the final buffered bucket and every (empty) bucket after
+        // it: the carried gap version must still dominate stale local
+        // entries all the way to the high edge.
+        while prog.bucket < BUCKETS as u16 {
+            let batch = std::mem::take(&mut pending);
+            Self::flush_bucket(prog, target, stats, batch)?;
+        }
+        // The last entry's trailing raise (or the lone lead raise of an
+        // empty snapshot) has no successor left to defer to: the remote's
+        // final segment genuinely runs to `HIGH`, so the coalesce-to-local-
+        // successor realization is exact here.
+        let final_plan = RepairPlan {
+            gap_raises: vec![Self::carry_raise(prog)],
+            ..RepairPlan::default()
+        };
+        stats.applied.absorb(target.apply(&final_plan)?);
+        // Completion: land a durable checkpoint (best-effort — a busy
+        // representative just checkpoints later) and verify the local root
+        // against the manifest. A mismatch is advisory: concurrent writes
+        // during the install legitimately move the root past the freeze.
+        let _ = target.checkpoint();
+        stats.root_matched = target
+            .children(0, 0)
+            .map(|groups| fold_children(&groups) == prog.manifest.root)
+            .unwrap_or(false);
+        Ok(())
+    }
+}
+
+impl CatchupStream for SnapshotInstaller {
+    fn stream(
+        &mut self,
+        peer_idx: usize,
+        target: &Arc<dyn RepairTarget>,
+    ) -> Result<CatchupStats, RepairError> {
+        let peer = self
+            .peers
+            .get(peer_idx)
+            .ok_or_else(|| RepairError::Protocol(format!("no snapshot peer {peer_idx}")))?;
+        let mut stats = CatchupStats::default();
+        let mut prog = match self.progress.take() {
+            Some(p) => {
+                stats.resumed = true;
+                p
+            }
+            None => {
+                let manifest = peer.manifest()?;
+                stats.bytes += manifest.wire_bytes();
+                Progress {
+                    manifest,
+                    bucket: 0,
+                    cursor: None,
+                    lead: manifest.low_gap,
+                }
+            }
+        };
+        match Self::run(
+            peer.as_ref(),
+            self.chunk_entries,
+            &mut prog,
+            target,
+            &mut stats,
+        ) {
+            Ok(()) => Ok(stats),
+            Err(e) => {
+                // Keep the flush cursor for resume-not-restart.
+                self.progress = Some(prog);
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use repdir_core::{Key, Value};
+    use repdir_repair::{ApplyStats, GapAnchor, RepairPlan, SummaryCache};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Mutex;
+
+    fn k(s: &[u8]) -> UserKey {
+        UserKey::new(s)
+    }
+
+    fn v(n: u64) -> Version {
+        Version::new(n)
+    }
+
+    /// A toy representative storing bucket views directly — the same
+    /// fixture shape the repairer's own tests use; the real adapter lives
+    /// in repdir-replica.
+    struct MemRep {
+        cache: SummaryCache,
+        buckets: Mutex<Vec<BucketView>>,
+        checkpoints: AtomicU64,
+    }
+
+    impl MemRep {
+        fn new() -> Arc<Self> {
+            Arc::new(MemRep {
+                cache: SummaryCache::new(),
+                buckets: Mutex::new(vec![BucketView::default(); BUCKETS]),
+                checkpoints: AtomicU64::new(0),
+            })
+        }
+
+        fn insert(&self, key: &[u8], version: u64, gap_after: u64) {
+            let mut buckets = self.buckets.lock().unwrap();
+            let view = &mut buckets[bucket_of(key) as usize];
+            let key_owned = k(key);
+            let idx = view.entries.partition_point(|e| e.key < key_owned);
+            let entry = BucketEntry {
+                key: key_owned,
+                version: v(version),
+                value: Value::new([key[0], version as u8]),
+                gap_after: v(gap_after),
+            };
+            if view.entries.get(idx).is_some_and(|e| e.key == entry.key) {
+                view.entries[idx] = entry;
+            } else {
+                view.entries.insert(idx, entry);
+            }
+            self.cache.mark(key);
+        }
+
+        fn digest_bucket(&self, b: u8) -> Digest {
+            let buckets = self.buckets.lock().unwrap();
+            let view = &buckets[b as usize];
+            let mut hash = 0u64;
+            for e in &view.entries {
+                hash ^= entry_digest(e.key.as_bytes(), e.version, e.gap_after);
+            }
+            if b == 0 {
+                hash ^= low_gap_digest(view.lead_gap);
+            }
+            Digest {
+                hash,
+                count: view.entries.len() as u64,
+            }
+        }
+
+        fn version_of(&self, key: &[u8]) -> Option<Version> {
+            let buckets = self.buckets.lock().unwrap();
+            buckets[bucket_of(key) as usize]
+                .entries
+                .iter()
+                .find(|e| e.key.as_bytes() == key)
+                .map(|e| e.version)
+        }
+    }
+
+    impl RepairTarget for MemRep {
+        fn children(&self, level: u8, path: u8) -> Result<Vec<Digest>, RepairError> {
+            Ok(self
+                .cache
+                .children(level, path, &mut |b| self.digest_bucket(b)))
+        }
+
+        fn bucket(&self, bucket: u8) -> Result<BucketView, RepairError> {
+            Ok(self.buckets.lock().unwrap()[bucket as usize].clone())
+        }
+
+        fn apply(&self, plan: &RepairPlan) -> Result<ApplyStats, RepairError> {
+            let mut stats = ApplyStats::default();
+            for (key, version, value) in &plan.installs {
+                let mut buckets = self.buckets.lock().unwrap();
+                let view = &mut buckets[bucket_of(key.as_bytes()) as usize];
+                let idx = view.entries.partition_point(|e| e.key < *key);
+                let at = view.entries.get(idx).filter(|e| e.key == *key);
+                let gap = if idx == 0 {
+                    view.lead_gap
+                } else {
+                    view.entries[idx - 1].gap_after
+                };
+                match at {
+                    Some(e) if e.version >= *version => continue,
+                    Some(_) => {
+                        view.entries[idx].version = *version;
+                        view.entries[idx].value = value.clone();
+                    }
+                    None => view.entries.insert(
+                        idx,
+                        BucketEntry {
+                            key: key.clone(),
+                            version: *version,
+                            value: value.clone(),
+                            gap_after: gap,
+                        },
+                    ),
+                }
+                self.cache.mark(key.as_bytes());
+                stats.installed += 1;
+            }
+            for (key, covering) in &plan.ghosts {
+                let mut buckets = self.buckets.lock().unwrap();
+                let view = &mut buckets[bucket_of(key.as_bytes()) as usize];
+                if let Ok(idx) = view.entries.binary_search_by(|e| e.key.cmp(key)) {
+                    if view.entries[idx].version < *covering {
+                        view.entries.remove(idx);
+                        if idx == 0 {
+                            view.lead_gap = *covering;
+                        } else {
+                            view.entries[idx - 1].gap_after = *covering;
+                        }
+                        self.cache.mark(key.as_bytes());
+                        stats.ghosts_removed += 1;
+                    }
+                }
+            }
+            for (anchor, to) in &plan.gap_raises {
+                let mut buckets = self.buckets.lock().unwrap();
+                match anchor {
+                    GapAnchor::LowEdge => {
+                        if buckets[0].lead_gap < *to {
+                            buckets[0].lead_gap = *to;
+                            self.cache.mark(b"");
+                            stats.gaps_raised += 1;
+                        }
+                    }
+                    GapAnchor::After(key) => {
+                        let view = &mut buckets[bucket_of(key.as_bytes()) as usize];
+                        if let Ok(idx) = view.entries.binary_search_by(|e| e.key.cmp(key)) {
+                            if view.entries[idx].gap_after < *to {
+                                view.entries[idx].gap_after = *to;
+                                self.cache.mark(key.as_bytes());
+                                stats.gaps_raised += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(stats)
+        }
+
+        fn checkpoint(&self) -> Result<(), RepairError> {
+            self.checkpoints.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+    }
+
+    fn source_of(pairs: &[(&[u8], u64, u64)], low_gap: u64) -> SnapshotSource {
+        let mut map = GapMap::new();
+        if low_gap > 0 {
+            map.set_gap_after(&Key::Low, v(low_gap)).unwrap();
+        }
+        for (key, version, gap) in pairs {
+            map.restore_entry(
+                k(key),
+                v(*version),
+                Value::new([key[0], *version as u8]),
+                v(*gap),
+            );
+        }
+        map.check_invariants()
+            .unwrap_or_else(|e| panic!("bad fixture: {e}"));
+        SnapshotSource::new(map)
+    }
+
+    /// A peer wrapper that fails every chunk call after the first `allow`.
+    struct FlakyPeer {
+        inner: SnapshotSource,
+        allow: AtomicU64,
+        chunk_afters: Mutex<Vec<Option<UserKey>>>,
+    }
+
+    impl SnapshotPeer for Arc<FlakyPeer> {
+        fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+            self.inner.manifest()
+        }
+
+        fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError> {
+            self.chunk_afters.lock().unwrap().push(after.cloned());
+            if self.allow.fetch_sub(1, Ordering::Relaxed) == 0 {
+                // One fault, then the peer comes back for the resume.
+                self.allow.store(u64::MAX, Ordering::Relaxed);
+                return Err(RepairError::Unavailable);
+            }
+            self.inner.chunk(after, max)
+        }
+    }
+
+    fn target_arc(rep: &Arc<MemRep>) -> Arc<dyn RepairTarget> {
+        Arc::clone(rep) as Arc<dyn RepairTarget>
+    }
+
+    #[test]
+    fn fresh_install_converges_and_checkpoints() {
+        let pairs: Vec<(Vec<u8>, u64, u64)> = (0..60u64)
+            .map(|i| (vec![(i * 4 + 3) as u8, i as u8], i + 1, 0))
+            .collect();
+        let borrowed: Vec<(&[u8], u64, u64)> = pairs
+            .iter()
+            .map(|(key, vn, g)| (key.as_slice(), *vn, *g))
+            .collect();
+        let source = source_of(&borrowed, 0);
+        let manifest = source.manifest().unwrap();
+        assert_eq!(manifest.root.count, 60);
+
+        let rep = MemRep::new();
+        let target = target_arc(&rep);
+        let mut installer = SnapshotInstaller::new(vec![Box::new(source)]).with_chunk_entries(16);
+        let stats = installer.stream(0, &target).unwrap();
+        assert_eq!(stats.entries, 60);
+        assert!(stats.chunks >= 4, "bounded chunks, got {}", stats.chunks);
+        assert_eq!(stats.applied.installed, 60);
+        assert!(!stats.resumed);
+        assert!(
+            stats.root_matched,
+            "quiet install must match the manifest root"
+        );
+        assert!(!installer.in_progress());
+        assert_eq!(rep.checkpoints.load(Ordering::Relaxed), 1);
+        assert_eq!(target_root(target.as_ref()).unwrap(), manifest.root);
+    }
+
+    #[test]
+    fn install_propagates_deletes_and_never_moves_versions_down() {
+        // Peer state: one survivor, everything else deleted at version 50.
+        let source = source_of(&[(b"surv", 7, 50)], 50);
+        let rep = MemRep::new();
+        rep.insert(b"stale", 3, 0); // dominated by the gap at 50 → ghost
+        rep.insert(b"surv", 9, 0); // local is *newer* → must keep version 9
+        rep.insert(&[0xF0, 1], 2, 0); // trailing bucket, also dominated
+        let target = target_arc(&rep);
+        let mut installer = SnapshotInstaller::new(vec![Box::new(source)]);
+        let stats = installer.stream(0, &target).unwrap();
+        assert_eq!(
+            rep.version_of(b"surv"),
+            Some(v(9)),
+            "version never moves down"
+        );
+        assert_eq!(rep.version_of(b"stale"), None, "gap at 50 dominates v3");
+        assert_eq!(
+            rep.version_of(&[0xF0, 1]),
+            None,
+            "trailing buckets flush too"
+        );
+        assert_eq!(stats.applied.ghosts_removed, 2);
+        // Local moved ahead of the freeze, so the root cannot match.
+        assert!(!stats.root_matched);
+    }
+
+    #[test]
+    fn interrupted_stream_resumes_from_flush_cursor_not_the_start() {
+        let pairs: Vec<(Vec<u8>, u64, u64)> = (0..80u64)
+            .map(|i| (vec![(i * 3 + 2) as u8, i as u8], i + 1, 0))
+            .collect();
+        let borrowed: Vec<(&[u8], u64, u64)> = pairs
+            .iter()
+            .map(|(key, vn, g)| (key.as_slice(), *vn, *g))
+            .collect();
+        let peer = Arc::new(FlakyPeer {
+            inner: source_of(&borrowed, 0),
+            allow: AtomicU64::new(3), // three chunks, then the peer dies
+            chunk_afters: Mutex::new(Vec::new()),
+        });
+        let rep = MemRep::new();
+        let target = target_arc(&rep);
+        let mut installer =
+            SnapshotInstaller::new(vec![Box::new(Arc::clone(&peer))]).with_chunk_entries(16);
+
+        let err = installer.stream(0, &target).unwrap_err();
+        assert_eq!(err, RepairError::Unavailable);
+        assert!(installer.in_progress());
+        let cursor = installer.resume_cursor().cloned().expect("progress kept");
+
+        // Resume: the first chunk fetch must start at the kept cursor,
+        // not at the beginning of the key space.
+        let stats = installer.stream(0, &target).unwrap();
+        assert!(stats.resumed);
+        assert!(!installer.in_progress());
+        // Three chunks of 16 made it before the fault; the flushed ones
+        // are not re-fetched.
+        assert!(stats.entries < 80, "resume must not restart the stream");
+        let rep2 = MemRep::new();
+        for (key, vn, _) in &pairs {
+            rep2.insert(key, *vn, 0);
+        }
+        assert_eq!(
+            rep.children(0, 0).unwrap(),
+            rep2.children(0, 0).unwrap(),
+            "resumed install converges to the full state"
+        );
+        // The recorded fetch cursors prove resume-not-restart: calls 0-2
+        // streamed, call 3 died, and call 4 — the first after resume —
+        // asked for keys strictly after the stashed flush cursor.
+        let afters = peer.chunk_afters.lock().unwrap();
+        assert_eq!(afters[0], None);
+        assert_eq!(afters[4], Some(cursor));
+    }
+
+    #[test]
+    fn reinstall_on_converged_replica_is_idempotent() {
+        let source = source_of(&[(b"a", 2, 0), (b"m", 5, 0), (b"z", 9, 4)], 1);
+        let rep = MemRep::new();
+        let target = target_arc(&rep);
+        let mut installer = SnapshotInstaller::new(vec![Box::new(source.clone())]);
+        let first = installer.stream(0, &target).unwrap();
+        assert!(first.applied.total() > 0);
+        let mut installer2 = SnapshotInstaller::new(vec![Box::new(source)]);
+        let second = installer2.stream(0, &target).unwrap();
+        assert_eq!(second.applied.total(), 0, "re-install changes nothing");
+        assert!(second.root_matched);
+    }
+
+    #[test]
+    fn empty_snapshot_of_deleted_directory_clears_the_target() {
+        // The peer deleted everything; only a high low_gap remains.
+        let source = source_of(&[], 33);
+        let rep = MemRep::new();
+        rep.insert(b"doomed", 4, 0);
+        let target = target_arc(&rep);
+        let mut installer = SnapshotInstaller::new(vec![Box::new(source)]);
+        let stats = installer.stream(0, &target).unwrap();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.applied.ghosts_removed, 1);
+        assert_eq!(rep.version_of(b"doomed"), None);
+    }
+
+    #[test]
+    fn malformed_empty_chunk_is_a_protocol_error() {
+        struct EmptyChunkPeer;
+        impl SnapshotPeer for EmptyChunkPeer {
+            fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+                Ok(SnapshotManifest {
+                    root: Digest { hash: 1, count: 5 },
+                    low_gap: Version::ZERO,
+                })
+            }
+            fn chunk(&self, _: Option<&UserKey>, _: u32) -> Result<SnapshotChunk, RepairError> {
+                Ok(SnapshotChunk {
+                    entries: Vec::new(),
+                    done: false,
+                })
+            }
+        }
+        let rep = MemRep::new();
+        let target = target_arc(&rep);
+        let mut installer = SnapshotInstaller::new(vec![Box::new(EmptyChunkPeer)]);
+        assert!(matches!(
+            installer.stream(0, &target),
+            Err(RepairError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn source_chunks_are_cursor_addressed_and_bounded() {
+        let source = source_of(&[(b"a", 1, 0), (b"b", 2, 0), (b"c", 3, 0), (b"d", 4, 0)], 0);
+        let first = source.chunk(None, 3).unwrap();
+        assert_eq!(first.entries.len(), 3);
+        assert!(!first.done);
+        let rest = source.chunk(Some(&first.entries[2].key), 3).unwrap();
+        assert_eq!(rest.entries.len(), 1);
+        assert!(rest.done);
+        assert_eq!(rest.entries[0].key, k(b"d"));
+        // A cursor at the last key yields an empty, done chunk.
+        let end = source.chunk(Some(&k(b"d")), 3).unwrap();
+        assert!(end.entries.is_empty() && end.done);
+    }
+}

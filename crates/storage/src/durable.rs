@@ -255,17 +255,36 @@ impl DurableState {
     }
 
     /// Writes a checkpoint so recovery need not replay the whole log.
+    /// Checkpoints are taken quiesced: the in-memory state must hold
+    /// committed data only, or the snapshot would capture another
+    /// transaction's uncommitted writes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if transactions are in flight; checkpoints are taken quiesced.
-    pub fn checkpoint(&mut self) {
-        assert!(
-            self.undo.is_empty(),
-            "checkpoint requires a quiesced representative"
-        );
+    /// [`WalError::CheckpointBusy`] if transactions are in flight; the
+    /// caller (e.g. the snapshot installer finishing a stream) can retry
+    /// once the representative drains.
+    pub fn checkpoint(&mut self) -> Result<(), WalError> {
+        if !self.undo.is_empty() {
+            return Err(WalError::CheckpointBusy(self.undo.len()));
+        }
         self.wal
             .append(&WalRecord::checkpoint_of(&self.state.to_gapmap()));
+        self.wal.sync();
+        Ok(())
+    }
+
+    /// Durably spills a stale vote observed against this representative
+    /// (see [`WalRecord::StaleVote`]): appended outside any transaction and
+    /// synced immediately, so a process restart finds the evidence and the
+    /// repair driver resumes its targeted pulls.
+    pub fn spill_stale_vote(&mut self, member: u64, key: Key, seen: Version, latest: Version) {
+        self.wal.append(&WalRecord::StaleVote {
+            member,
+            key,
+            seen,
+            latest,
+        });
         self.wal.sync();
     }
 
@@ -389,7 +408,7 @@ mod tests {
             st.insert(t, &k(key), v(1), val(key)).unwrap();
             st.commit(t);
         }
-        st.checkpoint();
+        st.checkpoint().unwrap();
         let t = TxnId(10);
         st.begin(t);
         st.coalesce(t, &k("a"), &k("c"), v(2)).unwrap();
@@ -443,12 +462,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "quiesced")]
-    fn checkpoint_with_active_txn_panics() {
+    fn checkpoint_with_active_txn_is_a_retryable_error() {
         let disk = Arc::new(SimDisk::new());
         let mut st = DurableState::new(disk);
         st.begin(TxnId(1));
-        st.checkpoint();
+        st.begin(TxnId(2));
+        assert_eq!(st.checkpoint(), Err(WalError::CheckpointBusy(2)));
+        // Nothing was appended: recovery sees no checkpoint record.
+        st.disk().sync();
+        let (records, _) = crate::wal::decode_log(&st.disk().read_all());
+        assert!(!records
+            .iter()
+            .any(|r| matches!(r, WalRecord::Checkpoint { .. })));
+        // Once the representative drains, the same call succeeds.
+        st.commit(TxnId(1));
+        st.abort(TxnId(2));
+        st.checkpoint().unwrap();
     }
 
     #[test]

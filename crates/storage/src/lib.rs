@@ -32,4 +32,4 @@ pub use durable::DurableState;
 pub use gapbtree::GapBTree;
 pub use simdisk::SimDisk;
 pub use state::{Backend, DirState};
-pub use wal::{decode_log, encode_record, replay, Wal, WalError, WalRecord};
+pub use wal::{decode_log, encode_record, replay, stale_votes_after, Wal, WalError, WalRecord};

@@ -72,6 +72,21 @@ pub enum WalRecord {
         /// Every entry with its trailing-gap version.
         entries: Vec<CheckpointEntry>,
     },
+    /// Sidecar record: a stale vote observed against this representative,
+    /// spilled so a restarted repair driver resumes its targeted pulls
+    /// instead of waiting for the fallback sweep. Ignored by [`replay`]
+    /// (it carries repair evidence, not directory state); a checkpoint
+    /// retires every earlier spill.
+    StaleVote {
+        /// Suite index of the member that voted stale.
+        member: u64,
+        /// The key the read asked about.
+        key: Key,
+        /// The version the stale member answered with.
+        seen: Version,
+        /// The winning version the quorum merge settled on.
+        latest: Version,
+    },
 }
 
 impl WalRecord {
@@ -105,6 +120,7 @@ const TAG_COALESCE: u8 = 3;
 const TAG_COMMIT: u8 = 4;
 const TAG_ABORT: u8 = 5;
 const TAG_CHECKPOINT: u8 = 6;
+const TAG_STALE_VOTE: u8 = 7;
 
 const KEY_LOW: u8 = 0;
 const KEY_USER: u8 = 1;
@@ -135,6 +151,10 @@ pub enum WalError {
     /// Replay hit an operation that cannot apply (e.g. a coalesce whose
     /// boundary is missing) — the log is inconsistent.
     Inconsistent(String),
+    /// A checkpoint was requested while transactions were in flight; the
+    /// caller should quiesce (or retry once the active transactions drain)
+    /// and ask again. Carries the number of in-flight transactions.
+    CheckpointBusy(usize),
 }
 
 impl std::fmt::Display for WalError {
@@ -142,6 +162,10 @@ impl std::fmt::Display for WalError {
         match self {
             WalError::Malformed(m) => write!(f, "malformed wal record: {m}"),
             WalError::Inconsistent(m) => write!(f, "inconsistent wal: {m}"),
+            WalError::CheckpointBusy(n) => write!(
+                f,
+                "checkpoint requires a quiesced representative ({n} transactions in flight)"
+            ),
         }
     }
 }
@@ -235,6 +259,18 @@ fn encode_body(record: &WalRecord) -> Vec<u8> {
                 b.put_u64_le(gap_after.get());
             }
         }
+        WalRecord::StaleVote {
+            member,
+            key,
+            seen,
+            latest,
+        } => {
+            b.put_u8(TAG_STALE_VOTE);
+            b.put_u64_le(*member);
+            put_key(&mut b, key);
+            b.put_u64_le(seen.get());
+            b.put_u64_le(latest.get());
+        }
     }
     b
 }
@@ -300,6 +336,18 @@ fn decode_body(mut buf: &[u8]) -> Result<WalRecord, WalError> {
                 entries.push((key, version, value, gap_after));
             }
             Ok(WalRecord::Checkpoint { low_gap, entries })
+        }
+        TAG_STALE_VOTE => {
+            let member = need_u64(&mut buf)?;
+            let key = get_key(&mut buf)?;
+            let seen = Version::new(need_u64(&mut buf)?);
+            let latest = Version::new(need_u64(&mut buf)?);
+            Ok(WalRecord::StaleVote {
+                member,
+                key,
+                seen,
+                latest,
+            })
         }
         t => Err(WalError::Malformed(format!("unknown tag {t}"))),
     }
@@ -405,10 +453,38 @@ pub fn replay(records: &[WalRecord]) -> Result<GapMap, WalError> {
             WalRecord::Checkpoint { .. } => {
                 unreachable!("later checkpoints handled by rposition")
             }
+            // Repair evidence, not directory state: replay skips it. The
+            // replica layer re-reads these via `stale_votes_after` when it
+            // reseeds its drivers.
+            WalRecord::StaleVote { .. } => {}
         }
     }
     // Transactions with no commit record died with the crash: discarded.
     Ok(map)
+}
+
+/// The live stale-vote spills in a decoded log: every
+/// [`WalRecord::StaleVote`] after the last checkpoint, in append order, as
+/// `(member, key, seen, latest)`. A checkpoint captures converged state, so
+/// it retires every earlier spill; votes spilled after it are evidence a
+/// restarted repair driver should still act on.
+pub fn stale_votes_after(records: &[WalRecord]) -> Vec<(u64, Key, Version, Version)> {
+    let start = records
+        .iter()
+        .rposition(|r| matches!(r, WalRecord::Checkpoint { .. }))
+        .map_or(0, |idx| idx + 1);
+    records[start..]
+        .iter()
+        .filter_map(|r| match r {
+            WalRecord::StaleVote {
+                member,
+                key,
+                seen,
+                latest,
+            } => Some((*member, key.clone(), *seen, *latest)),
+            _ => None,
+        })
+        .collect()
 }
 
 fn apply(map: &mut GapMap, op: &WalRecord) -> Result<(), WalError> {
@@ -507,6 +583,12 @@ mod tests {
             },
             WalRecord::Commit { txn: 1 },
             WalRecord::Abort { txn: 2 },
+            WalRecord::StaleVote {
+                member: 2,
+                key: k("stale"),
+                seen: v(1),
+                latest: v(9),
+            },
         ]
     }
 
@@ -671,6 +753,43 @@ mod tests {
         assert!(!map.lookup(&k("stale")).is_present());
         assert!(map.lookup(&k("base")).is_present());
         assert!(map.lookup(&k("new")).is_present());
+    }
+
+    #[test]
+    fn stale_vote_spills_are_skipped_by_replay_and_retired_by_checkpoint() {
+        let spill = |member: u64, key: &str, latest: u64| WalRecord::StaleVote {
+            member,
+            key: k(key),
+            seen: v(0),
+            latest: v(latest),
+        };
+        let mut m = GapMap::new();
+        m.insert(&k("base"), v(5), val("B")).unwrap();
+        let records = vec![
+            spill(0, "retired", 3),
+            WalRecord::checkpoint_of(&m),
+            WalRecord::Begin { txn: 1 },
+            spill(2, "a", 7),
+            WalRecord::Insert {
+                txn: 1,
+                key: k("x"),
+                version: v(6),
+                value: val("X"),
+            },
+            WalRecord::Commit { txn: 1 },
+            spill(1, "b", 9),
+        ];
+        // Replay ignores the sidecar records entirely.
+        let map = replay(&records).unwrap();
+        assert!(map.lookup(&k("base")).is_present());
+        assert!(map.lookup(&k("x")).is_present());
+        assert!(!map.lookup(&k("a")).is_present());
+        // Only post-checkpoint spills are still live, in append order.
+        let votes = stale_votes_after(&records);
+        assert_eq!(
+            votes,
+            vec![(2, k("a"), v(0), v(7)), (1, k("b"), v(0), v(9))]
+        );
     }
 
     #[test]

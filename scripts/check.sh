@@ -28,7 +28,11 @@
 #    copy, AND the stale-vote-fed RepairDriver's bucket-targeted pulls
 #    converge the same member with >= 2x fewer messages than the summary
 #    sweep itself.
-# 10. cargo fmt --check and cargo clippy -D warnings keep the tree formatted
+# 10. Runs the snapshot_bench in quick mode, which fails unless streamed
+#    snapshot catch-up converges a far-diverged member (~35% of buckets in
+#    quick mode) byte-identically with >= 2x fewer fabric messages than
+#    256 per-bucket pulls.
+# 11. cargo fmt --check and cargo clippy -D warnings keep the tree formatted
 #    and lint-clean.
 #
 # Each gate prints its wall-clock duration so a slow regression is
@@ -107,6 +111,10 @@ gate_done
 
 gate "repair_bench --quick --check --driver (anti-entropy >= 2x vs full copy; vote-targeted pulls >= 2x vs sweeping)"
 cargo run --release --offline -p repdir-bench --bin repair_bench -- --quick --check --driver
+gate_done
+
+gate "snapshot_bench --quick --check (streamed catch-up >= 2x fewer messages vs 256 pulls)"
+cargo run --release --offline -p repdir-bench --bin snapshot_bench -- --quick --check
 gate_done
 
 gate "cargo fmt --check"

@@ -18,6 +18,7 @@
 //! | [`net`] | simulated network with latency/drops/partitions and RPC |
 //! | [`replica`] | the transactional representative server and clients |
 //! | [`repair`] | anti-entropy: summary trees, bucket merge planning, the background repairer |
+//! | [`snapshot`] | streamed full-state catch-up: resumable chunked snapshot transfer and guarded install |
 //! | [`baselines`] | unanimous update, primary copy, Gifford file voting, static partitions, naive per-entry versions |
 //! | [`workload`] | simulation driver, statistics, availability and locality experiments |
 //!
@@ -40,6 +41,7 @@ pub use repdir_obs as obs;
 pub use repdir_rangelock as rangelock;
 pub use repdir_repair as repair;
 pub use repdir_replica as replica;
+pub use repdir_snapshot as snapshot;
 pub use repdir_storage as storage;
 pub use repdir_txn as txn;
 pub use repdir_workload as workload;

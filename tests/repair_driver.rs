@@ -38,6 +38,7 @@ fn never_ticks() -> Pacing {
         floor: Duration::from_secs(120),
         cap: Duration::from_secs(240),
         factor: 2.0,
+        ..Pacing::default()
     }
 }
 
@@ -274,6 +275,75 @@ fn driver_rotates_to_a_live_peer_when_one_dies_mid_pull() {
     assert_eq!(tick.applied.total(), 0);
 }
 
+/// Durable stale-vote queue: a vote observed by a read survives the
+/// observing process dying *between observe and pull*. The spill hook
+/// lands every pushed vote in the stale member's WAL sidecar before it
+/// becomes visible in the in-memory queue; after a crash the sidecar
+/// reseeds a fresh queue and a vote-targeted pull heals the member with
+/// zero summary sweeps — the observation was not lost.
+#[test]
+fn spilled_stale_votes_survive_a_crash_between_observe_and_pull() {
+    let _guard = serial();
+    let stale = TransactionalRep::new(RepId(0));
+    let fresh = TransactionalRep::new(RepId(1));
+    let t = TxnId(1);
+    fresh.begin(t).unwrap();
+    fresh
+        .insert(t, &Key::from("apple"), Version::new(3), &Value::from("A"))
+        .unwrap();
+    fresh.commit(t).unwrap();
+
+    // Observe: the read path pushes a stale vote; the spill hook makes it
+    // durable on the stale member before the queue exposes it.
+    let queue = Arc::new(StaleVoteQueue::new());
+    let spill_rep = Arc::clone(&stale);
+    queue.set_spill(Some(Box::new(move |vote: &StaleVote| {
+        let _ = spill_rep.spill_stale_vote(vote);
+    })));
+    let vote = StaleVote {
+        member: 0,
+        key: Key::from("apple"),
+        seen: Version::new(0),
+        latest: Version::new(3),
+    };
+    queue.push(vote.clone());
+
+    // Kill between observe and pull: the process (and with it the
+    // in-memory queue) dies before any driver consumed the vote.
+    drop(queue);
+    stale.crash_and_recover().unwrap();
+
+    // Recovery: the WAL sidecar reseeds a fresh queue...
+    let revived = Arc::new(StaleVoteQueue::new());
+    let spilled = stale.spilled_stale_votes();
+    assert_eq!(spilled, vec![vote], "spilled vote lost across the crash");
+    for v in spilled {
+        revived.restore(v);
+    }
+
+    // ...and a vote-targeted pull (no sweep) heals exactly what was voted.
+    let repairer = Repairer::new(
+        Arc::new(RepTarget::new(Arc::clone(&stale))),
+        vec![Box::new(LocalRepairPeer::new(Arc::clone(&fresh)))],
+    );
+    let source = Arc::clone(&revived);
+    let mut driver = RepairDriver::new(repairer, never_ticks())
+        .with_vote_source(Box::new(move || source.drain_member(0)));
+    let g = repdir::obs::global();
+    let sweeps_before = g.counter("repair.driver.sweeps").get();
+    let tick = driver.drain_and_pull();
+    assert_eq!(tick.votes, 1);
+    assert_eq!(tick.unrepaired, 0);
+    assert_eq!(tick.applied.installed, 1);
+    assert_eq!(g.counter("repair.driver.sweeps").get(), sweeps_before);
+    assert_eq!(stale.snapshot(), fresh.snapshot());
+
+    // A checkpoint retires the consumed evidence: it must not be replayed
+    // into yet another pull after the next recovery.
+    stale.checkpoint().unwrap();
+    assert!(stale.spilled_stale_votes().is_empty());
+}
+
 /// Dead-majority fabric: every peer is down, every tick only fails. The
 /// driver must retreat to its pacing cap instead of spinning sweep
 /// attempts at the floor.
@@ -297,6 +367,7 @@ fn dead_majority_backs_the_driver_off_instead_of_spinning() {
         floor: Duration::from_millis(2),
         cap: Duration::from_millis(100),
         factor: 2.0,
+        ..Pacing::default()
     };
     let g = repdir::obs::global();
     let handle = RepairDriver::new(repairer, pacing).spawn();
@@ -339,6 +410,7 @@ fn recovery_signal_snaps_a_capped_driver_back_to_work() {
         floor: Duration::from_millis(5),
         cap: Duration::from_secs(120),
         factor: 1.0e6,
+        ..Pacing::default()
     };
     dir.spawn_repair_drivers(pacing);
     // Let every driver take its first (quiescent) tick and cap out.

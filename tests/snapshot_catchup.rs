@@ -1,0 +1,341 @@
+//! Fault-injection suite for streamed snapshot catch-up: a far-diverged
+//! member converging by full-state stream instead of per-bucket pulls.
+//!
+//! The tentpole property, over several random histories: a member
+//! partitioned through a random insert/update/delete workload converges
+//! back to **byte-identical** state via a resumable snapshot stream —
+//! surviving the snapshot peer dying mid-stream *and* the receiver
+//! crashing mid-install — without spending a single quorum collection.
+//! The resume is a true resume: after the faults, the installer's next
+//! chunk request carries the cursor of the last flushed key, never `None`
+//! (which would restart the walk from the beginning).
+
+use repdir::core::rng::StdRng;
+use repdir::core::suite::{FixedPolicy, SuiteConfig};
+use repdir::core::{Key, RepId, SuiteError, UserKey, Value, Version};
+use repdir::repair::{CatchupStream, RepairError, RepairTarget};
+use repdir::replica::{LocalSnapshotPeer, RepTarget, ReplicatedDirectory, TransactionalRep};
+use repdir::snapshot::{SnapshotChunk, SnapshotInstaller, SnapshotManifest, SnapshotPeer};
+use repdir::txn::TxnId;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Counter-exact tests share one process-global obs registry, so they must
+/// not interleave with each other's quorum traffic.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: OnceLock<Mutex<()>> = OnceLock::new();
+    SERIAL
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+const KEYSPACE: u8 = 48;
+
+/// Single-byte keys, so consecutive key values land in distinct summary
+/// buckets — the stream flushes (and advances its durable cursor) as it
+/// crosses bucket boundaries.
+fn user_key(k: u8) -> Key {
+    Key::User(UserKey::new(vec![k]))
+}
+
+/// One random workload step against the directory and a model, with the
+/// quorum pinned to `order` (the victim last, so it never votes and the
+/// two survivors stay byte-identical to the model).
+fn step(
+    dir: &ReplicatedDirectory,
+    order: &[usize],
+    model: &mut BTreeMap<u8, u8>,
+    rng: &mut StdRng,
+) -> Result<(), SuiteError> {
+    let k = rng.gen_range(0u8..KEYSPACE);
+    let key = user_key(k);
+    let v: u8 = rng.gen();
+    let mut txn = dir.begin_with_policy(Box::new(FixedPolicy::with_order(order.to_vec())));
+    let out = match rng.gen_range(0..4u8) {
+        0 if !model.contains_key(&k) => {
+            txn.suite_mut()
+                .insert(&key, &Value::from(vec![v]))
+                .map(|_| {
+                    model.insert(k, v);
+                })
+        }
+        1 if model.contains_key(&k) => {
+            txn.suite_mut()
+                .update(&key, &Value::from(vec![v]))
+                .map(|_| {
+                    model.insert(k, v);
+                })
+        }
+        2 if model.contains_key(&k) => txn.suite_mut().delete(&key).map(|_| {
+            model.remove(&k);
+        }),
+        _ => txn.suite_mut().lookup(&key).map(|out| {
+            assert_eq!(out.present, model.contains_key(&k));
+        }),
+    };
+    txn.commit();
+    out
+}
+
+/// A snapshot peer that records every chunk cursor it is asked for and
+/// dies (once) after a configured number of chunk calls — the "peer killed
+/// mid-stream" fault. After the kill it serves normally, modelling the
+/// peer's process coming back.
+struct KillablePeer {
+    inner: LocalSnapshotPeer,
+    calls_before_death: AtomicU64,
+    afters: Mutex<Vec<Option<UserKey>>>,
+}
+
+impl KillablePeer {
+    fn new(inner: LocalSnapshotPeer, calls_before_death: u64) -> Self {
+        KillablePeer {
+            inner,
+            calls_before_death: AtomicU64::new(calls_before_death),
+            afters: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+/// Shared handle to a [`KillablePeer`], so the test keeps a view of the
+/// recorded cursors while the installer owns the boxed peer.
+struct PeerHandle(Arc<KillablePeer>);
+
+impl SnapshotPeer for PeerHandle {
+    fn manifest(&self) -> Result<SnapshotManifest, RepairError> {
+        self.0.inner.manifest()
+    }
+
+    fn chunk(&self, after: Option<&UserKey>, max: u32) -> Result<SnapshotChunk, RepairError> {
+        self.0.afters.lock().unwrap().push(after.cloned());
+        let left = self.0.calls_before_death.fetch_sub(1, Ordering::Relaxed);
+        if left == 0 {
+            // One death, then the peer stays back up.
+            self.0.calls_before_death.store(u64::MAX, Ordering::Relaxed);
+            return Err(RepairError::Unavailable);
+        }
+        self.0.inner.chunk(after, max)
+    }
+}
+
+fn run_crashy_catchup(seed: u64) {
+    let _guard = serial();
+    let dir = ReplicatedDirectory::new(SuiteConfig::symmetric(3, 2, 2).unwrap(), seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut model: BTreeMap<u8, u8> = BTreeMap::new();
+    let victim = rng.gen_range(0..3usize);
+    let source_member = (victim + 1) % 3;
+    let order = [source_member, (victim + 2) % 3, victim];
+
+    // A floor of entries outside the workload's keyspace guarantees the
+    // stream is several frames long, so the peer death lands mid-stream.
+    for i in 0..16u8 {
+        let mut txn = dir.begin_with_policy(Box::new(FixedPolicy::with_order(order.to_vec())));
+        txn.suite_mut()
+            .insert(&user_key(200 + i), &Value::from(vec![i]))
+            .unwrap();
+        txn.commit();
+        model.insert(200 + i, i);
+    }
+    // A healthy prefix, then a long partition of the victim: the survivors
+    // keep committing, the victim diverges far behind.
+    for _ in 0..40 {
+        step(&dir, &order, &mut model, &mut rng).expect("op with all members up");
+    }
+    dir.reps()[victim].set_available(false);
+    for _ in 0..100 {
+        step(&dir, &order, &mut model, &mut rng).expect("op with one member partitioned");
+    }
+    dir.reps()[victim].set_available(true);
+
+    let g = repdir::obs::global();
+    let waves_before = g.counter("suite.quorum.waves").get();
+
+    // Stream the snapshot from a surviving member with deliberately tiny
+    // frames, killing the peer on its fourth chunk call.
+    let peer = Arc::new(KillablePeer::new(
+        LocalSnapshotPeer::new(Arc::clone(&dir.reps()[source_member])),
+        3,
+    ));
+    let target: Arc<dyn RepairTarget> = Arc::new(RepTarget::new(Arc::clone(&dir.reps()[victim])));
+    let mut installer =
+        SnapshotInstaller::new(vec![Box::new(PeerHandle(Arc::clone(&peer)))]).with_chunk_entries(4);
+
+    let died = installer.stream(0, &target);
+    assert!(died.is_err(), "seed {seed:#x}: peer death must surface");
+    assert!(
+        installer.in_progress(),
+        "interrupted install keeps progress"
+    );
+    let cursor = installer.resume_cursor().cloned();
+    assert!(
+        cursor.is_some(),
+        "seed {seed:#x}: three flushed frames must leave a resume cursor"
+    );
+
+    // The receiver crashes mid-install: everything the installer flushed
+    // must already be durable in its WAL, so recovery keeps the prefix.
+    dir.reps()[victim].crash_and_recover().unwrap();
+
+    // Resume: converges, and the stream picked up at the stashed cursor.
+    let stats = installer.stream(0, &target).expect("resumed stream");
+    assert!(stats.resumed, "seed {seed:#x}: second stream must resume");
+    assert!(stats.root_matched, "seed {seed:#x}: root digest mismatch");
+    let afters = peer.afters.lock().unwrap().clone();
+    assert_eq!(afters[0], None, "first stream starts at the beginning");
+    // Calls 0..=2 streamed, call 3 died, call 4 is the resume.
+    assert_eq!(
+        afters[4], cursor,
+        "seed {seed:#x}: resume did not honor the stashed chunk cursor"
+    );
+    assert!(
+        afters[4..].iter().all(|a| a.is_some()),
+        "seed {seed:#x}: a post-resume chunk restarted from the beginning"
+    );
+
+    // Byte-identical convergence: victim == source, and both match the
+    // model byte for byte.
+    assert_eq!(
+        dir.reps()[source_member].snapshot(),
+        dir.reps()[victim].snapshot(),
+        "seed {seed:#x}: stream did not converge the victim"
+    );
+    let mut stored: Vec<(UserKey, Value)> = Vec::new();
+    dir.reps()[victim]
+        .snapshot()
+        .range_scan(None, None, &mut |k, _, v, _| {
+            stored.push((k.clone(), v.clone()));
+        });
+    let expect: Vec<(UserKey, Value)> = model
+        .iter()
+        .map(|(mk, mv)| (UserKey::new(vec![*mk]), Value::from(vec![*mv])))
+        .collect();
+    assert_eq!(stored, expect, "seed {seed:#x}: converged state != model");
+
+    // Idempotent re-install: a second full stream applies nothing.
+    let mut again = SnapshotInstaller::new(vec![Box::new(PeerHandle(Arc::clone(&peer)))]);
+    let restats = again.stream(0, &target).expect("re-install");
+    assert!(restats.root_matched);
+    assert_eq!(
+        restats.applied.total(),
+        0,
+        "seed {seed:#x}: re-installing a converged replica applied steps"
+    );
+
+    // The whole catch-up — install, crash, resume, re-install — spent zero
+    // quorum collections: snapshot transfer moves committed facts at
+    // pinned versions, which is sound without any vote.
+    assert_eq!(
+        g.counter("suite.quorum.waves").get(),
+        waves_before,
+        "seed {seed:#x}: catch-up collected a quorum"
+    );
+}
+
+#[test]
+fn interrupted_snapshot_catchup_resumes_and_converges() {
+    run_crashy_catchup(0x5AFE_0001);
+}
+
+#[test]
+fn snapshot_catchup_holds_across_random_histories() {
+    for seed in 0..4u64 {
+        run_crashy_catchup(0x5AFE_1000 + seed);
+    }
+}
+
+/// Seeds `n` committed single-byte-key entries on a bare representative.
+fn seeded_rep(id: u32, n: u8) -> Arc<TransactionalRep> {
+    let rep = TransactionalRep::new(RepId(id));
+    let t = TxnId(1);
+    rep.begin(t).unwrap();
+    for i in 0..n {
+        rep.insert(
+            t,
+            &user_key(i),
+            Version::new(u64::from(i) + 1),
+            &Value::from(vec![i]),
+        )
+        .unwrap();
+    }
+    rep.commit(t).unwrap();
+    rep
+}
+
+/// A dead snapshot peer only ever costs an `Unavailable` error and a
+/// stashed cursor — never a partial-progress wipe: a later stream against
+/// a different healthy peer continues from where the dead one stopped.
+#[test]
+fn snapshot_stream_rotates_peers_without_losing_the_cursor() {
+    let source_a = seeded_rep(0, 24);
+    let source_b = seeded_rep(1, 24); // byte-identical twin
+    let receiver = TransactionalRep::new(RepId(2));
+    let target: Arc<dyn RepairTarget> = Arc::new(RepTarget::new(Arc::clone(&receiver)));
+
+    // Peer 0 dies on its second chunk; peer 1 stays healthy.
+    let dying = Arc::new(KillablePeer::new(
+        LocalSnapshotPeer::new(Arc::clone(&source_a)),
+        1,
+    ));
+    let healthy = Arc::new(KillablePeer::new(
+        LocalSnapshotPeer::new(Arc::clone(&source_b)),
+        u64::MAX,
+    ));
+    let mut installer = SnapshotInstaller::new(vec![
+        Box::new(PeerHandle(Arc::clone(&dying))),
+        Box::new(PeerHandle(Arc::clone(&healthy))),
+    ])
+    .with_chunk_entries(4);
+
+    assert!(installer.stream(0, &target).is_err());
+    let cursor = installer.resume_cursor().cloned();
+    assert!(cursor.is_some(), "one flushed frame leaves a cursor");
+    let stats = installer
+        .stream(1, &target)
+        .expect("healthy peer finishes the stream");
+    assert!(stats.resumed);
+    assert!(stats.root_matched);
+    let healthy_afters = healthy.afters.lock().unwrap().clone();
+    assert_eq!(
+        healthy_afters.first().cloned(),
+        Some(cursor),
+        "the replacement peer was asked to continue, not restart"
+    );
+    assert_eq!(source_a.snapshot(), receiver.snapshot());
+}
+
+/// The snapshot install path refuses to move any version down: installing
+/// a *stale* snapshot over a newer replica is a no-op, not a rollback.
+#[test]
+fn stale_snapshot_never_rolls_a_newer_replica_back() {
+    let old = TransactionalRep::new(RepId(0));
+    let t = TxnId(1);
+    old.begin(t).unwrap();
+    old.insert(t, &user_key(1), Version::new(1), &Value::from("old"))
+        .unwrap();
+    old.commit(t).unwrap();
+
+    let newer = TransactionalRep::new(RepId(1));
+    let t = TxnId(2);
+    newer.begin(t).unwrap();
+    newer
+        .insert(t, &user_key(1), Version::new(2), &Value::from("new"))
+        .unwrap();
+    newer
+        .insert(t, &user_key(2), Version::new(3), &Value::from("extra"))
+        .unwrap();
+    newer.commit(t).unwrap();
+
+    let target: Arc<dyn RepairTarget> = Arc::new(RepTarget::new(Arc::clone(&newer)));
+    let before = newer.snapshot();
+    let mut installer =
+        SnapshotInstaller::new(vec![Box::new(LocalSnapshotPeer::new(Arc::clone(&old)))]);
+    let stats = installer.stream(0, &target).expect("stale stream");
+    // Nothing in the old snapshot supersedes the newer replica: no step
+    // may land, and the state is bit-for-bit untouched.
+    assert_eq!(stats.applied.total(), 0);
+    assert!(!stats.root_matched, "a stale manifest must not match");
+    assert_eq!(newer.snapshot(), before);
+}
